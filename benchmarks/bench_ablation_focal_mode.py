@@ -1,0 +1,81 @@
+"""E16b — §6.2 design-choice ablation: direct vs multi-hop focal reward.
+
+The paper considers extending the focal adjustment to reward shortest
+paths ("multiplying the weights of the in-between edges") and rejects it:
+"semantically weaker and may cause model overfitting".  This bench runs
+both modes and quantifies the trade: the path variants buy at most a
+marginal separation gain (multiplied edge weights decay fast, so 2+-hop
+rewards are tiny) while paying a bounded-DP path search per candidate x
+focal on every annotation — negligible benefit for real cost and extra
+model complexity, which is the paper's engineering call.
+"""
+
+import time
+
+import pytest
+
+from repro.core.assessment import assess, average_assessments
+
+from conftest import make_nebula, report, table
+
+
+def _separation(result, missing):
+    true_conf = [c.confidence for c in result.candidates if c.ref in missing]
+    junk_conf = [c.confidence for c in result.candidates if c.ref not in missing]
+    if not true_conf or not junk_conf:
+        return None
+    return sum(true_conf) / len(true_conf) - sum(junk_conf) / len(junk_conf)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_focal_mode(benchmark, dataset_large):
+    db, workload = dataset_large
+    annotations = workload.group(100)
+
+    rows = []
+    margins = {}
+    assessments = {}
+    times = {}
+    for label, overrides in (
+        ("direct", {"focal_mode": "direct"}),
+        ("path-2hop", {"focal_mode": "path", "focal_max_hops": 2}),
+        ("path-4hop", {"focal_mode": "path", "focal_max_hops": 4}),
+    ):
+        nebula = make_nebula(db, 0.6, **overrides)
+        collected = []
+        per_annotation = []
+        started = time.perf_counter()
+        for annotation in annotations:
+            focal = annotation.focal(2)
+            missing = set(annotation.missing(focal))
+            result = nebula.analyze(annotation.text, focal=focal, shared=False)
+            margin = _separation(result, missing)
+            if margin is not None:
+                collected.append(margin)
+            per_annotation.append(
+                assess(result.candidates, set(annotation.ideal_refs), focal,
+                       0.32, 0.86)
+            )
+        elapsed = (time.perf_counter() - started) / len(annotations)
+        margins[label] = sum(collected) / len(collected) if collected else 0.0
+        assessments[label] = average_assessments(per_annotation)
+        times[label] = elapsed
+        rows.append(
+            [label, margins[label], assessments[label].f_n,
+             assessments[label].f_p, assessments[label].m_f, elapsed * 1e3]
+        )
+    report(
+        "ablation_focal_mode",
+        table(["mode", "true_junk_margin", "F_N", "F_P", "M_F", "avg_ms"], rows),
+    )
+
+    # The paper's engineering call, quantified: the multi-hop extension
+    # buys at most a marginal margin gain over the direct variant...
+    assert margins["path-4hop"] - margins["direct"] < 0.05
+    # ...and changes the assessment outcome by nothing measurable here.
+    assert abs(assessments["path-4hop"].f_p - assessments["direct"].f_p) < 0.02
+    assert abs(assessments["path-4hop"].f_n - assessments["direct"].f_n) < 0.05
+
+    nebula = make_nebula(db, 0.6, focal_mode="path", focal_max_hops=4)
+    sample = annotations[0]
+    benchmark(lambda: nebula.analyze(sample.text, focal=sample.focal(2)))

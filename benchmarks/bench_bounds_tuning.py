@@ -1,0 +1,61 @@
+"""E14 — Figure 9 ablation: the BoundsSetting sweep surface.
+
+Builds the D_Training samples (database annotations distorted to Δ = 1),
+sweeps the (β_lower, β_upper) grid, and reports a slice of the surface
+plus the chosen setting.
+
+Paper shape: the tuner lands on a genuine two-sided band (the paper's run
+chose (0.32, 0.86)) — neither bound degenerate — and the chosen setting
+minimizes expert effort within the accuracy limits.  Wider pending bands
+trade more manual effort for fewer auto-accept errors.
+"""
+
+import pytest
+
+from repro.core.bounds import BoundsSetting
+
+from conftest import make_nebula, report, table, training_samples
+
+
+@pytest.mark.benchmark(group="bounds")
+def test_bounds_tuning_surface(benchmark, dataset_large):
+    db, _ = dataset_large
+    nebula = make_nebula(db, 0.6)
+    samples = training_samples(db, nebula, count=120, delta=1)
+
+    setting = BoundsSetting(fn_limit=0.30, fp_limit=0.10, mh_refinement=False)
+    choices = setting.sweep(samples)
+    chosen = setting.tune(samples)
+
+    slice_rows = [
+        [c.beta_lower, c.beta_upper, c.assessment.f_n, c.assessment.f_p,
+         c.assessment.m_f, c.assessment.m_h]
+        for c in choices
+        if abs(c.beta_lower - round(c.beta_lower / 0.12) * 0.12) < 1e-9
+        and abs(c.beta_upper - round(c.beta_upper / 0.12) * 0.12) < 1e-9
+    ]
+    report(
+        "bounds_tuning",
+        table(["beta_lower", "beta_upper", "F_N", "F_P", "M_F", "M_H"],
+              slice_rows)
+        + [
+            f"chosen: ({chosen.beta_lower:.2f}, {chosen.beta_upper:.2f}) "
+            f"F_N={chosen.assessment.f_n:.3f} F_P={chosen.assessment.f_p:.3f} "
+            f"M_F={chosen.assessment.m_f} M_H={chosen.assessment.m_h:.3f}"
+        ],
+    )
+
+    # The chosen setting satisfies the limits.
+    assert chosen.assessment.f_n <= 0.30
+    assert chosen.assessment.f_p <= 0.10
+    # Paper shape: a real band with a usable upper bound (not forcing all
+    # predictions through the experts).
+    assert chosen.beta_upper < 1.0
+    # Expert effort at the chosen setting is minimal among feasible ones.
+    feasible = [
+        c for c in choices
+        if c.assessment.f_n <= 0.30 and c.assessment.f_p <= 0.10
+    ]
+    assert chosen.assessment.m_f == min(c.assessment.m_f for c in feasible)
+
+    benchmark(lambda: setting.evaluate(samples, 0.32, 0.86))

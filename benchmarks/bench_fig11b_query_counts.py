@@ -1,0 +1,51 @@
+"""E2 — Figure 11(b): number of generated keyword queries per (ε, L^m).
+
+Paper shape: ε = 0.4 generates far more queries than the ~10 real
+embedded references warrant; 0.6 and 0.8 stay close to the reference
+count, with 0.8 the tightest.
+"""
+
+import pytest
+
+from repro.core.query_generation import generate_queries
+
+from conftest import EPSILONS, SIZE_GROUPS, make_nebula, report, table
+
+
+@pytest.mark.benchmark(group="fig11b")
+def test_fig11b_query_counts(benchmark, dataset_large):
+    db, workload = dataset_large
+    rows = []
+    counts = {}
+    for epsilon in EPSILONS:
+        nebula = make_nebula(db, epsilon)
+        for size in SIZE_GROUPS:
+            annotations = workload.group(size)
+            produced = [
+                len(generate_queries(a.text, nebula.meta, nebula.config).queries)
+                for a in annotations
+            ]
+            references = [len(a.ideal_keywords) for a in annotations]
+            counts[(epsilon, size)] = sum(produced) / len(produced)
+            rows.append(
+                [
+                    f"eps={epsilon}",
+                    f"L^{size}",
+                    sum(produced) / len(produced),
+                    sum(references) / len(references),
+                ]
+            )
+    report(
+        "fig11b_query_counts",
+        table(["config", "set", "avg_queries", "avg_true_refs"], rows),
+    )
+
+    # Paper shape assertions: looser cutoff -> at least as many queries.
+    for size in SIZE_GROUPS:
+        assert counts[(0.4, size)] >= counts[(0.6, size)] >= counts[(0.8, size)]
+    # 0.4 over-generates on big annotations relative to 0.8.
+    assert counts[(0.4, 1000)] > counts[(0.8, 1000)]
+
+    nebula = make_nebula(db, 0.6)
+    sample = workload.group(1000)[0]
+    benchmark(generate_queries, sample.text, nebula.meta, nebula.config)

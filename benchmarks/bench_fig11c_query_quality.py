@@ -1,0 +1,66 @@
+"""E3 — Figure 11(c): false-positive / false-negative queries per (ε, L^m).
+
+Judged against the generator's oracle instead of the paper's manual
+investigation.  Paper shape: ε = 0.4 and ε = 0.6 have zero false
+negatives; ε = 0.4 has the largest false-positive share (up to ~91% on
+L^1000); ε = 0.8 has the smallest false-positive share but misses a few
+references.
+"""
+
+import pytest
+
+from repro.core.query_generation import generate_queries
+
+from conftest import EPSILONS, SIZE_GROUPS, make_nebula, query_quality, report, table
+
+
+@pytest.mark.benchmark(group="fig11c")
+def test_fig11c_query_quality(benchmark, dataset_large):
+    db, workload = dataset_large
+    rows = []
+    fp_share = {}
+    fn_share = {}
+    for epsilon in EPSILONS:
+        nebula = make_nebula(db, epsilon)
+        for size in SIZE_GROUPS:
+            tp_total = fp_total = missed_total = refs_total = 0
+            for annotation in workload.group(size):
+                generation = generate_queries(
+                    annotation.text, nebula.meta, nebula.config
+                )
+                tp, fp, missed = query_quality(annotation, generation)
+                tp_total += tp
+                fp_total += fp
+                missed_total += missed
+                refs_total += len(annotation.ideal_keywords)
+            queries_total = tp_total + fp_total
+            fp_share[(epsilon, size)] = (
+                fp_total / queries_total if queries_total else 0.0
+            )
+            fn_share[(epsilon, size)] = missed_total / refs_total
+            rows.append(
+                [
+                    f"eps={epsilon}",
+                    f"L^{size}",
+                    queries_total,
+                    fp_share[(epsilon, size)],
+                    fn_share[(epsilon, size)],
+                ]
+            )
+    report(
+        "fig11c_query_quality",
+        table(["config", "set", "queries", "FP_pct", "FN_pct"], rows),
+    )
+
+    for size in SIZE_GROUPS:
+        # Paper: epsilon <= 0.6 misses (almost) nothing.
+        assert fn_share[(0.4, size)] <= 0.05
+        assert fn_share[(0.6, size)] <= 0.05
+        # Tighter thresholds have no more false positives than looser ones.
+        assert fp_share[(0.8, size)] <= fp_share[(0.4, size)] + 1e-9
+    # The loose threshold over-generates noticeably on the big set.
+    assert fp_share[(0.4, 1000)] > fp_share[(0.8, 1000)]
+
+    nebula = make_nebula(db, 0.6)
+    sample = workload.group(1000)[0]
+    benchmark(generate_queries, sample.text, nebula.meta, nebula.config)

@@ -1,0 +1,62 @@
+"""E4 — Figure 12(a): keyword-query execution time, Naive vs Nebula.
+
+Paper shape: the Naive approach (whole annotation as one query) is orders
+of magnitude slower than Nebula-0.6 / Nebula-0.8 and becomes infeasible
+beyond the smallest annotation set; Nebula's two variants are comparable.
+Per the paper we run Naive only on L^50 (its feasible set).
+"""
+
+import time
+
+import pytest
+
+from repro.search.naive import NaiveSearch
+
+from conftest import make_nebula, report, table
+
+SIZE_GROUPS = (50, 100, 500, 1000)
+
+
+def _nebula_execution_time(nebula, annotations):
+    """Sum of per-query execution times (generation excluded), seconds."""
+    total = 0.0
+    for annotation in annotations:
+        report_ = nebula.analyze(annotation.text)
+        total += report_.identified.elapsed
+    return total / len(annotations)
+
+
+@pytest.mark.benchmark(group="fig12a")
+def test_fig12a_execution_time(benchmark, all_datasets):
+    rows = []
+    naive_avg = {}
+    nebula_avg = {}
+    for scale, (db, workload) in all_datasets.items():
+        naive = NaiveSearch(db.connection)
+        annotations_50 = workload.group(50)
+        started = time.perf_counter()
+        for annotation in annotations_50:
+            naive.search(annotation.text)
+        naive_avg[scale] = (time.perf_counter() - started) / len(annotations_50)
+        rows.append([scale, "L^50", "Naive", naive_avg[scale] * 1e3])
+        for epsilon in (0.6, 0.8):
+            nebula = make_nebula(db, epsilon)
+            for size in SIZE_GROUPS:
+                avg = _nebula_execution_time(nebula, workload.group(size))
+                nebula_avg[(scale, epsilon, size)] = avg
+                rows.append([scale, f"L^{size}", f"Nebula-{epsilon}", avg * 1e3])
+    report(
+        "fig12a_execution_time",
+        table(["dataset", "set", "approach", "avg_exec_ms"], rows),
+    )
+
+    # Paper shape: naive is at least 10x slower than either Nebula variant
+    # on every dataset (the paper reports ~5 orders of magnitude on 18 GB).
+    for scale in all_datasets:
+        for epsilon in (0.6, 0.8):
+            assert naive_avg[scale] > 10 * nebula_avg[(scale, epsilon, 50)]
+
+    db, workload = all_datasets["large"]
+    nebula = make_nebula(db, 0.6)
+    sample = workload.group(100)[0]
+    benchmark(lambda: nebula.analyze(sample.text))

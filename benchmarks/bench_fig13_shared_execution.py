@@ -1,0 +1,61 @@
+"""E6 — Figure 13: multi-query shared execution.
+
+Paper shape: enabling shared execution among the SQL queries generated
+from one annotation yields ~40-50% execution-time speedup while producing
+exactly the same output tuples.  Per the paper, the measured quantity is
+the *query execution* time (Stage 2), not the annotation analysis.
+"""
+
+import pytest
+
+from conftest import make_nebula, report, table
+
+SIZE_GROUPS = (100, 500, 1000)
+REPEATS = 5
+
+
+def _execution_time(nebula, annotations, shared):
+    """Average per-annotation Stage-2 time; answers collected for equality."""
+    elapsed = 0.0
+    refs = []
+    for _ in range(REPEATS):
+        elapsed = 0.0
+        refs = []
+        for annotation in annotations:
+            result = nebula.analyze(annotation.text, shared=shared)
+            elapsed += result.identified.elapsed
+            refs.append(tuple(result.identified.refs))
+    return elapsed / len(annotations), refs
+
+
+@pytest.mark.benchmark(group="fig13")
+@pytest.mark.parametrize("epsilon", [0.6, 0.8])
+def test_fig13_shared_execution(benchmark, dataset_large, epsilon):
+    db, workload = dataset_large
+    nebula = make_nebula(db, epsilon)
+    rows = []
+    savings = []
+    for size in SIZE_GROUPS:
+        annotations = workload.group(size)
+        isolated_time, isolated_refs = _execution_time(nebula, annotations, False)
+        shared_time, shared_refs = _execution_time(nebula, annotations, True)
+        # Identical answers, per the paper.
+        assert isolated_refs == shared_refs
+        saved = 1.0 - shared_time / isolated_time if isolated_time else 0.0
+        savings.append(saved)
+        rows.append(
+            [f"Nebula-{epsilon}", f"L^{size}",
+             isolated_time * 1e3, shared_time * 1e3, saved]
+        )
+    report(
+        f"fig13_shared_execution_eps{epsilon}",
+        table(
+            ["config", "set", "isolated_ms", "shared_ms", "time_saved"],
+            rows,
+        ),
+    )
+    # Sharing must produce a solid speedup on multi-reference annotations.
+    assert max(savings) > 0.25
+
+    sample = workload.group(500)[0]
+    benchmark(lambda: nebula.analyze(sample.text, shared=True))

@@ -1,0 +1,90 @@
+"""E9 — Figure 15(a): verification & assessment criteria, tuned bounds.
+
+Setup per the paper: the L^100 set on D_large; the verification bounds
+are tuned automatically by BoundsSetting over a training set of the
+database's own annotations (the paper used 500; scaled here); eight
+configurations are compared — Nebula-0.6 / Nebula-0.8 full search plus
+six focal-spreading (Δ, K) combinations.
+
+Paper shapes: no configuration dominates everywhere; Nebula-0.8 requires
+less manual effort (M_F) but shows ~20% false negatives; the spreading
+configurations with K = 3 or 4 perform close to the full search.
+"""
+
+import pytest
+
+from repro.core.assessment import assess, average_assessments
+from repro.core.bounds import BoundsSetting
+
+from conftest import make_nebula, report, table, training_samples
+
+SPREAD_CONFIGS = [(1, 2), (1, 3), (2, 2), (2, 3), (3, 3), (3, 4)]
+
+
+def _assess_config(nebula, annotations, delta, beta_lower, beta_upper,
+                   use_spreading, radius=None):
+    assessments = []
+    for annotation in annotations:
+        focal = annotation.focal(delta)
+        result = nebula.analyze(
+            annotation.text, focal=focal,
+            use_spreading=use_spreading, radius=radius, shared=False,
+        )
+        assessments.append(
+            assess(result.candidates, set(annotation.ideal_refs), focal,
+                   beta_lower, beta_upper)
+        )
+    return average_assessments(assessments)
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15a_assessment(benchmark, dataset_large):
+    db, workload = dataset_large
+    annotations = workload.group(100)
+
+    # Tune the bounds on the database's own annotations (D_Training).
+    nebula_06 = make_nebula(db, 0.6)
+    samples = training_samples(db, nebula_06, count=100, delta=1)
+    choice = BoundsSetting(fn_limit=0.30, fp_limit=0.10).tune(samples)
+    lower, upper = choice.beta_lower, choice.beta_upper
+
+    rows = []
+    results = {}
+    for epsilon in (0.6, 0.8):
+        nebula = make_nebula(db, epsilon)
+        averaged = _assess_config(
+            nebula, annotations, delta=1,
+            beta_lower=lower, beta_upper=upper, use_spreading=False,
+        )
+        results[f"Nebula-{epsilon}"] = averaged
+        rows.append(
+            [f"Nebula-{epsilon}", averaged.f_n, averaged.f_p,
+             averaged.m_f, averaged.m_h]
+        )
+    for delta, radius in SPREAD_CONFIGS:
+        averaged = _assess_config(
+            nebula_06, annotations, delta=delta,
+            beta_lower=lower, beta_upper=upper,
+            use_spreading=True, radius=radius,
+        )
+        results[f"focal d={delta} K={radius}"] = averaged
+        rows.append(
+            [f"focal d={delta} K={radius}", averaged.f_n, averaged.f_p,
+             averaged.m_f, averaged.m_h]
+        )
+    header = [f"bounds=({lower:.2f}, {upper:.2f})"]
+    report(
+        "fig15a_assessment",
+        header + table(["config", "F_N", "F_P", "M_F", "M_H"], rows),
+    )
+
+    # Shape assertions.
+    for averaged in results.values():
+        assert averaged.f_p <= 0.15
+    # A generous-radius spreading config stays close to the full search.
+    full = results["Nebula-0.6"]
+    wide = results["focal d=3 K=4"]
+    assert wide.f_n <= full.f_n + 0.25
+
+    sample = annotations[0]
+    benchmark(lambda: nebula_06.analyze(sample.text, focal=sample.focal(1)))

@@ -1,0 +1,89 @@
+"""E10 — Figure 15(b): degenerate bounds β_lower = β_upper (no experts).
+
+With a single threshold there is no pending band and therefore zero
+expert involvement.  Paper shape: F_P gets significantly higher (wrong
+predictions auto-accept unchecked) and F_N also rises noticeably; the
+paper repeated the experiment with several single-threshold values and
+found F_N/F_P "relatively very high" in all cases — concluding experts
+cannot be eliminated entirely.
+
+Here the degenerate settings are swept over several thresholds for the
+headline Nebula-0.6 configuration and compared against the tuned
+two-sided band.  The reproduction's synthetic references are cleaner than
+UniProt text, so the tuned band already needs very little expert effort —
+but collapsing the band still breaks the accuracy limits the tuner is
+required to hold (F_P explodes at low thresholds, F_N at high ones).
+"""
+
+import pytest
+
+from repro.core.assessment import assess, average_assessments
+from repro.core.bounds import BoundsSetting
+
+from conftest import make_nebula, report, table, training_samples
+
+FN_LIMIT = 0.30
+FP_LIMIT = 0.10
+SINGLE_THRESHOLDS = (0.3, 0.4, 0.5, 0.6, 0.7, 0.9)
+
+
+def _run(nebula, annotations, delta, lower, upper):
+    assessments = []
+    for annotation in annotations:
+        focal = annotation.focal(delta)
+        result = nebula.analyze(annotation.text, focal=focal, shared=False)
+        assessments.append(
+            assess(result.candidates, set(annotation.ideal_refs), focal,
+                   lower, upper)
+        )
+    return average_assessments(assessments)
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15b_no_expert(benchmark, dataset_large):
+    db, workload = dataset_large
+    annotations = workload.group(100)
+    nebula = make_nebula(db, 0.6)
+
+    samples = training_samples(db, nebula, count=100, delta=1)
+    tuned = BoundsSetting(fn_limit=FN_LIMIT, fp_limit=FP_LIMIT).tune(samples)
+
+    rows = []
+    with_expert = _run(
+        nebula, annotations, 1, tuned.beta_lower, tuned.beta_upper
+    )
+    rows.append(
+        [f"tuned ({tuned.beta_lower:.2f}, {tuned.beta_upper:.2f})",
+         with_expert.f_n, with_expert.f_p, with_expert.m_f]
+    )
+    degenerate = {}
+    for threshold in SINGLE_THRESHOLDS:
+        averaged = _run(nebula, annotations, 1, threshold, threshold)
+        assert averaged.m_f == 0  # no pending band by construction
+        degenerate[threshold] = averaged
+        rows.append(
+            [f"single {threshold:.1f}", averaged.f_n, averaged.f_p, 0]
+        )
+    report(
+        "fig15b_no_expert",
+        table(["bounds", "F_N", "F_P", "M_F"], rows),
+    )
+
+    # The tuned band satisfies both limits...
+    assert with_expert.f_n <= FN_LIMIT
+    assert with_expert.f_p <= FP_LIMIT
+    # ...while degenerate thresholds break them: low thresholds blow up
+    # F_P (unchecked auto-accepts), high thresholds blow up F_N.
+    assert degenerate[0.3].f_p > FP_LIMIT
+    assert degenerate[0.9].f_n > with_expert.f_n
+    # The combined error of every degenerate setting that beats the tuned
+    # F_P must pay for it in F_N (and vice versa) — no free lunch: no
+    # single threshold dominates the tuned band on both criteria.
+    for averaged in degenerate.values():
+        assert (
+            averaged.f_p > with_expert.f_p + 1e-9
+            or averaged.f_n >= with_expert.f_n - 1e-9
+        )
+
+    sample = annotations[0]
+    benchmark(lambda: nebula.analyze(sample.text, focal=sample.focal(1)))

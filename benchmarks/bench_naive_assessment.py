@@ -1,0 +1,61 @@
+"""E11 — §8.2 text: assessment of the Naive approach on L^50.
+
+The paper reports {F_N, F_P, M_F, M_H} = {0, 0.93, 318427, 1.6e-5} for a
+single L^50 annotation: the naive search returns a database-scale answer
+whose verification would require examining hundreds of thousands of
+candidates for a handful of acceptances — "clear evidence that Nebula
+enables a new functionality ... that is not possible otherwise".
+
+Shape reproduced: M_F for Naive is thousands of times Nebula's, M_H is
+minuscule, and F_P (with everything in the pending band auto-judged) is
+near 1.
+"""
+
+import pytest
+
+from repro.core.assessment import assess, average_assessments
+from repro.search.naive import NaiveSearch
+
+from conftest import make_nebula, report, table
+
+
+@pytest.mark.benchmark(group="naive")
+def test_naive_assessment(benchmark, dataset_large):
+    db, workload = dataset_large
+    annotations = workload.group(50)
+    naive = NaiveSearch(db.connection)
+    nebula = make_nebula(db, 0.6)
+
+    lower, upper = 0.32, 0.86
+    naive_assessments = []
+    nebula_assessments = []
+    for annotation in annotations:
+        focal = annotation.focal(1)
+        ideal = set(annotation.ideal_refs)
+        naive_result = naive.search(annotation.text)
+        naive_assessments.append(
+            assess(naive_result.tuples, ideal, focal, lower, upper)
+        )
+        result = nebula.analyze(annotation.text, focal=focal)
+        nebula_assessments.append(
+            assess(result.candidates, ideal, focal, lower, upper)
+        )
+    naive_avg = average_assessments(naive_assessments)
+    nebula_avg = average_assessments(nebula_assessments)
+    rows = [
+        ["Naive", naive_avg.f_n, naive_avg.f_p, naive_avg.m_f, naive_avg.m_h],
+        ["Nebula-0.6", nebula_avg.f_n, nebula_avg.f_p,
+         nebula_avg.m_f, nebula_avg.m_h],
+    ]
+    report(
+        "naive_assessment",
+        table(["approach", "F_N", "F_P", "M_F", "M_H"], rows),
+    )
+
+    # The naive verification burden is orders of magnitude larger...
+    assert naive_avg.m_f > 100 * max(1, nebula_avg.m_f)
+    # ...and almost all of it is wasted effort.
+    assert naive_avg.m_h < 0.02
+
+    sample = annotations[0]
+    benchmark(lambda: naive.search(sample.text))

@@ -1,0 +1,76 @@
+"""E17 — end-to-end throughput of the full proactive pipeline.
+
+Not a paper figure: an operational summary of what Nebula costs per
+inserted annotation (Stages 0-3 with persistence) under the execution
+strategies — full search, full search with shared execution, and the
+focal-based spreading search.  This is the number a deployment would care
+about; it aggregates everything the individual figure benchmarks measure.
+"""
+
+import time
+
+import pytest
+
+from repro import Nebula, NebulaConfig
+from repro.datagen.workload import WorkloadSpec, generate_workload
+
+from conftest import report, table
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_insert_throughput(benchmark, dataset_mid):
+    db, _ = dataset_mid
+    # Fresh workloads per strategy so insertions never collide.
+    rows = []
+    rates = {}
+    for label, kwargs, config_updates in (
+        ("full", {"use_spreading": False}, {}),
+        ("full+shared", {"use_spreading": False}, {"shared_execution": True}),
+        ("spreading K=2", {"use_spreading": True, "radius": 2}, {}),
+    ):
+        nebula = Nebula(
+            db.connection,
+            db.meta,
+            NebulaConfig(epsilon=0.6).with_updates(**config_updates),
+            aliases=db.aliases,
+        )
+        workload = generate_workload(db, WorkloadSpec(seed=61))
+        annotations = workload.group(100) + workload.group(500)
+        started = time.perf_counter()
+        tasks_created = 0
+        for annotation in annotations:
+            result = nebula.insert_annotation(
+                annotation.text,
+                attach_to=annotation.focal(1),
+                **kwargs,
+            )
+            tasks_created += len(result.tasks)
+        elapsed = time.perf_counter() - started
+        rate = len(annotations) / elapsed
+        rates[label] = rate
+        rows.append(
+            [label, len(annotations), elapsed * 1e3 / len(annotations),
+             rate, tasks_created]
+        )
+    report(
+        "throughput",
+        table(
+            ["strategy", "annotations", "ms_per_annotation",
+             "annotations_per_sec", "tasks"],
+            rows,
+        ),
+    )
+
+    # Sanity: every strategy sustains a usable interactive rate.
+    assert all(rate > 10 for rate in rates.values())
+
+    nebula = Nebula(db.connection, db.meta, NebulaConfig(epsilon=0.6),
+                    aliases=db.aliases)
+    workload = generate_workload(db, WorkloadSpec(seed=67))
+    samples = iter(workload.annotations * 50)
+
+    def insert_one():
+        annotation = next(samples)
+        nebula.insert_annotation(annotation.text, attach_to=annotation.focal(1))
+
+    benchmark(insert_one)

@@ -1,0 +1,188 @@
+"""Nebula: proactive annotation management in relational databases.
+
+A from-scratch reproduction of Ibrahim, Du & Eltabakh, *Proactive
+Annotation Management in Relational Databases*, SIGMOD 2015.
+
+Quickstart::
+
+    import sqlite3
+    from repro import (
+        BioDatabaseSpec, Nebula, NebulaConfig, generate_bio_database,
+    )
+
+    db = generate_bio_database(BioDatabaseSpec(genes=120, proteins=70,
+                                               publications=600))
+    nebula = Nebula(db.connection, db.meta, NebulaConfig(epsilon=0.6),
+                    aliases=db.aliases)
+    gene = db.genes[0]
+    report = nebula.insert_annotation(
+        f"From the exp, this gene seems correlated to {db.genes[1].gid}.",
+        attach_to=[db.resolve("gene", gene.gid)],
+    )
+    for task in report.tasks:
+        print(task.ref, task.confidence, task.decision)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
+reproduction results.
+"""
+
+from .config import NEBULA_06, NEBULA_08, NebulaConfig
+from .errors import (
+    CommandError,
+    ConfigurationError,
+    MetadataError,
+    NebulaError,
+    SearchError,
+    StorageError,
+    VerificationError,
+    WorkloadError,
+)
+from .types import CellRef, ScoredTuple, TupleRef
+from .annotations import (
+    AnnotationManager,
+    AnnotationStore,
+    AnnotationRule,
+    CommandProcessor,
+    DataEditor,
+    RuleEngine,
+    propagate,
+    propagate_join,
+)
+from .meta import (
+    ConceptLearner,
+    ConceptRef,
+    Lexicon,
+    NebulaMeta,
+    Ontology,
+    ValuePattern,
+    apply_proposals,
+    infer_pattern,
+)
+from .search import (
+    InvertedValueIndex,
+    KeywordQuery,
+    KeywordSearchEngine,
+    NaiveSearch,
+    SchemaGraph,
+    SearchScope,
+)
+from .core import (
+    AnnotatedDatabaseModel,
+    SpamGuard,
+    TaskExplanation,
+    explain_task,
+    AnnotationsConnectivityGraph,
+    Assessment,
+    BoundsChoice,
+    BoundsSetting,
+    Decision,
+    DiscoveryReport,
+    HopProfile,
+    MiniDatabase,
+    Nebula,
+    SharedExecutor,
+    StabilityTracker,
+    VerificationQueue,
+    VerificationTask,
+    assess,
+    build_context_map,
+    false_negative_ratio,
+    false_positive_ratio,
+    generate_queries,
+    identify_related_tuples,
+    spreading_scope,
+)
+from .datagen import (
+    AnnotationWorkload,
+    DatasetStats,
+    collect_stats,
+    BioDatabase,
+    BioDatabaseSpec,
+    WorkloadAnnotation,
+    WorkloadSpec,
+    generate_bio_database,
+    generate_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "NebulaConfig",
+    "NEBULA_06",
+    "NEBULA_08",
+    # errors
+    "NebulaError",
+    "ConfigurationError",
+    "StorageError",
+    "MetadataError",
+    "SearchError",
+    "WorkloadError",
+    "VerificationError",
+    "CommandError",
+    # shared types
+    "TupleRef",
+    "CellRef",
+    "ScoredTuple",
+    # substrate: passive annotation engine
+    "AnnotationManager",
+    "AnnotationStore",
+    "AnnotationRule",
+    "RuleEngine",
+    "CommandProcessor",
+    "DataEditor",
+    "propagate",
+    "propagate_join",
+    # substrate: NebulaMeta
+    "NebulaMeta",
+    "ConceptRef",
+    "ConceptLearner",
+    "apply_proposals",
+    "Lexicon",
+    "Ontology",
+    "ValuePattern",
+    "infer_pattern",
+    # substrate: keyword search
+    "KeywordSearchEngine",
+    "KeywordQuery",
+    "SearchScope",
+    "SchemaGraph",
+    "InvertedValueIndex",
+    "NaiveSearch",
+    # core
+    "Nebula",
+    "DiscoveryReport",
+    "AnnotatedDatabaseModel",
+    "AnnotationsConnectivityGraph",
+    "HopProfile",
+    "StabilityTracker",
+    "MiniDatabase",
+    "SharedExecutor",
+    "VerificationQueue",
+    "VerificationTask",
+    "Decision",
+    "SpamGuard",
+    "TaskExplanation",
+    "explain_task",
+    "Assessment",
+    "BoundsSetting",
+    "BoundsChoice",
+    "assess",
+    "build_context_map",
+    "generate_queries",
+    "identify_related_tuples",
+    "spreading_scope",
+    "false_negative_ratio",
+    "false_positive_ratio",
+    # data generation
+    "BioDatabase",
+    "BioDatabaseSpec",
+    "generate_bio_database",
+    "AnnotationWorkload",
+    "WorkloadAnnotation",
+    "WorkloadSpec",
+    "generate_workload",
+    "DatasetStats",
+    "collect_stats",
+]

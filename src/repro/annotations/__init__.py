@@ -1,0 +1,41 @@
+"""The passive annotation-management substrate.
+
+Nebula is "implemented on top of an existing annotation management system"
+(Eltabakh et al., EDBT 2009) which provides end-to-end *passive*
+functionality: adding annotations, transparently storing and indexing them,
+and propagating them with query answers.  That system is not open source,
+so this package rebuilds it from its published description:
+
+* :mod:`repro.annotations.store` — SQLite-backed storage of annotations and
+  their attachments at cell / row / column / set granularity;
+* :mod:`repro.annotations.engine` — the ``AnnotationManager`` facade;
+* :mod:`repro.annotations.propagation` — annotation propagation onto
+  ``SELECT`` answers;
+* :mod:`repro.annotations.commands` — the extended-SQL command layer,
+  including the ``VERIFY|REJECT ATTACHMENT`` statement Nebula adds.
+"""
+
+from .store import AnnotationStore, Annotation, Attachment, AttachmentKind
+from .engine import AnnotationManager
+from .propagation import AnnotatedJoinRow, AnnotatedRow, propagate, propagate_join
+from .commands import CommandProcessor, CommandResult
+from .rules import AnnotationRule, RuleEngine
+from .editor import DataEditor, InsertResult
+
+__all__ = [
+    "AnnotationStore",
+    "Annotation",
+    "Attachment",
+    "AttachmentKind",
+    "AnnotationManager",
+    "AnnotatedRow",
+    "AnnotatedJoinRow",
+    "propagate",
+    "propagate_join",
+    "DataEditor",
+    "InsertResult",
+    "CommandProcessor",
+    "CommandResult",
+    "AnnotationRule",
+    "RuleEngine",
+]

@@ -1,0 +1,180 @@
+"""Extended-SQL command layer.
+
+The passive engine exposes curation functionality through SQL-like
+statements; Nebula adds one more (paper §7):
+
+``ADD ANNOTATION '<text>' ON <table> [COLUMN <col>] WHERE <predicate>``
+    the predicate-based attachment of [18, 25]: the annotation is attached
+    to every current row satisfying the predicate;
+
+``ADD ANNOTATION '<text>' ON <table> [COLUMN <col>] ROWS (<id>, ...)``
+    explicit attachment to an enumerated row set;
+
+``VERIFY ATTACHMENT <vid>`` / ``REJECT ATTACHMENT <vid>``
+    resolve a pending verification task (the paper's new statement; the
+    paper's spelling ``ATTACHEMENT`` is accepted too).
+
+``LIST PENDING``
+    report pending verification tasks.
+
+The processor is deliberately a small regex-dispatch parser: the statements
+form a fixed command language, not general SQL (data queries go through the
+DBMS directly).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+from ..errors import CommandError
+from ..types import CellRef
+from .engine import AnnotationManager
+
+_ADD_RE = re.compile(
+    r"""
+    \s*ADD\s+ANNOTATION\s+
+    '(?P<text>(?:[^']|'')*)'\s+
+    ON\s+(?P<table>\w+)
+    (?:\s+COLUMN\s+(?P<column>\w+))?
+    \s+(?:
+        WHERE\s+(?P<where>.+?)
+        |
+        ROWS\s*\(\s*(?P<rows>[\d\s,]+)\)
+    )
+    \s*;?\s*$
+    """,
+    re.IGNORECASE | re.VERBOSE | re.DOTALL,
+)
+
+_VERIFY_RE = re.compile(
+    r"\s*(?P<action>VERIFY|REJECT)\s+ATTACHE?MENT\s+(?P<vid>\d+)\s*;?\s*$",
+    re.IGNORECASE,
+)
+
+_LIST_RE = re.compile(r"\s*LIST\s+PENDING\s*;?\s*$", re.IGNORECASE)
+
+
+class VerificationResolver(Protocol):
+    """The Stage-3 hooks the command layer dispatches VERIFY/REJECT to."""
+
+    def verify(self, task_id: int) -> object: ...
+
+    def reject(self, task_id: int) -> object: ...
+
+    def pending(self) -> Sequence[object]: ...
+
+
+@dataclass
+class CommandResult:
+    """Outcome of one processed statement."""
+
+    command: str
+    #: Human-readable outcome line.
+    message: str
+    #: Ids touched by the statement (annotation id or task id).
+    ids: Tuple[int, ...] = ()
+    #: Rows returned by reporting commands such as LIST PENDING.
+    rows: Tuple = field(default_factory=tuple)
+
+
+class CommandProcessor:
+    """Parse and execute extended-SQL curation statements."""
+
+    def __init__(
+        self,
+        manager: AnnotationManager,
+        resolver: Optional[VerificationResolver] = None,
+        author: Optional[str] = None,
+    ):
+        self.manager = manager
+        self.resolver = resolver
+        self.author = author
+
+    def execute(self, statement: str) -> CommandResult:
+        """Execute one statement, returning a :class:`CommandResult`."""
+        if not statement or not statement.strip():
+            raise CommandError("empty statement")
+        match = _ADD_RE.match(statement)
+        if match:
+            return self._add_annotation(match)
+        match = _VERIFY_RE.match(statement)
+        if match:
+            return self._resolve(match)
+        if _LIST_RE.match(statement):
+            return self._list_pending()
+        raise CommandError(f"unrecognized statement: {statement.strip()[:80]!r}")
+
+    # ------------------------------------------------------------------
+
+    def _add_annotation(self, match: re.Match) -> CommandResult:
+        text = match.group("text").replace("''", "'")
+        table = match.group("table")
+        column = match.group("column")
+        targets = self._resolve_targets(
+            table, column, match.group("where"), match.group("rows")
+        )
+        annotation = self.manager.add_annotation(text, attach_to=targets, author=self.author)
+        return CommandResult(
+            command="ADD ANNOTATION",
+            message=(
+                f"annotation {annotation.annotation_id} attached to "
+                f"{len(targets)} target(s) on {table}"
+            ),
+            ids=(annotation.annotation_id,),
+        )
+
+    def _resolve_targets(
+        self,
+        table: str,
+        column: Optional[str],
+        where: Optional[str],
+        rows: Optional[str],
+    ) -> List[CellRef]:
+        canonical = self.manager.store.validate_table(table)
+        if rows is not None:
+            rowids = [int(part) for part in rows.replace(",", " ").split()]
+        else:
+            if _looks_unsafe(where or ""):
+                raise CommandError("predicate contains a disallowed token")
+            try:
+                fetched = self.manager.connection.execute(
+                    f"SELECT rowid FROM {canonical} WHERE {where}"
+                ).fetchall()
+            except Exception as exc:  # sqlite3 errors carry the detail
+                raise CommandError(f"invalid predicate: {exc}") from exc
+            rowids = [int(r[0]) for r in fetched]
+        return [CellRef(canonical, rowid, column) for rowid in rowids]
+
+    def _resolve(self, match: re.Match) -> CommandResult:
+        if self.resolver is None:
+            raise CommandError("no verification resolver registered")
+        task_id = int(match.group("vid"))
+        action = match.group("action").upper()
+        if action == "VERIFY":
+            self.resolver.verify(task_id)
+            message = f"attachment {task_id} verified and promoted"
+        else:
+            self.resolver.reject(task_id)
+            message = f"attachment {task_id} rejected and discarded"
+        return CommandResult(command=action + " ATTACHMENT", message=message, ids=(task_id,))
+
+    def _list_pending(self) -> CommandResult:
+        if self.resolver is None:
+            raise CommandError("no verification resolver registered")
+        pending = tuple(self.resolver.pending())
+        return CommandResult(
+            command="LIST PENDING",
+            message=f"{len(pending)} pending verification task(s)",
+            rows=pending,
+        )
+
+
+_UNSAFE_RE = re.compile(r";|--|\b(?:drop|delete|insert|update|attach|pragma)\b", re.IGNORECASE)
+
+
+def _looks_unsafe(predicate: str) -> bool:
+    """Reject predicates smuggling statements; curator input is trusted-ish
+    but the command layer still refuses obvious injection shapes."""
+    return bool(_UNSAFE_RE.search(predicate))

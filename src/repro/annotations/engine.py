@@ -1,0 +1,179 @@
+"""The passive annotation-manager facade.
+
+``AnnotationManager`` is the public face of the substrate engine: adding an
+annotation with its manual attachments (the annotation's *focal*), querying
+the annotations of a tuple, and enumerating co-annotation relationships —
+the raw material from which Nebula builds the ACG.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import UnknownTupleError
+from ..types import CellRef, TupleRef
+from .store import Annotation, AnnotationStore, Attachment, AttachmentKind
+
+
+class AnnotationManager:
+    """High-level API of the passive annotation engine."""
+
+    def __init__(self, connection: sqlite3.Connection):
+        self.connection = connection
+        self.store = AnnotationStore(connection)
+
+    # ------------------------------------------------------------------
+    # Adding and attaching
+    # ------------------------------------------------------------------
+
+    def add_annotation(
+        self,
+        content: str,
+        attach_to: Sequence[CellRef] = (),
+        author: Optional[str] = None,
+        verify_targets: bool = True,
+    ) -> Annotation:
+        """Insert an annotation and manually attach it to ``attach_to``.
+
+        Manual attachments are *true* edges with confidence 1.0.  With
+        ``verify_targets`` each row-level target is checked to exist.
+        """
+        annotation = self.store.insert_annotation(content, author=author)
+        for target in attach_to:
+            if verify_targets and target.rowid is not None:
+                self._require_tuple(target.tuple_ref)
+            self.store.attach(annotation.annotation_id, target, kind=AttachmentKind.TRUE)
+        return annotation
+
+    def attach_true(self, annotation_id: int, target: CellRef) -> Attachment:
+        """Manually attach an existing annotation (true edge)."""
+        return self.store.attach(annotation_id, target, kind=AttachmentKind.TRUE)
+
+    def attach_predicted(
+        self, annotation_id: int, target: CellRef, confidence: float
+    ) -> Attachment:
+        """Record a Nebula-predicted attachment (dotted edge, conf < 1)."""
+        return self.store.attach(
+            annotation_id, target, confidence=confidence, kind=AttachmentKind.PREDICTED
+        )
+
+    def attach_range(
+        self,
+        annotation_id: int,
+        table: str,
+        rowid_low: int,
+        rowid_high: int,
+        column: Optional[str] = None,
+    ) -> Attachment:
+        """Attach to a contiguous rowid range with one compact edge."""
+        return self.store.attach_range(
+            annotation_id, table, rowid_low, rowid_high, column=column
+        )
+
+    def _require_tuple(self, ref: TupleRef) -> None:
+        table = self.store.validate_table(ref.table)
+        row = self.connection.execute(
+            f"SELECT 1 FROM {table} WHERE rowid = ?", (ref.rowid,)
+        ).fetchone()
+        if row is None:
+            raise UnknownTupleError(ref.table, ref.rowid)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def annotation(self, annotation_id: int) -> Annotation:
+        return self.store.get_annotation(annotation_id)
+
+    def annotations_of_tuple(
+        self, ref: TupleRef, include_predicted: bool = False
+    ) -> List[Annotation]:
+        """All annotations attached to a tuple (row, cell, column, table)."""
+        attachments = self.store.attachments_on(ref.table, rowid=ref.rowid)
+        wanted = []
+        seen: Set[int] = set()
+        for attachment in attachments:
+            if attachment.kind is AttachmentKind.PREDICTED and not include_predicted:
+                continue
+            if attachment.annotation_id in seen:
+                continue
+            seen.add(attachment.annotation_id)
+            wanted.append(self.store.get_annotation(attachment.annotation_id))
+        return wanted
+
+    def focal_of(self, annotation_id: int) -> Tuple[TupleRef, ...]:
+        """The annotation's focal: tuples it is *manually* attached to.
+
+        Paper Definition 3.5 — only true row/cell attachments count.
+        """
+        refs: List[TupleRef] = []
+        seen: Set[TupleRef] = set()
+        for attachment in self.store.attachments_of(annotation_id):
+            if attachment.kind is not AttachmentKind.TRUE:
+                continue
+            ref = attachment.tuple_ref
+            if ref is not None and ref not in seen:
+                seen.add(ref)
+                refs.append(ref)
+        return tuple(refs)
+
+    def annotated_tuples(self) -> List[TupleRef]:
+        """Distinct tuples having at least one true attachment."""
+        seen: Set[TupleRef] = set()
+        ordered: List[TupleRef] = []
+        for _, ref in self.store.true_attachment_pairs():
+            if ref not in seen:
+                seen.add(ref)
+                ordered.append(ref)
+        return ordered
+
+    def co_annotation_index(self) -> Dict[TupleRef, Set[int]]:
+        """Map each annotated tuple to the set of its annotation ids.
+
+        This is the input from which the ACG derives its edges and weights:
+        two tuples are connected iff their annotation sets intersect.
+        """
+        index: Dict[TupleRef, Set[int]] = {}
+        for annotation_id, ref in self.store.true_attachment_pairs():
+            index.setdefault(ref, set()).add(annotation_id)
+        return index
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def promote_attachment(self, attachment_id: int) -> None:
+        """Verified prediction -> true attachment (confidence 1.0)."""
+        self.store.promote(attachment_id)
+
+    def discard_attachment(self, attachment_id: int) -> bool:
+        """Drop a rejected predicted attachment."""
+        return self.store.detach(attachment_id)
+
+    def pending_predicted(self, annotation_id: Optional[int] = None) -> List[Attachment]:
+        """All predicted attachments, optionally for one annotation."""
+        if annotation_id is not None:
+            return [
+                a
+                for a in self.store.attachments_of(annotation_id)
+                if a.kind is AttachmentKind.PREDICTED
+            ]
+        rows = self.connection.execute(
+            "SELECT attachment_id FROM _nebula_attachments WHERE kind = 'predicted'"
+        ).fetchall()
+        out: List[Attachment] = []
+        for (attachment_id,) in rows:
+            for attachment in self.store.attachments_of(
+                self._annotation_of_attachment(attachment_id)
+            ):
+                if attachment.attachment_id == attachment_id:
+                    out.append(attachment)
+        return out
+
+    def _annotation_of_attachment(self, attachment_id: int) -> int:
+        row = self.connection.execute(
+            "SELECT annotation_id FROM _nebula_attachments WHERE attachment_id = ?",
+            (attachment_id,),
+        ).fetchone()
+        return int(row[0])

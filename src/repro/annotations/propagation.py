@@ -1,0 +1,229 @@
+"""Annotation propagation onto query answers.
+
+The passive engine's signature feature (paper §1, §2): when a user runs a
+``SELECT``, each answer row arrives with the annotations that apply to it —
+row-level and cell-level annotations of that row, plus column-level and
+table-level annotations of the projected columns.
+
+:func:`propagate` implements that operator over an arbitrary single-table
+selection: it executes the query, then joins the answer with the attachment
+side table and groups the applicable annotations per row.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..types import TupleRef
+from .store import AnnotationStore, Attachment, AttachmentKind
+
+
+@dataclass(frozen=True)
+class AnnotatedRow:
+    """One answer row together with its propagated annotations."""
+
+    ref: TupleRef
+    values: Tuple
+    #: (annotation content, attachment) pairs that apply to this row.
+    annotations: Tuple[Tuple[str, Attachment], ...]
+
+
+def propagate(
+    connection: sqlite3.Connection,
+    table: str,
+    columns: Sequence[str] = ("*",),
+    where: Optional[str] = None,
+    parameters: Sequence = (),
+    include_predicted: bool = False,
+) -> List[AnnotatedRow]:
+    """Run a selection and propagate applicable annotations to each row.
+
+    Parameters mirror a simple single-table ``SELECT``: projected
+    ``columns`` (default all), an optional ``where`` clause with bound
+    ``parameters``.  Predicted (dotted) attachments are excluded unless
+    ``include_predicted`` — the passive engine only ever shows true edges,
+    while Nebula's UI also surfaces pending predictions.
+
+    The join is batched: one pass collects the answer rowids, a second pass
+    fetches every applicable attachment, then rows and annotations are
+    merged in memory — the same structure as the side-table join of the
+    original engine.
+    """
+    store = AnnotationStore(connection)
+    canonical = store.validate_table(table)
+    projected = list(columns)
+    select_list = ", ".join(projected)
+    sql = f"SELECT rowid, {select_list} FROM {canonical}"
+    if where:
+        sql += f" WHERE {where}"
+    answer = connection.execute(sql, parameters).fetchall()
+    if not answer:
+        return []
+
+    rowids = [int(r[0]) for r in answer]
+    attachments = _collect_attachments(connection, canonical, rowids, include_predicted)
+    contents = _annotation_contents(connection, attachments)
+
+    projected_columns = _resolve_projection(connection, canonical, projected)
+    rows: List[AnnotatedRow] = []
+    for raw in answer:
+        rowid = int(raw[0])
+        applicable = [
+            (contents[a.annotation_id], a)
+            for a in attachments
+            if _applies(a, rowid, projected_columns)
+        ]
+        rows.append(
+            AnnotatedRow(
+                ref=TupleRef(canonical, rowid),
+                values=tuple(raw[1:]),
+                annotations=tuple(applicable),
+            )
+        )
+    return rows
+
+
+def _collect_attachments(
+    connection: sqlite3.Connection,
+    table: str,
+    rowids: Sequence[int],
+    include_predicted: bool,
+) -> List[Attachment]:
+    placeholders = ", ".join("?" for _ in rowids)
+    kinds = "('true', 'predicted')" if include_predicted else "('true')"
+    rows = connection.execute(
+        "SELECT attachment_id, annotation_id, target_table, target_rowid, "
+        "target_rowid_hi, target_column, confidence, kind "
+        "FROM _nebula_attachments "
+        f"WHERE target_table = ? AND kind IN {kinds} "
+        f"AND (target_rowid IS NULL OR target_rowid IN ({placeholders}) "
+        "OR target_rowid_hi IS NOT NULL)",
+        [table, *rowids],
+    ).fetchall()
+    collected = [
+        Attachment(
+            attachment_id=int(r[0]),
+            annotation_id=int(r[1]),
+            table=str(r[2]),
+            rowid=None if r[3] is None else int(r[3]),
+            rowid_hi=None if r[4] is None else int(r[4]),
+            column=None if r[5] is None else str(r[5]),
+            confidence=float(r[6]),
+            kind=AttachmentKind(r[7]),
+        )
+        for r in rows
+    ]
+    wanted = set(rowids)
+    return [
+        a
+        for a in collected
+        if a.rowid is None or any(a.covers(r) for r in wanted)
+    ]
+
+
+def _annotation_contents(
+    connection: sqlite3.Connection, attachments: Sequence[Attachment]
+) -> Dict[int, str]:
+    ids = sorted({a.annotation_id for a in attachments})
+    if not ids:
+        return {}
+    placeholders = ", ".join("?" for _ in ids)
+    rows = connection.execute(
+        f"SELECT annotation_id, content FROM _nebula_annotations "
+        f"WHERE annotation_id IN ({placeholders})",
+        ids,
+    ).fetchall()
+    return {int(r[0]): str(r[1]) for r in rows}
+
+
+@dataclass(frozen=True)
+class AnnotatedJoinRow:
+    """One joined answer row with per-side propagated annotations."""
+
+    refs: Tuple[TupleRef, ...]
+    values: Tuple
+    #: (annotation content, attachment) pairs from every joined base row.
+    annotations: Tuple[Tuple[str, Attachment], ...]
+
+
+def propagate_join(
+    connection: sqlite3.Connection,
+    left_table: str,
+    right_table: str,
+    on: str,
+    where: Optional[str] = None,
+    parameters: Sequence = (),
+    include_predicted: bool = False,
+) -> List[AnnotatedJoinRow]:
+    """Propagate annotations through a two-table FK join.
+
+    The passive engine's algebra carries annotations *through* operators:
+    a joined answer row inherits the annotations of both base rows it was
+    produced from (plus their column/table-level annotations).  ``on`` is
+    the join condition with the aliases ``l`` and ``r`` (e.g.
+    ``"l.GID = r.GID"``).
+    """
+    store = AnnotationStore(connection)
+    left = store.validate_table(left_table)
+    right = store.validate_table(right_table)
+    sql = (
+        f"SELECT l.rowid, r.rowid, l.*, r.* FROM {left} l "
+        f"JOIN {right} r ON {on}"
+    )
+    if where:
+        sql += f" WHERE {where}"
+    answer = connection.execute(sql, parameters).fetchall()
+    if not answer:
+        return []
+
+    left_rowids = sorted({int(r[0]) for r in answer})
+    right_rowids = sorted({int(r[1]) for r in answer})
+    left_attachments = _collect_attachments(
+        connection, left, left_rowids, include_predicted
+    )
+    right_attachments = _collect_attachments(
+        connection, right, right_rowids, include_predicted
+    )
+    contents = _annotation_contents(
+        connection, [*left_attachments, *right_attachments]
+    )
+
+    rows: List[AnnotatedJoinRow] = []
+    for raw in answer:
+        left_rowid, right_rowid = int(raw[0]), int(raw[1])
+        applicable = [
+            (contents[a.annotation_id], a)
+            for a in left_attachments
+            if _applies(a, left_rowid, None)
+        ] + [
+            (contents[a.annotation_id], a)
+            for a in right_attachments
+            if _applies(a, right_rowid, None)
+        ]
+        rows.append(
+            AnnotatedJoinRow(
+                refs=(TupleRef(left, left_rowid), TupleRef(right, right_rowid)),
+                values=tuple(raw[2:]),
+                annotations=tuple(applicable),
+            )
+        )
+    return rows
+
+
+def _resolve_projection(
+    connection: sqlite3.Connection, table: str, projected: Sequence[str]
+) -> Optional[frozenset]:
+    """Casefolded projected column names, or None when projecting ``*``."""
+    if any(c.strip() == "*" for c in projected):
+        return None
+    return frozenset(c.strip().casefold() for c in projected)
+
+
+def _applies(attachment: Attachment, rowid: int, projected: Optional[frozenset]) -> bool:
+    if not attachment.covers(rowid):
+        return False
+    if attachment.column is not None and projected is not None:
+        return attachment.column.casefold() in projected
+    return True

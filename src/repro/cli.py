@@ -1,0 +1,213 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro generate --db curated.db --genes 400 --publications 2000
+    python -m repro stats --db curated.db
+    python -m repro annotate --db curated.db --text "gene JW0014 matters" \\
+        --attach Gene:3
+    python -m repro pending --db curated.db
+    python -m repro verify --db curated.db --task 7
+    python -m repro demo
+
+``generate`` persists a synthetic curated database (plus its NebulaMeta
+concepts, rebuilt on open from the stored schema); the other commands
+operate on it through a fresh Nebula engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sqlite3
+import sys
+from typing import List, Optional, Sequence
+
+from .config import NebulaConfig
+from .core.nebula import Nebula
+from .datagen.biodb import BioDatabaseSpec, generate_bio_database, _build_meta
+from .datagen.stats import collect_stats
+from .datagen.workload import WorkloadSpec, generate_workload
+from .types import TupleRef
+
+
+def _open_engine(path: str, epsilon: float) -> Nebula:
+    connection = sqlite3.connect(path)
+    meta = _build_meta(connection)
+    aliases = {
+        "genes": ("Gene", None),
+        "proteins": ("Protein", None),
+        "id": ("Gene", "GID"),
+        "accession": ("Protein", "PID"),
+    }
+    return Nebula(connection, meta, NebulaConfig(epsilon=epsilon), aliases=aliases)
+
+
+def _parse_ref(text: str) -> TupleRef:
+    table, _, rowid = text.partition(":")
+    if not rowid.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected TABLE:ROWID (e.g. Gene:3), got {text!r}"
+        )
+    return TupleRef(table, int(rowid))
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    spec = BioDatabaseSpec(
+        genes=args.genes,
+        proteins=args.proteins,
+        publications=args.publications,
+        community_size=args.community_size,
+        seed=args.seed,
+    )
+    connection = sqlite3.connect(args.db)
+    db = generate_bio_database(spec, connection=connection)
+    connection.commit()
+    print(
+        f"generated {args.db}: {len(db.genes)} genes, {len(db.proteins)} "
+        f"proteins, {db.manager.store.count_annotations()} publication-annotations"
+    )
+    if args.workload:
+        workload = generate_workload(db, WorkloadSpec(seed=args.seed))
+        with open(args.workload, "w") as handle:
+            json.dump(workload.to_dict(), handle, indent=2)
+        print(f"workload oracle written to {args.workload} ({len(workload)} annotations)")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    connection = sqlite3.connect(args.db)
+    stats = collect_stats(connection)
+    for line in stats.lines():
+        print(line)
+    return 0
+
+
+def cmd_annotate(args: argparse.Namespace) -> int:
+    nebula = _open_engine(args.db, args.epsilon)
+    attach = list(args.attach or [])
+    report = nebula.insert_annotation(args.text, attach_to=attach, author=args.author)
+    nebula.connection.commit()
+    print(f"annotation {report.annotation_id} inserted ({report.mode} search)")
+    print(f"queries: {[q.keywords for q in report.generation.queries]}")
+    if report.spam_verdict is not None and report.spam_verdict.is_spam:
+        print(f"QUARANTINED as spam ({report.spam_verdict.reason})")
+        return 1
+    for task in report.tasks:
+        print(
+            f"  task {task.task_id}: {task.ref} "
+            f"confidence={task.confidence:.2f} -> {task.decision.value}"
+        )
+    return 0
+
+
+def cmd_pending(args: argparse.Namespace) -> int:
+    nebula = _open_engine(args.db, args.epsilon)
+    pending = nebula.pending_tasks()
+    if not pending:
+        print("no pending verification tasks")
+        return 0
+    from .core.explain import explain_task
+
+    for task in pending:
+        explanation = explain_task(nebula.manager, task)
+        for line in explanation.lines():
+            print(line)
+        print()
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    nebula = _open_engine(args.db, args.epsilon)
+    statement = ("REJECT" if args.reject else "VERIFY") + f" ATTACHMENT {args.task}"
+    result = nebula.execute_command(statement)
+    nebula.connection.commit()
+    print(result.message)
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    db = generate_bio_database(
+        BioDatabaseSpec(genes=100, proteins=60, publications=400, seed=args.seed)
+    )
+    nebula = Nebula(
+        db.connection, db.meta, NebulaConfig(epsilon=0.6), aliases=db.aliases
+    )
+    gene, other = db.genes[0], db.genes[1]
+    text = f"From the exp, this gene is correlated to gene {other.gid}."
+    print(f"inserting: {text!r} (attached to {gene.gid})")
+    report = nebula.insert_annotation(
+        text, attach_to=[db.resolve("gene", gene.gid)], author="demo"
+    )
+    for task in report.tasks:
+        print(f"  {task.ref} confidence={task.confidence:.2f} -> {task.decision.value}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nebula: proactive annotation management (SIGMOD 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic curated database")
+    generate.add_argument("--db", required=True, help="output SQLite file")
+    generate.add_argument("--genes", type=int, default=240)
+    generate.add_argument("--proteins", type=int, default=140)
+    generate.add_argument("--publications", type=int, default=1400)
+    generate.add_argument("--community-size", type=int, default=10)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--workload", help="also write the workload oracle JSON here")
+    generate.set_defaults(func=cmd_generate)
+
+    stats = sub.add_parser("stats", help="summarize an annotated database")
+    stats.add_argument("--db", required=True)
+    stats.set_defaults(func=cmd_stats)
+
+    annotate = sub.add_parser("annotate", help="insert an annotation proactively")
+    annotate.add_argument("--db", required=True)
+    annotate.add_argument("--text", required=True)
+    annotate.add_argument(
+        "--attach", action="append", metavar="TABLE:ROWID", type=_parse_ref,
+        help="manual attachment target (repeatable)",
+    )
+    annotate.add_argument("--author")
+    annotate.add_argument("--epsilon", type=float, default=0.6)
+    annotate.set_defaults(func=cmd_annotate)
+
+    pending = sub.add_parser("pending", help="list pending verification tasks")
+    pending.add_argument("--db", required=True)
+    pending.add_argument("--epsilon", type=float, default=0.6)
+    pending.set_defaults(func=cmd_pending)
+
+    verify = sub.add_parser("verify", help="resolve a pending verification task")
+    verify.add_argument("--db", required=True)
+    verify.add_argument("--task", type=int, required=True)
+    verify.add_argument("--reject", action="store_true", help="reject instead of verify")
+    verify.add_argument("--epsilon", type=float, default=0.6)
+    verify.set_defaults(func=cmd_verify)
+
+    demo = sub.add_parser("demo", help="run a tiny in-memory end-to-end demo")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

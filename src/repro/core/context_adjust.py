@@ -1,0 +1,207 @@
+"""Context-based weight adjustment (paper §5.2.2, Figure 17).
+
+Three context match types, strongest first:
+
+* **Type-1** — {table, column, value} within one influence range, mutually
+  consistent: the column belongs to the table and the value belongs to
+  that column (``{"gene", "Id", "JW0018"}``);
+* **Type-2** — {table, value}: a value of some column of the table
+  (``"gene yaaB"``);
+* **Type-3** — {column, value}: a value of exactly that column.
+
+For each word ``w`` and each of its mappings, the adjuster looks for the
+strongest match type formable with the mappings of the words inside
+``w``'s influence range (±α words).  Only the strongest formable type
+rewards the mapping: each distinct match of that type boosts the weight by
+β1 / β2 / β3 percent respectively (β1 > β2 > β3).  Per the paper's
+Figure 17 the boosted weights are *not* clamped — query weights are
+normalized to [0, 1] at the end of query generation, and clamping here
+would compress the reward of strong mappings relative to weak ones.
+
+Rewards are computed against a snapshot of the incoming weights, so the
+outcome is independent of word iteration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import NebulaConfig
+from .signature_maps import (
+    SHAPE_COLUMN,
+    SHAPE_TABLE,
+    SHAPE_VALUE,
+    ContextMap,
+    MapEntry,
+    WeightedMapping,
+)
+
+
+class MatchType(Enum):
+    TYPE1 = 1
+    TYPE2 = 2
+    TYPE3 = 3
+
+
+@dataclass(frozen=True)
+class MatchReport:
+    """How one mapping was rewarded (kept for explainability/tests)."""
+
+    position: int
+    mapping_description: str
+    match_type: Optional[MatchType]
+    match_count: int
+    old_weight: float
+    new_weight: float
+
+
+def adjust_context_weights(
+    context_map: ContextMap, config: NebulaConfig
+) -> List[MatchReport]:
+    """Run the ContextBasedAdjustment() function over the map in place.
+
+    Returns per-mapping reports of what was rewarded.
+    """
+    reports: List[MatchReport] = []
+    # Snapshot neighbor mappings first: rewards must not feed each other.
+    plan: List[Tuple[WeightedMapping, Optional[MatchType], int, int]] = []
+    for position in context_map.emphasized_positions():
+        entry = context_map.entries[position]
+        neighbors = context_map.neighbors(position, config.alpha)
+        for mapping in entry.mappings:
+            match_type, count = _best_match(mapping, neighbors)
+            plan.append((mapping, match_type, count, position))
+    for mapping, match_type, count, position in plan:
+        old_weight = mapping.weight
+        if match_type is not None and count > 0:
+            beta = {
+                MatchType.TYPE1: config.beta1,
+                MatchType.TYPE2: config.beta2,
+                MatchType.TYPE3: config.beta3,
+            }[match_type]
+            mapping.weight = mapping.weight * (1.0 + beta * count)
+        reports.append(
+            MatchReport(
+                position=position,
+                mapping_description=mapping.describe(),
+                match_type=match_type,
+                match_count=count,
+                old_weight=old_weight,
+                new_weight=mapping.weight,
+            )
+        )
+    return reports
+
+
+# ----------------------------------------------------------------------
+
+
+def _best_match(
+    mapping: WeightedMapping, neighbors: Sequence[MapEntry]
+) -> Tuple[Optional[MatchType], int]:
+    """Strongest match type formable for ``mapping`` and its match count."""
+    count = _count_type1(mapping, neighbors)
+    if count:
+        return MatchType.TYPE1, count
+    count = _count_type2(mapping, neighbors)
+    if count:
+        return MatchType.TYPE2, count
+    count = _count_type3(mapping, neighbors)
+    if count:
+        return MatchType.TYPE3, count
+    return None, 0
+
+
+def _neighbor_mappings(neighbors: Sequence[MapEntry], shape: str):
+    for entry in neighbors:
+        for mapping in entry.mappings:
+            if mapping.shape == shape:
+                yield entry.position, mapping
+
+
+def _count_type1(mapping: WeightedMapping, neighbors: Sequence[MapEntry]) -> int:
+    """{table, column, value} — column in table, value in that column."""
+    if mapping.shape == SHAPE_VALUE:
+        tables = {
+            p
+            for p, m in _neighbor_mappings(neighbors, SHAPE_TABLE)
+            if _same(m.table, mapping.table)
+        }
+        columns = {
+            p
+            for p, m in _neighbor_mappings(neighbors, SHAPE_COLUMN)
+            if _same(m.table, mapping.table) and _same(m.column, mapping.column)
+        }
+        return len(tables) * len(columns)
+    if mapping.shape == SHAPE_TABLE:
+        count = 0
+        column_positions = [
+            (p, m)
+            for p, m in _neighbor_mappings(neighbors, SHAPE_COLUMN)
+            if _same(m.table, mapping.table)
+        ]
+        for _, column_mapping in column_positions:
+            count += sum(
+                1
+                for _, value_mapping in _neighbor_mappings(neighbors, SHAPE_VALUE)
+                if _same(value_mapping.table, mapping.table)
+                and _same(value_mapping.column, column_mapping.column)
+            )
+        return count
+    # SHAPE_COLUMN
+    count = 0
+    has_table = any(
+        _same(m.table, mapping.table)
+        for _, m in _neighbor_mappings(neighbors, SHAPE_TABLE)
+    )
+    if not has_table:
+        return 0
+    count = sum(
+        1
+        for _, value_mapping in _neighbor_mappings(neighbors, SHAPE_VALUE)
+        if _same(value_mapping.table, mapping.table)
+        and _same(value_mapping.column, mapping.column)
+    )
+    return count
+
+
+def _count_type2(mapping: WeightedMapping, neighbors: Sequence[MapEntry]) -> int:
+    """{table, value} — the value belongs to some column of the table."""
+    if mapping.shape == SHAPE_VALUE:
+        return sum(
+            1
+            for _, m in _neighbor_mappings(neighbors, SHAPE_TABLE)
+            if _same(m.table, mapping.table)
+        )
+    if mapping.shape == SHAPE_TABLE:
+        return sum(
+            1
+            for _, m in _neighbor_mappings(neighbors, SHAPE_VALUE)
+            if _same(m.table, mapping.table)
+        )
+    return 0
+
+
+def _count_type3(mapping: WeightedMapping, neighbors: Sequence[MapEntry]) -> int:
+    """{column, value} — the value belongs to exactly that column."""
+    if mapping.shape == SHAPE_VALUE:
+        return sum(
+            1
+            for _, m in _neighbor_mappings(neighbors, SHAPE_COLUMN)
+            if _same(m.table, mapping.table) and _same(m.column, mapping.column)
+        )
+    if mapping.shape == SHAPE_COLUMN:
+        return sum(
+            1
+            for _, m in _neighbor_mappings(neighbors, SHAPE_VALUE)
+            if _same(m.table, mapping.table) and _same(m.column, mapping.column)
+        )
+    return 0
+
+
+def _same(a: Optional[str], b: Optional[str]) -> bool:
+    if a is None or b is None:
+        return a is b
+    return a.casefold() == b.casefold()

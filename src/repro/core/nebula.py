@@ -1,0 +1,254 @@
+"""The Nebula engine facade: Stages 0-3 wired end to end (Figure 16).
+
+:class:`Nebula` sits on top of the passive annotation manager and the
+keyword-search engine.  Its lifecycle per new annotation:
+
+* **Stage 0** — store the annotation, establish its focal (the manual
+  attachments), update the ACG and the stability tracker;
+* **Stage 1** — generate weighted keyword queries from the text;
+* **Stage 2** — execute them: full-database search, or — once the ACG is
+  stable — the approximate focal-based spreading search over the K-hop
+  mini database; apply the focal-based confidence adjustment; optionally
+  use the shared multi-query executor;
+* **Stage 3** — triage the candidates into auto-accept / pending /
+  auto-reject verification tasks.
+
+``analyze`` runs Stages 1-2 only, with no persistence — the probe the
+benchmarks and the bounds-tuning algorithm use.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..annotations.commands import CommandProcessor, CommandResult
+from ..annotations.engine import AnnotationManager
+from ..config import NebulaConfig
+from ..meta.repository import NebulaMeta
+from ..search.engine import KeywordSearchEngine, SearchScope
+from ..types import CellRef, ScoredTuple, TupleRef
+from .acg import AnnotationsConnectivityGraph, HopProfile, StabilityTracker
+from .execution import IdentifiedTuples, identify_related_tuples
+from .query_generation import QueryGenerationResult, generate_queries
+from .shared_execution import SharedExecutor
+from .spam import SpamGuard, SpamVerdict, count_searchable_tuples
+from .spreading import select_radius, spreading_scope
+from .verification import VerificationQueue, VerificationTask
+
+
+@dataclass
+class DiscoveryReport:
+    """Everything one annotation's pass through the pipeline produced."""
+
+    text: str
+    focal: Tuple[TupleRef, ...]
+    generation: QueryGenerationResult
+    identified: IdentifiedTuples
+    #: ``"full"`` or ``"spreading"``.
+    mode: str
+    #: Radius used by the spreading search (None for full search).
+    radius: Optional[int] = None
+    #: Number of tuples in the restricted scope (None for full search).
+    scope_size: Optional[int] = None
+    annotation_id: Optional[int] = None
+    tasks: List[VerificationTask] = field(default_factory=list)
+    #: Set when the spam guard quarantined the annotation (no triage ran).
+    spam_verdict: Optional[SpamVerdict] = None
+    elapsed: float = 0.0
+
+    @property
+    def candidates(self) -> List[ScoredTuple]:
+        return self.identified.tuples
+
+    @property
+    def query_count(self) -> int:
+        return len(self.generation.queries)
+
+
+class Nebula:
+    """The proactive annotation-management engine."""
+
+    def __init__(
+        self,
+        connection: sqlite3.Connection,
+        meta: NebulaMeta,
+        config: Optional[NebulaConfig] = None,
+        aliases: Optional[Dict[str, Tuple[str, Optional[str]]]] = None,
+        build_acg: bool = True,
+    ) -> None:
+        self.connection = connection
+        self.meta = meta
+        self.config = config or NebulaConfig()
+        self.manager = AnnotationManager(connection)
+        self.engine = KeywordSearchEngine(
+            connection,
+            searchable_columns=self._searchable_columns(),
+            aliases=aliases,
+            lexicon=meta.lexicon,
+        )
+        self.acg = (
+            AnnotationsConnectivityGraph.build_from_manager(self.manager)
+            if build_acg
+            else AnnotationsConnectivityGraph()
+        )
+        self.profile = HopProfile()
+        self.stability = StabilityTracker(
+            batch_size=self.config.batch_size, mu=self.config.stability_mu
+        )
+        self.queue = VerificationQueue(self.manager, acg=self.acg, profile=self.profile)
+        self.commands = CommandProcessor(self.manager, resolver=self.queue)
+        self.executor = SharedExecutor(self.engine)
+        self.spam_guard = SpamGuard()
+        self._searchable_tuple_count = count_searchable_tuples(
+            connection, [table for table, _ in self._searchable_columns()]
+        )
+
+    def _searchable_columns(self) -> List[Tuple[str, str]]:
+        columns: List[Tuple[str, str]] = []
+        for concept in self.meta.concepts:
+            for column in sorted(
+                concept.referencing_columns, key=lambda c: (c.table, c.column)
+            ):
+                pair = (column.table, column.column)
+                if pair not in columns:
+                    columns.append(pair)
+        return columns
+
+    # ------------------------------------------------------------------
+    # Stages 1-2 (no persistence)
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        text: str,
+        focal: Sequence[TupleRef] = (),
+        use_spreading: Optional[bool] = None,
+        radius: Optional[int] = None,
+        shared: Optional[bool] = None,
+    ) -> DiscoveryReport:
+        """Generate queries and identify candidate tuples for ``text``.
+
+        ``use_spreading`` defaults to the ACG stability flag (the paper's
+        trigger); ``radius`` defaults to the profile-guided selection;
+        ``shared`` defaults to the config's shared-execution switch.
+        """
+        started = time.perf_counter()
+        focal = tuple(focal)
+        generation = generate_queries(text, self.meta, self.config)
+
+        spreading = (
+            use_spreading if use_spreading is not None else self.stability.stable
+        )
+        spreading = spreading and bool(focal)
+        scope: Optional[SearchScope] = None
+        mini = None
+        chosen_radius: Optional[int] = None
+        if spreading:
+            chosen_radius = radius or select_radius(
+                self.profile, self.config.target_recall, self.config.spreading_hops
+            )
+            scope, mini = spreading_scope(
+                self.connection, self.acg, focal, chosen_radius
+            )
+        use_shared = shared if shared is not None else self.config.shared_execution
+        try:
+            identified = identify_related_tuples(
+                generation.queries,
+                self.engine,
+                scope=scope,
+                acg=self.acg if self.config.focal_adjustment else None,
+                focal=focal,
+                executor=self.executor if use_shared else None,
+                focal_mode=self.config.focal_mode,
+                focal_max_hops=self.config.focal_max_hops,
+            )
+        finally:
+            if mini is not None:
+                mini.drop()
+        return DiscoveryReport(
+            text=text,
+            focal=focal,
+            generation=generation,
+            identified=identified,
+            mode="spreading" if spreading else "full",
+            radius=chosen_radius,
+            scope_size=scope.size() if scope is not None else None,
+            elapsed=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # Full pipeline (Stages 0-3, persisted)
+    # ------------------------------------------------------------------
+
+    def insert_annotation(
+        self,
+        text: str,
+        attach_to: Sequence[TupleRef] = (),
+        author: Optional[str] = None,
+        use_spreading: Optional[bool] = None,
+        radius: Optional[int] = None,
+    ) -> DiscoveryReport:
+        """Insert a new annotation and proactively discover its missing
+        attachments; predictions are triaged into verification tasks."""
+        started = time.perf_counter()
+        focal = tuple(attach_to)
+        annotation = self.manager.add_annotation(
+            text,
+            attach_to=[CellRef(r.table, r.rowid) for r in focal],
+            author=author,
+        )
+        edges_before = self.acg.edge_count
+        new_edges = 0
+        for ref in focal:
+            new_edges += self.acg.add_attachment(annotation.annotation_id, ref)
+
+        report = self.analyze(
+            text, focal=focal, use_spreading=use_spreading, radius=radius
+        )
+        report.annotation_id = annotation.annotation_id
+        verdict = self.spam_guard.screen(
+            report.candidates, self._searchable_tuple_count
+        )
+        if verdict.is_spam:
+            # Footnote-1 guard: a spam-like annotation is quarantined —
+            # its focal stays, but no predicted attachments are created.
+            report.spam_verdict = verdict
+            self.stability.record_annotation(
+                attachments=len(focal), new_edges=new_edges
+            )
+            report.elapsed = time.perf_counter() - started
+            return report
+        report.tasks = self.queue.triage(
+            annotation.annotation_id,
+            report.candidates,
+            self.config.beta_lower,
+            self.config.beta_upper,
+            focal=focal,
+        )
+        accepted = sum(1 for t in report.tasks if t.decision.is_accepted)
+        total_new_edges = new_edges + (self.acg.edge_count - edges_before - new_edges)
+        self.stability.record_annotation(
+            attachments=len(focal) + accepted, new_edges=total_new_edges
+        )
+        report.elapsed = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------
+    # Stage-3 passthroughs
+    # ------------------------------------------------------------------
+
+    def verify_attachment(self, task_id: int) -> VerificationTask:
+        return self.queue.verify(task_id)
+
+    def reject_attachment(self, task_id: int) -> VerificationTask:
+        return self.queue.reject(task_id)
+
+    def pending_tasks(self, annotation_id: Optional[int] = None) -> List[VerificationTask]:
+        return self.queue.pending(annotation_id)
+
+    def execute_command(self, statement: str) -> CommandResult:
+        """Run one extended-SQL statement (ADD ANNOTATION / VERIFY / ...)."""
+        return self.commands.execute(statement)

@@ -1,0 +1,140 @@
+"""Shared execution of the SQL queries of multiple keyword queries (§6).
+
+The queries generated from one annotation are executed as a *group*
+instead of in isolation, exploiting two kinds of sharing:
+
+* **deduplication** — different keyword queries frequently compile to the
+  same SQL (e.g. two Type-2/Type-3 variants probing the same column for
+  the same value); identical statements run once;
+* **batching** — single-condition probes of the same column (the dominant
+  query shape: ``WHERE Gene.GID = 'JW0014'``) merge into one ``IN``-list
+  statement whose answer is distributed back to the member queries.
+
+Both preserve exactly the per-query answer sets of isolated execution —
+the paper reports "around 40% to 50% speedup ... while producing the same
+number of output tuples" (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..search.engine import KeywordQuery, KeywordSearchEngine, SearchResult, SearchScope
+from ..search.sqlgen import GeneratedSQL
+from ..types import ScoredTuple, TupleRef
+
+
+@dataclass
+class SharedExecutionStats:
+    """Execution accounting (how much sharing happened)."""
+
+    total_sql: int = 0
+    executed_statements: int = 0
+    batched_statements: int = 0
+
+    @property
+    def saved_statements(self) -> int:
+        return self.total_sql - self.executed_statements
+
+
+class SharedExecutor:
+    """Executes a group of keyword queries with cross-query sharing."""
+
+    def __init__(self, engine: KeywordSearchEngine) -> None:
+        self.engine = engine
+        self.last_stats = SharedExecutionStats()
+
+    # ------------------------------------------------------------------
+
+    def search_all(
+        self,
+        queries: Sequence[KeywordQuery],
+        scope: Optional[SearchScope] = None,
+    ) -> Dict[str, SearchResult]:
+        """Per-query results identical to isolated ``engine.search`` calls."""
+        generated: Dict[str, Tuple[KeywordQuery, List[GeneratedSQL]]] = {}
+        for query in queries:
+            generated[query.describe()] = (query, self.engine.generate(query, scope))
+
+        cache = self._execute_shared(
+            [sql for _, sqls in generated.values() for sql in sqls], scope
+        )
+
+        results: Dict[str, SearchResult] = {}
+        for label, (query, sqls) in generated.items():
+            best: Dict[TupleRef, float] = {}
+            for sql_query in sqls:
+                for rowid in cache[sql_query.signature]:
+                    ref = TupleRef(sql_query.target_table, rowid)
+                    if sql_query.confidence > best.get(ref, 0.0):
+                        best[ref] = sql_query.confidence
+            tuples = [
+                ScoredTuple(ref=ref, confidence=conf, provenance=(label,))
+                for ref, conf in sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
+            ]
+            results[label] = SearchResult(query=query, tuples=tuples, sql_queries=sqls)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _execute_shared(
+        self, sqls: Sequence[GeneratedSQL], scope: Optional[SearchScope]
+    ) -> Dict[Tuple, List[int]]:
+        stats = SharedExecutionStats(total_sql=len(sqls))
+        unique: Dict[Tuple, GeneratedSQL] = {}
+        for sql_query in sqls:
+            unique.setdefault(sql_query.signature, sql_query)
+
+        cache: Dict[Tuple, List[int]] = {}
+        batches: Dict[Tuple[str, str], List[GeneratedSQL]] = {}
+        for signature, sql_query in unique.items():
+            if sql_query.is_single_local_condition:
+                condition = sql_query.conditions[0]
+                key = (condition.table.casefold(), condition.column.casefold())
+                batches.setdefault(key, []).append(sql_query)
+            else:
+                cache[signature] = self.engine.execute_sql(sql_query)
+                stats.executed_statements += 1
+
+        for (table_key, column_key), members in batches.items():
+            if len(members) == 1:
+                member = members[0]
+                cache[member.signature] = self.engine.execute_sql(member)
+                stats.executed_statements += 1
+                continue
+            self._execute_batch(members, scope, cache)
+            stats.executed_statements += 1
+            stats.batched_statements += 1
+
+        self.last_stats = stats
+        return cache
+
+    def _execute_batch(
+        self,
+        members: Sequence[GeneratedSQL],
+        scope: Optional[SearchScope],
+        cache: Dict[Tuple, List[int]],
+    ) -> None:
+        """One IN-list statement answering every member probe."""
+        condition = members[0].conditions[0]
+        table, column = condition.table, condition.column
+        values = sorted({m.conditions[0].value for m in members}, key=str.casefold)
+        placeholders = ", ".join("?" for _ in values)
+        physical = table
+        if scope is not None:
+            physical = scope.physical.get(table.casefold(), table)
+        sql = (
+            f"SELECT rowid, {column} FROM {physical} "
+            f"WHERE {column} COLLATE NOCASE IN ({placeholders})"
+        )
+        if scope is not None and physical == table:
+            fragment = scope.sql_filters().get(table.casefold())
+            if fragment:
+                sql += f" AND {fragment}"
+        by_value: Dict[str, List[int]] = {}
+        for rowid, value in self.engine.connection.execute(sql, values):
+            by_value.setdefault(str(value).casefold(), []).append(int(rowid))
+        for member in members:
+            wanted = member.conditions[0].value.casefold()
+            cache[member.signature] = list(by_value.get(wanted, ()))

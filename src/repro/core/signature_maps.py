@@ -1,0 +1,199 @@
+"""Signature-map construction (paper §5.2.1, Figure 4, Steps 1-3).
+
+From an annotation's token sequence and the NebulaMeta repository we build:
+
+* the **Concept-Map** — words likely referencing a table name (rectangle)
+  or a column name (triangle) of the ConceptRefs concepts, weighted by
+  ``p(w, c)``;
+* the **Value-Map** — words likely being a *value* of a referencing
+  column (hexagon), weighted by ``d(w, c)``;
+* the **Context-Map** — the positional overlay of the two, on which the
+  context-based weight adjustment and query generation operate.
+
+A word is admitted to a map only when at least one of its mappings scores
+at or above the cutoff threshold ε; mappings below ε are dropped (the
+paper's "ignored and replaced with '-'").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..meta.repository import ConceptMapping, NebulaMeta, ValueMapping
+from ..utils.tokenize import Token, tokenize
+
+#: Shape tags matching the paper's figures.
+SHAPE_TABLE = "table"  # rectangle
+SHAPE_COLUMN = "column"  # triangle
+SHAPE_VALUE = "value"  # hexagon
+
+
+@dataclass
+class WeightedMapping:
+    """One candidate mapping of one word, with an adjustable weight.
+
+    ``weight`` starts as the repository's estimate (p(w, c) or d(w, c))
+    and is later boosted by the context-based adjustment.
+    """
+
+    shape: str
+    table: str
+    column: Optional[str]
+    weight: float
+    #: Evidence labels carried into verification-task evidence.
+    evidence: Tuple[str, ...] = ()
+
+    @property
+    def is_concept(self) -> bool:
+        return self.shape in (SHAPE_TABLE, SHAPE_COLUMN)
+
+    def describe(self) -> str:
+        target = self.table if self.column is None else f"{self.table}.{self.column}"
+        return f"{self.shape}:{target}@{self.weight:.2f}"
+
+
+@dataclass
+class MapEntry:
+    """All surviving mappings of one emphasized word."""
+
+    token: Token
+    mappings: List[WeightedMapping] = field(default_factory=list)
+
+    @property
+    def position(self) -> int:
+        return self.token.position
+
+    def best(self) -> Optional[WeightedMapping]:
+        """The highest-weight mapping (ties broken toward concepts)."""
+        if not self.mappings:
+            return None
+        return max(
+            self.mappings,
+            key=lambda m: (m.weight, m.is_concept, m.shape),
+        )
+
+    def shapes(self) -> Tuple[str, ...]:
+        return tuple(sorted({m.shape for m in self.mappings}))
+
+
+@dataclass
+class ContextMap:
+    """The overlay of the concept and value maps (Figure 4(b), Step 3)."""
+
+    tokens: List[Token]
+    entries: Dict[int, MapEntry]
+
+    def entry_at(self, position: int) -> Optional[MapEntry]:
+        return self.entries.get(position)
+
+    def emphasized_positions(self) -> List[int]:
+        return sorted(self.entries)
+
+    def neighbors(self, position: int, alpha: int) -> List[MapEntry]:
+        """Emphasized entries within the ±alpha influence range."""
+        found = []
+        for p in range(position - alpha, position + alpha + 1):
+            if p == position:
+                continue
+            entry = self.entries.get(p)
+            if entry is not None:
+                found.append(entry)
+        return found
+
+    def render(self) -> str:
+        """Debug rendering: emphasized words keep shapes, others show '-'."""
+        parts = []
+        for token in self.tokens:
+            entry = self.entries.get(token.position)
+            if entry is None:
+                parts.append("-")
+            else:
+                shapes = "/".join(entry.shapes())
+                parts.append(f"{token.cleaned}[{shapes}]")
+        return " ".join(parts)
+
+
+def build_concept_map(
+    tokens: Sequence[Token], meta: NebulaMeta, epsilon: float
+) -> Dict[int, MapEntry]:
+    """Step 1: the Concept-Map — words mapping to table / column names."""
+    entries: Dict[int, MapEntry] = {}
+    for token in tokens:
+        mappings = [
+            _from_concept(m)
+            for m in meta.concept_mappings(token.word)
+            if m.score >= epsilon
+        ]
+        if mappings:
+            entries[token.position] = MapEntry(token=token, mappings=mappings)
+    return entries
+
+
+def build_value_map(
+    tokens: Sequence[Token], meta: NebulaMeta, epsilon: float
+) -> Dict[int, MapEntry]:
+    """Step 2: the Value-Map — words mapping to column value domains.
+
+    Pattern evidence is case-sensitive, so matching runs on the cleaned
+    (case-preserving) surface form.
+    """
+    entries: Dict[int, MapEntry] = {}
+    for token in tokens:
+        mappings = [
+            _from_value(m)
+            for m in meta.value_mappings(token.cleaned)
+            if m.score >= epsilon
+        ]
+        if mappings:
+            entries[token.position] = MapEntry(token=token, mappings=mappings)
+    return entries
+
+
+def overlay_maps(
+    tokens: Sequence[Token],
+    concept_entries: Dict[int, MapEntry],
+    value_entries: Dict[int, MapEntry],
+) -> ContextMap:
+    """Step 3: overlay the two maps positionally into the Context-Map."""
+    merged: Dict[int, MapEntry] = {}
+    for position in set(concept_entries) | set(value_entries):
+        token = None
+        mappings: List[WeightedMapping] = []
+        if position in concept_entries:
+            token = concept_entries[position].token
+            mappings.extend(concept_entries[position].mappings)
+        if position in value_entries:
+            token = value_entries[position].token
+            mappings.extend(value_entries[position].mappings)
+        merged[position] = MapEntry(token=token, mappings=mappings)
+    return ContextMap(tokens=list(tokens), entries=merged)
+
+
+def build_context_map(text: str, meta: NebulaMeta, epsilon: float) -> ContextMap:
+    """Convenience: tokenize and run Steps 1-3 in one call."""
+    tokens = tokenize(text)
+    concept_entries = build_concept_map(tokens, meta, epsilon)
+    value_entries = build_value_map(tokens, meta, epsilon)
+    return overlay_maps(tokens, concept_entries, value_entries)
+
+
+def _from_concept(mapping: ConceptMapping) -> WeightedMapping:
+    shape = SHAPE_TABLE if mapping.kind == "table" else SHAPE_COLUMN
+    return WeightedMapping(
+        shape=shape,
+        table=mapping.table,
+        column=mapping.column,
+        weight=mapping.score,
+        evidence=(f"concept:{mapping.concept}",),
+    )
+
+
+def _from_value(mapping: ValueMapping) -> WeightedMapping:
+    return WeightedMapping(
+        shape=SHAPE_VALUE,
+        table=mapping.table,
+        column=mapping.column,
+        weight=mapping.score,
+        evidence=mapping.evidence,
+    )

@@ -1,0 +1,54 @@
+"""Synthetic curated bio-database and annotation workloads.
+
+The paper evaluates on an 18 GB UniProt extract (Gene, Protein, and
+Publication tables).  That dataset is unavailable offline, so this package
+generates a *synthetic equivalent* (see DESIGN.md, "Substitutions"):
+
+* the same schema shape and FK-PK relationships (Protein N:1 Gene,
+  Protein N:M Publication);
+* UniProt-style rigid identifier schemes (``JW####`` gene ids,
+  3-lowercase+1-uppercase gene names, ``P#####`` protein accessions) so
+  pattern inference and pattern matching behave as in the paper;
+* publications whose abstracts *embed controlled numbers of references*
+  to gene/protein tuples, with per-publication ground truth — the oracle
+  that stands in for the paper's manual verification;
+* community-structured co-citation, so references cluster around an
+  annotation's focal in the ACG, giving the hop-distance profile its
+  decreasing shape (Figure 7).
+
+:mod:`repro.datagen.workload` carves the paper's workload out of this
+world: the ``L^m`` size groups, ``L_{i-j}`` embedded-reference bands, the
+distortion degree Δ, and the three dataset scales.
+"""
+
+from .vocab import VocabularyBuilder, GeneRecord, ProteinRecord
+from .text import ReferenceStyle, TextSynthesizer, EmbeddedReference
+from .biodb import BioDatabase, BioDatabaseSpec, PublicationTruth, generate_bio_database
+from .stats import DatasetStats, collect_stats
+from .workload import (
+    AnnotationWorkload,
+    WorkloadAnnotation,
+    WorkloadSpec,
+    DATASET_SCALES,
+    generate_workload,
+)
+
+__all__ = [
+    "VocabularyBuilder",
+    "GeneRecord",
+    "ProteinRecord",
+    "ReferenceStyle",
+    "TextSynthesizer",
+    "EmbeddedReference",
+    "BioDatabase",
+    "BioDatabaseSpec",
+    "PublicationTruth",
+    "generate_bio_database",
+    "AnnotationWorkload",
+    "WorkloadAnnotation",
+    "WorkloadSpec",
+    "DATASET_SCALES",
+    "generate_workload",
+    "DatasetStats",
+    "collect_stats",
+]

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the Nebula reproduction.
+
+Every error raised by this package derives from :class:`NebulaError`, so
+callers can catch one base class.  Sub-classes are grouped by subsystem:
+storage, metadata, search, workload, and verification.
+"""
+
+from __future__ import annotations
+
+
+class NebulaError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(NebulaError):
+    """Raised when a configuration value is out of its documented range."""
+
+
+class StorageError(NebulaError):
+    """Raised by the annotation store for invalid persistence operations."""
+
+
+class UnknownTableError(StorageError):
+    """Raised when an operation references a table absent from the schema."""
+
+    def __init__(self, table: str):
+        super().__init__(f"unknown table: {table!r}")
+        self.table = table
+
+
+class UnknownColumnError(StorageError):
+    """Raised when an operation references a column absent from a table."""
+
+    def __init__(self, table: str, column: str):
+        super().__init__(f"unknown column: {table!r}.{column!r}")
+        self.table = table
+        self.column = column
+
+
+class UnknownAnnotationError(StorageError):
+    """Raised when an annotation id does not exist in the store."""
+
+    def __init__(self, annotation_id: int):
+        super().__init__(f"unknown annotation id: {annotation_id}")
+        self.annotation_id = annotation_id
+
+
+class UnknownTupleError(StorageError):
+    """Raised when a tuple reference does not resolve to a stored row."""
+
+    def __init__(self, table: str, rowid: int):
+        super().__init__(f"unknown tuple: {table!r} rowid {rowid}")
+        self.table = table
+        self.rowid = rowid
+
+
+class MetadataError(NebulaError):
+    """Raised by the NebulaMeta repository for inconsistent metadata."""
+
+
+class UnknownConceptError(MetadataError):
+    """Raised when a concept name is absent from the ConceptRefs table."""
+
+    def __init__(self, concept: str):
+        super().__init__(f"unknown concept: {concept!r}")
+        self.concept = concept
+
+
+class SearchError(NebulaError):
+    """Raised by the keyword-search engine for malformed queries."""
+
+
+class EmptyQueryError(SearchError):
+    """Raised when a keyword query contains no usable keywords."""
+
+
+class WorkloadError(NebulaError):
+    """Raised by the workload generator for unsatisfiable workload specs."""
+
+
+class VerificationError(NebulaError):
+    """Raised by the verification subsystem."""
+
+
+class UnknownVerificationTaskError(VerificationError):
+    """Raised when a verification task id is unknown or already resolved."""
+
+    def __init__(self, task_id: int):
+        super().__init__(f"unknown or resolved verification task: {task_id}")
+        self.task_id = task_id
+
+
+class CommandError(NebulaError):
+    """Raised by the extended-SQL command parser for invalid statements."""

@@ -1,0 +1,41 @@
+"""NebulaMeta: the auxiliary information repository (paper §5.1).
+
+NebulaMeta integrates six sources of auxiliary information used to decide
+whether an annotation word is part of an embedded reference:
+
+1. a lexical knowledge base of synonyms (:mod:`repro.meta.lexicon`, our
+   offline stand-in for WordNet);
+2. expert-provided equivalent names for tables and columns;
+3. per-column ontologies / controlled vocabularies (:mod:`repro.meta.ontology`);
+4. syntactic value patterns, i.e. regular expressions over column values,
+   optionally inferred from data (:mod:`repro.meta.patterns`);
+5. random samples drawn from columns lacking ontology or pattern
+   (:mod:`repro.meta.sampling`);
+6. the ``ConceptRefs`` table mapping database concepts to the columns by
+   which annotations usually reference them (:mod:`repro.meta.concepts`).
+
+Everything is aggregated by :class:`repro.meta.repository.NebulaMeta`.
+"""
+
+from .concepts import ConceptRef, ReferencingColumn
+from .lexicon import Lexicon, DEFAULT_LEXICON
+from .ontology import Ontology
+from .patterns import ValuePattern, infer_pattern
+from .sampling import ColumnSample
+from .repository import NebulaMeta
+from .learning import ConceptLearner, ConceptProposal, apply_proposals
+
+__all__ = [
+    "ConceptRef",
+    "ReferencingColumn",
+    "Lexicon",
+    "DEFAULT_LEXICON",
+    "Ontology",
+    "ValuePattern",
+    "infer_pattern",
+    "ColumnSample",
+    "NebulaMeta",
+    "ConceptLearner",
+    "ConceptProposal",
+    "apply_proposals",
+]

@@ -1,0 +1,98 @@
+"""The ConceptRefs model (paper §5.1, Figure 3).
+
+``ConceptRefs`` is a system table listing the key *concepts* of the database
+and the most probable ways annotations reference them.  Each concept names a
+database table and one or more *referencing alternatives*; an alternative is
+a single column (``Gene.ID``) or a column combination (``PName & PType``).
+
+Concepts do not have to map 1:1 to tables — the paper's example stores both
+the ``Gene`` and ``Gene Family`` concepts over the single ``Gene`` table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+from ..utils.tokenize import normalize_word
+
+
+@dataclass(frozen=True)
+class ReferencingColumn:
+    """One column participating in a referencing alternative."""
+
+    table: str
+    column: str
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class ConceptRef:
+    """One row of the ConceptRefs table.
+
+    Attributes
+    ----------
+    concept:
+        Concept name as experts refer to it, e.g. ``"Gene"``.
+    table:
+        Database table storing the concept's tuples.
+    referenced_by:
+        Tuple of referencing alternatives; each alternative is itself a
+        tuple of :class:`ReferencingColumn` (single-column alternatives are
+        1-tuples, combinations such as ``(PName & PType)`` are longer).
+    equivalent_names:
+        Expert-provided aliases for the concept ("gene id" for "GID", ...).
+    """
+
+    concept: str
+    table: str
+    referenced_by: Tuple[Tuple[ReferencingColumn, ...], ...]
+    equivalent_names: FrozenSet[str] = field(default_factory=frozenset)
+
+    @classmethod
+    def build(
+        cls,
+        concept: str,
+        table: str,
+        referenced_by: Iterable[Iterable[str]],
+        equivalent_names: Iterable[str] = (),
+    ) -> "ConceptRef":
+        """Convenience constructor from plain strings.
+
+        ``referenced_by`` takes column names (optionally ``table.column``
+        qualified); unqualified names resolve against ``table``.
+
+        >>> ref = ConceptRef.build("Protein", "Protein",
+        ...                        [["PID"], ["PName", "PType"]])
+        >>> [tuple(c.column for c in alt) for alt in ref.referenced_by]
+        [('PID',), ('PName', 'PType')]
+        """
+        alternatives = []
+        for alternative in referenced_by:
+            columns = []
+            for name in alternative:
+                if "." in name:
+                    tbl, col = name.split(".", 1)
+                else:
+                    tbl, col = table, name
+                columns.append(ReferencingColumn(table=tbl, column=col))
+            alternatives.append(tuple(columns))
+        return cls(
+            concept=concept,
+            table=table,
+            referenced_by=tuple(alternatives),
+            equivalent_names=frozenset(normalize_word(n) for n in equivalent_names),
+        )
+
+    @property
+    def referencing_columns(self) -> FrozenSet[ReferencingColumn]:
+        """Flat set of every column appearing in any alternative."""
+        return frozenset(col for alt in self.referenced_by for col in alt)
+
+    def matches_name(self, word: str) -> bool:
+        """True when ``word`` equals the concept name or an equivalent name."""
+        key = normalize_word(word)
+        return key == normalize_word(self.concept) or key in self.equivalent_names

@@ -1,0 +1,139 @@
+"""Embedded lexical knowledge base — the offline WordNet substitute.
+
+The paper consults WordNet for synonyms and hyponyms of English words when
+deciding whether an annotation word references a schema item.  This
+environment has no network access, so we ship a compact, hand-curated
+lexicon that covers (a) the biological domain vocabulary the experiments
+need, and (b) the generic database vocabulary (identifier, name, length,
+sequence, ...).  The API mirrors what Nebula needs from WordNet: synonym
+lookup and synonym testing, both symmetric within a synset.
+
+The substitution is documented in DESIGN.md; because the signature-map
+algorithms only ever ask "are these two words synonyms, and how strongly",
+a smaller lexicon changes coverage of arbitrary English, not the code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
+
+from ..utils.tokenize import normalize_word
+
+#: Hand-curated synsets.  Each inner tuple is one set of mutual synonyms.
+_DEFAULT_SYNSETS: Tuple[Tuple[str, ...], ...] = (
+    # --- database / schema vocabulary ---------------------------------
+    ("gene", "locus", "cistron"),
+    ("protein", "polypeptide", "enzyme"),
+    ("family", "group", "class", "clan"),
+    ("identifier", "id", "accession", "key"),
+    ("name", "symbol", "label", "designation"),
+    ("length", "size", "extent"),
+    ("sequence", "seq", "strand"),
+    ("function", "role", "activity"),
+    ("organism", "species", "taxon"),
+    ("publication", "article", "paper", "reference"),
+    ("type", "kind", "category", "variety"),
+    ("description", "definition", "summary"),
+    ("pathway", "route", "cascade"),
+    ("location", "position", "site", "locale"),
+    # --- generic scientific English ------------------------------------
+    ("experiment", "assay", "trial", "exp"),
+    ("result", "outcome", "finding"),
+    ("correlated", "related", "associated", "linked"),
+    ("expression", "transcription"),
+    ("mutation", "variant", "polymorphism"),
+    ("structure", "conformation", "fold"),
+    ("interaction", "binding", "association"),
+    ("regulation", "control", "modulation"),
+    ("analysis", "study", "investigation"),
+    ("sample", "specimen", "aliquot"),
+    ("measurement", "quantification", "assessment"),
+    ("observed", "detected", "found", "noted"),
+    ("significant", "notable", "marked"),
+    ("increase", "rise", "elevation"),
+    ("decrease", "drop", "reduction"),
+)
+
+#: Hypernym -> hyponyms edges (a small IS-A hierarchy, WordNet-style).
+_DEFAULT_HYPONYMS: Mapping[str, Tuple[str, ...]] = {
+    "molecule": ("protein", "enzyme", "polypeptide"),
+    "record": ("gene", "protein", "publication"),
+    "attribute": ("name", "length", "sequence", "family", "function"),
+}
+
+
+class Lexicon:
+    """Synonym / hyponym lookup over a set of synsets.
+
+    >>> lex = Lexicon([("gene", "locus")])
+    >>> lex.are_synonyms("Gene", "locus")
+    True
+    >>> sorted(lex.synonyms("gene"))
+    ['locus']
+    """
+
+    def __init__(
+        self,
+        synsets: Iterable[Tuple[str, ...]] = (),
+        hyponyms: Mapping[str, Tuple[str, ...]] = (),
+    ) -> None:
+        self._synsets: List[FrozenSet[str]] = []
+        self._membership: Dict[str, Set[int]] = {}
+        self._hyponyms: Dict[str, FrozenSet[str]] = {}
+        for synset in synsets:
+            self.add_synset(synset)
+        for hypernym, words in dict(hyponyms).items():
+            self.add_hyponyms(hypernym, words)
+
+    def add_synset(self, words: Iterable[str]) -> None:
+        """Register a set of mutually synonymous words."""
+        normalized = frozenset(normalize_word(w) for w in words)
+        if len(normalized) < 2:
+            return
+        index = len(self._synsets)
+        self._synsets.append(normalized)
+        for word in normalized:
+            self._membership.setdefault(word, set()).add(index)
+
+    def add_hyponyms(self, hypernym: str, words: Iterable[str]) -> None:
+        """Register ``words`` as hyponyms (specializations) of ``hypernym``."""
+        key = normalize_word(hypernym)
+        existing = set(self._hyponyms.get(key, frozenset()))
+        existing.update(normalize_word(w) for w in words)
+        self._hyponyms[key] = frozenset(existing)
+
+    def synonyms(self, word: str) -> FrozenSet[str]:
+        """All synonyms of ``word`` (excluding the word itself)."""
+        key = normalize_word(word)
+        found: Set[str] = set()
+        for index in self._membership.get(key, ()):
+            found.update(self._synsets[index])
+        found.discard(key)
+        return frozenset(found)
+
+    def are_synonyms(self, first: str, second: str) -> bool:
+        """True when the two words share at least one synset."""
+        a, b = normalize_word(first), normalize_word(second)
+        if a == b:
+            return True
+        return bool(self._membership.get(a, set()) & self._membership.get(b, set()))
+
+    def hyponyms(self, word: str) -> FrozenSet[str]:
+        """Direct hyponyms of ``word`` (empty when unknown)."""
+        return self._hyponyms.get(normalize_word(word), frozenset())
+
+    def is_hyponym(self, word: str, hypernym: str) -> bool:
+        """True when ``word`` is a registered hyponym of ``hypernym``."""
+        return normalize_word(word) in self.hyponyms(hypernym)
+
+    def knows(self, word: str) -> bool:
+        """True when the lexicon has any entry for ``word``."""
+        key = normalize_word(word)
+        return key in self._membership or key in self._hyponyms
+
+    def __len__(self) -> int:
+        return len(self._synsets)
+
+
+#: The lexicon used by default throughout the reproduction.
+DEFAULT_LEXICON = Lexicon(_DEFAULT_SYNSETS, _DEFAULT_HYPONYMS)

@@ -1,0 +1,83 @@
+"""Column ontologies (controlled vocabularies).
+
+The paper's NebulaMeta stores, for selected columns, "any available
+ontologies and vocabularies, e.g., the values within a Gene.Function column
+may follow a specific ontology".  During the search phase, whether a keyword
+belongs to a column's ontology feeds the value-domain estimate ``d(w, c)``.
+
+An :class:`Ontology` here is a named term set with optional IS-A edges, so
+membership can optionally be tested transitively (a term counts as a member
+if it or one of its ancestors is in the ontology).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set
+
+from ..utils.tokenize import normalize_word
+
+
+class Ontology:
+    """A controlled vocabulary with optional IS-A parent edges.
+
+    >>> onto = Ontology("go-slim", ["transport", "binding"],
+    ...                 parents={"ion transport": "transport"})
+    >>> onto.contains("Binding")
+    True
+    >>> onto.contains("ion transport")
+    True
+    >>> onto.contains("swimming")
+    False
+    """
+
+    def __init__(
+        self,
+        name: str,
+        terms: Iterable[str],
+        parents: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self.name = name
+        self._terms: FrozenSet[str] = frozenset(normalize_word(t) for t in terms)
+        self._parents: Dict[str, str] = {
+            normalize_word(child): normalize_word(parent)
+            for child, parent in (parents or {}).items()
+        }
+
+    @property
+    def terms(self) -> FrozenSet[str]:
+        return self._terms
+
+    def contains(self, term: str, transitive: bool = True) -> bool:
+        """Membership test; with ``transitive`` walk IS-A edges upward."""
+        key = normalize_word(term)
+        if key in self._terms:
+            return True
+        if not transitive:
+            return False
+        seen: Set[str] = set()
+        while key in self._parents and key not in seen:
+            seen.add(key)
+            key = self._parents[key]
+            if key in self._terms:
+                return True
+        return False
+
+    def ancestors(self, term: str) -> FrozenSet[str]:
+        """All transitive IS-A ancestors of ``term``."""
+        key = normalize_word(term)
+        found: Set[str] = set()
+        while key in self._parents:
+            key = self._parents[key]
+            if key in found:
+                break
+            found.add(key)
+        return frozenset(found)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: str) -> bool:
+        return self.contains(term)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ontology({self.name!r}, {len(self._terms)} terms)"

@@ -1,0 +1,48 @@
+"""Keyword search over relational databases.
+
+Nebula treats keyword search as a pluggable component (paper §4: "any other
+technique can be used ... which can be a black box").  The paper plugs in
+the metadata-driven approach of Bergamaschi et al. (SIGMOD 2011); this
+package rebuilds that approach from its published description:
+
+1. each input keyword gets weighted *mappings* onto schema items (table or
+   column names) and database values (:mod:`repro.search.mapper`);
+2. consistent combinations of mappings form *configurations*, each
+   capturing one possible semantics of the query
+   (:mod:`repro.search.configurations`);
+3. each configuration translates into one or more SQL queries over the
+   database, joined along FK-PK paths (:mod:`repro.search.sqlgen`);
+4. executing the SQL yields tuples, each inheriting its configuration's
+   confidence (:mod:`repro.search.engine`).
+
+:mod:`repro.search.naive` is the paper's Naive baseline: the entire
+annotation text submitted as one keyword query.
+"""
+
+from .metadata import SchemaGraph, ForeignKey, ColumnInfo
+from .index import InvertedValueIndex, Posting
+from .mapper import KeywordMapper, Mapping, MappingKind
+from .configurations import Configuration, enumerate_configurations
+from .sqlgen import GeneratedSQL, generate_sql
+from .engine import KeywordQuery, KeywordSearchEngine, SearchResult, SearchScope
+from .naive import NaiveSearch
+
+__all__ = [
+    "SchemaGraph",
+    "ForeignKey",
+    "ColumnInfo",
+    "InvertedValueIndex",
+    "Posting",
+    "KeywordMapper",
+    "Mapping",
+    "MappingKind",
+    "Configuration",
+    "enumerate_configurations",
+    "GeneratedSQL",
+    "generate_sql",
+    "KeywordQuery",
+    "KeywordSearchEngine",
+    "SearchResult",
+    "SearchScope",
+    "NaiveSearch",
+]

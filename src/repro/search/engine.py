@@ -1,0 +1,211 @@
+"""The keyword-search engine facade.
+
+This is the component Nebula uses as a black box (paper §4 & §6.1, the
+``KeywordSearch(q, D)`` call of Figure 5): given a short keyword query it
+returns scored tuples.  Internally it chains the mapper, configuration
+enumeration, and SQL generation, executes the SQL, and merges the per-
+configuration answers (a tuple reached by several configurations keeps the
+best confidence — Nebula's own cross-query grouping happens later).
+
+A :class:`SearchScope` restricts execution to a subset of rowids per table;
+the focal-based spreading search materializes its K-hop mini database and
+passes the corresponding scope here, so the very same code path runs over
+the reduced data.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
+
+from ..errors import EmptyQueryError
+from ..types import ScoredTuple, TupleRef
+from .configurations import enumerate_configurations
+from .index import InvertedValueIndex
+from .mapper import KeywordMapper
+from .metadata import SchemaGraph
+from .sqlgen import GeneratedSQL, generate_sql
+
+
+@dataclass(frozen=True)
+class KeywordQuery:
+    """A short keyword query with the weight Nebula assigned to it."""
+
+    keywords: Tuple[str, ...]
+    weight: float = 1.0
+    label: str = ""
+
+    @property
+    def text(self) -> str:
+        return " ".join(self.keywords)
+
+    def describe(self) -> str:
+        return self.label or self.text
+
+
+@dataclass(frozen=True)
+class SearchScope:
+    """Per-table rowid restriction (the K-hop mini database).
+
+    When ``physical`` maps a table to a materialized mini-table name, the
+    SQL filter references that table (``rowid IN (SELECT rowid FROM
+    _minidb_Gene)``) — the paper's "materialized view of the K-hop
+    neighbors"; otherwise a literal rowid list is inlined.
+    """
+
+    rowids: TMapping[str, FrozenSet[int]]
+    physical: TMapping[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_refs(
+        cls,
+        refs: Iterable[TupleRef],
+        physical: Optional[TMapping[str, str]] = None,
+    ) -> "SearchScope":
+        buckets: Dict[str, set] = {}
+        for ref in refs:
+            buckets.setdefault(ref.table.casefold(), set()).add(ref.rowid)
+        return cls(
+            rowids={t: frozenset(r) for t, r in buckets.items()},
+            physical=dict(physical or {}),
+        )
+
+    def allows(self, table: str, rowid: int) -> bool:
+        allowed = self.rowids.get(table.casefold())
+        return allowed is not None and rowid in allowed
+
+    def tables(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.rowids))
+
+    def sql_filters(self) -> Dict[str, str]:
+        """Per-table ``rowid IN (...)`` fragments for SQL generation."""
+        fragments: Dict[str, str] = {}
+        for table, rowids in self.rowids.items():
+            mini = self.physical.get(table)
+            if mini:
+                fragments[table] = f"rowid IN (SELECT rowid FROM {mini})"
+            elif rowids:
+                body = ", ".join(str(r) for r in sorted(rowids))
+                fragments[table] = f"rowid IN ({body})"
+            else:
+                fragments[table] = "rowid IN (NULL)"
+        return fragments
+
+    def size(self) -> int:
+        return sum(len(r) for r in self.rowids.values())
+
+
+@dataclass
+class SearchResult:
+    """Scored answer of one keyword query."""
+
+    query: KeywordQuery
+    tuples: List[ScoredTuple]
+    sql_queries: List[GeneratedSQL] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def refs(self) -> List[TupleRef]:
+        return [t.ref for t in self.tuples]
+
+
+class KeywordSearchEngine:
+    """Metadata-driven keyword search over a SQLite database."""
+
+    def __init__(
+        self,
+        connection: sqlite3.Connection,
+        searchable_columns: Sequence[Tuple[str, str]],
+        schema: Optional[SchemaGraph] = None,
+        aliases: Optional[TMapping[str, Tuple[str, Optional[str]]]] = None,
+        lexicon=None,
+        max_configurations: int = 24,
+    ) -> None:
+        self.connection = connection
+        self.schema = schema or SchemaGraph.from_connection(connection)
+        self.index = InvertedValueIndex.build(connection, searchable_columns)
+        self.mapper = KeywordMapper(
+            self.schema, self.index, aliases=aliases, lexicon=lexicon
+        )
+        self.max_configurations = max_configurations
+
+    # ------------------------------------------------------------------
+
+    def generate(
+        self, query: KeywordQuery, scope: Optional[SearchScope] = None
+    ) -> List[GeneratedSQL]:
+        """Produce the candidate SQL queries for ``query`` without running them."""
+        if not query.keywords:
+            raise EmptyQueryError("keyword query has no keywords")
+        keyword_mappings = self.mapper.map_query(list(query.keywords))
+        if scope is not None:
+            keyword_mappings = self._prune_to_scope(keyword_mappings, scope)
+        configurations = enumerate_configurations(
+            keyword_mappings, self.schema, max_configurations=self.max_configurations
+        )
+        scope_filter = None
+        table_map = None
+        if scope is not None:
+            table_map = dict(scope.physical)
+            scope_filter = {
+                table: fragment
+                for table, fragment in scope.sql_filters().items()
+                if table not in table_map
+            }
+        generated: List[GeneratedSQL] = []
+        for configuration in configurations:
+            generated.extend(
+                generate_sql(configuration, self.schema, scope_filter, table_map)
+            )
+        return generated
+
+    def _prune_to_scope(self, keyword_mappings, scope: SearchScope):
+        """Drop VALUE mappings whose postings all fall outside the scope."""
+        pruned = {}
+        for keyword, mappings in keyword_mappings.items():
+            kept = []
+            for mapping in mappings:
+                if mapping.kind.value != "value":
+                    kept.append(mapping)
+                    continue
+                postings = self.index.lookup_in(keyword, mapping.table, mapping.column)
+                if any(scope.allows(p.table, p.rowid) for p in postings):
+                    kept.append(mapping)
+            pruned[keyword] = kept
+        return pruned
+
+    def execute_sql(self, generated: GeneratedSQL) -> List[int]:
+        """Run one generated query, returning target-table rowids."""
+        rows = self.connection.execute(generated.sql, generated.params).fetchall()
+        return [int(r[0]) for r in rows]
+
+    def search(
+        self, query: KeywordQuery, scope: Optional[SearchScope] = None
+    ) -> SearchResult:
+        """Full pipeline: map -> configure -> SQL -> execute -> merge.
+
+        Each answered tuple's confidence is the best confidence among the
+        configurations that produced it.
+        """
+        started = time.perf_counter()
+        generated = self.generate(query, scope)
+        best: Dict[TupleRef, float] = {}
+        provenance: Dict[TupleRef, str] = {}
+        for sql_query in generated:
+            for rowid in self.execute_sql(sql_query):
+                ref = TupleRef(sql_query.target_table, rowid)
+                if sql_query.confidence > best.get(ref, 0.0):
+                    best[ref] = sql_query.confidence
+                    provenance[ref] = sql_query.provenance
+        tuples = [
+            ScoredTuple(ref=ref, confidence=conf, provenance=(query.describe(),))
+            for ref, conf in sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
+        ]
+        return SearchResult(
+            query=query,
+            tuples=tuples,
+            sql_queries=generated,
+            elapsed=time.perf_counter() - started,
+        )

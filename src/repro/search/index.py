@@ -1,0 +1,130 @@
+"""Inverted value index over searchable columns.
+
+Pre-indexing the data is the standard enabling structure of keyword search
+over RDBMSs (DBXplorer-style symbol tables).  The index maps every distinct
+normalized value of each *searchable* column to the posting list of rows
+holding it, so the mapper can decide in O(1) whether a keyword could be a
+database value and where.
+
+Only the columns registered as searchable are indexed — Nebula registers
+the referencing columns of the ConceptRefs table, mirroring the paper's
+restriction of the Value-Map to "columns included in the ConceptRefs
+auxiliary table".
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..utils.tokenize import normalize_word
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One occurrence of a value: which column of which row holds it."""
+
+    table: str
+    column: str
+    rowid: int
+
+
+class InvertedValueIndex:
+    """Exact-match inverted index over registered (table, column) pairs."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, List[Posting]] = {}
+        self._columns: Set[Tuple[str, str]] = set()
+        self._value_counts: Dict[Tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_column(self, connection: sqlite3.Connection, table: str, column: str) -> int:
+        """Index one column; returns the number of rows indexed."""
+        key = (table.casefold(), column.casefold())
+        if key in self._columns:
+            return 0
+        self._columns.add(key)
+        count = 0
+        cursor = connection.execute(
+            f"SELECT rowid, {column} FROM {table} WHERE {column} IS NOT NULL"
+        )
+        for rowid, value in cursor:
+            token = normalize_word(str(value))
+            if not token:
+                continue
+            self._postings.setdefault(token, []).append(
+                Posting(table=table, column=column, rowid=int(rowid))
+            )
+            count += 1
+        self._value_counts[key] = self._value_counts.get(key, 0) + count
+        return count
+
+    @classmethod
+    def build(
+        cls,
+        connection: sqlite3.Connection,
+        columns: Iterable[Tuple[str, str]],
+    ) -> "InvertedValueIndex":
+        """Build an index over ``columns`` of (table, column) pairs."""
+        index = cls()
+        for table, column in columns:
+            index.add_column(connection, table, column)
+        return index
+
+    def add_row(self, table: str, column: str, rowid: int, value: str) -> None:
+        """Incrementally index one newly inserted value."""
+        key = (table.casefold(), column.casefold())
+        self._columns.add(key)
+        token = normalize_word(str(value))
+        if not token:
+            return
+        self._postings.setdefault(token, []).append(Posting(table, column, rowid))
+        self._value_counts[key] = self._value_counts.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, word: str) -> Tuple[Posting, ...]:
+        """Exact (normalized) postings of ``word``."""
+        return tuple(self._postings.get(normalize_word(word), ()))
+
+    def lookup_in(
+        self, word: str, table: str, column: Optional[str] = None
+    ) -> Tuple[Posting, ...]:
+        """Postings of ``word`` restricted to a table (and column)."""
+        table_key = table.casefold()
+        column_key = column.casefold() if column else None
+        return tuple(
+            p
+            for p in self.lookup(word)
+            if p.table.casefold() == table_key
+            and (column_key is None or p.column.casefold() == column_key)
+        )
+
+    def document_frequency(self, word: str) -> int:
+        """Number of rows holding ``word`` across all indexed columns."""
+        return len(self.lookup(word))
+
+    def selectivity(self, word: str, table: str, column: str) -> float:
+        """1 / (matching rows in the column); 0.0 when absent.
+
+        Rare values are more credible embedded references than values
+        occurring in thousands of rows, so mapping weight scales with this.
+        """
+        matches = len(self.lookup_in(word, table, column))
+        if matches == 0:
+            return 0.0
+        return 1.0 / matches
+
+    @property
+    def indexed_columns(self) -> FrozenSet[Tuple[str, str]]:
+        return frozenset(self._columns)
+
+    def __len__(self) -> int:
+        """Number of distinct indexed tokens."""
+        return len(self._postings)

@@ -1,0 +1,149 @@
+"""Keyword -> mapping weight assignment (step 1 of the search technique).
+
+"The algorithm starts by assigning weights to each of the input keywords
+capturing whether a keyword has a potential mapping to a schema item, e.g.,
+a table name or column name, or a database value" (paper §4).
+
+For each keyword the mapper produces zero or more weighted
+:class:`Mapping` objects of three kinds:
+
+* ``TABLE`` — keyword names a table (exact name, alias, or synonym);
+* ``COLUMN`` — keyword names a column;
+* ``VALUE`` — keyword occurs as a value of an indexed column, weighted by
+  how selective the value is there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
+
+from ..utils.tokenize import is_stopword, normalize_word
+from .index import InvertedValueIndex
+from .metadata import SchemaGraph
+
+EXACT_NAME_WEIGHT = 0.95
+ALIAS_NAME_WEIGHT = 0.85
+SYNONYM_NAME_WEIGHT = 0.60
+VALUE_BASE_WEIGHT = 0.90
+#: A value seen in many rows is weak evidence; weight decays toward this.
+VALUE_FLOOR_WEIGHT = 0.35
+
+
+class MappingKind(str, Enum):
+    TABLE = "table"
+    COLUMN = "column"
+    VALUE = "value"
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One weighted interpretation of one keyword."""
+
+    keyword: str
+    kind: MappingKind
+    table: str
+    column: Optional[str]
+    weight: float
+
+    @property
+    def target(self) -> Tuple[str, str, Optional[str]]:
+        return (self.kind.value, self.table.casefold(), (self.column or "").casefold() or None)
+
+
+class KeywordMapper:
+    """Compute candidate mappings for the keywords of a query.
+
+    ``aliases`` lets the caller inject domain knowledge (the same equivalent
+    names NebulaMeta holds) without coupling the search engine to Nebula:
+    it maps a normalized alias to a ``(table, column-or-None)`` target.
+    """
+
+    def __init__(
+        self,
+        schema: SchemaGraph,
+        index: InvertedValueIndex,
+        aliases: Optional[TMapping[str, Tuple[str, Optional[str]]]] = None,
+        lexicon=None,
+        max_mappings_per_keyword: int = 4,
+    ) -> None:
+        self.schema = schema
+        self.index = index
+        self.aliases = {normalize_word(k): v for k, v in (aliases or {}).items()}
+        self.lexicon = lexicon
+        self.max_mappings_per_keyword = max_mappings_per_keyword
+
+    # ------------------------------------------------------------------
+
+    def map_keyword(self, keyword: str) -> List[Mapping]:
+        """All candidate mappings of one keyword, best first."""
+        key = normalize_word(keyword)
+        if not key or is_stopword(key):
+            return []
+        mappings = self._schema_mappings(keyword, key) + self._value_mappings(keyword)
+        mappings.sort(key=lambda m: (-m.weight, m.table, m.column or ""))
+        return mappings[: self.max_mappings_per_keyword]
+
+    def map_query(self, keywords: Sequence[str]) -> Dict[str, List[Mapping]]:
+        """Mappings for every keyword of a query (stopwords map to [])."""
+        return {kw: self.map_keyword(kw) for kw in keywords}
+
+    # ------------------------------------------------------------------
+
+    def _schema_mappings(self, keyword: str, key: str) -> List[Mapping]:
+        found: List[Mapping] = []
+        for table in self.schema.tables:
+            table_key = normalize_word(table)
+            weight = self._name_weight(key, table_key)
+            if weight > 0.0:
+                found.append(
+                    Mapping(keyword, MappingKind.TABLE, table, None, weight)
+                )
+            for info in self.schema.columns_of(table):
+                weight = self._name_weight(key, normalize_word(info.name))
+                if weight > 0.0:
+                    found.append(
+                        Mapping(keyword, MappingKind.COLUMN, table, info.name, weight)
+                    )
+        alias_target = self.aliases.get(key)
+        if alias_target is not None:
+            table, column = alias_target
+            kind = MappingKind.COLUMN if column else MappingKind.TABLE
+            found.append(Mapping(keyword, kind, table, column, ALIAS_NAME_WEIGHT))
+        return found
+
+    def _name_weight(self, key: str, name_key: str) -> float:
+        if key == name_key:
+            return EXACT_NAME_WEIGHT
+        if self.lexicon is not None and self.lexicon.are_synonyms(key, name_key):
+            return SYNONYM_NAME_WEIGHT
+        return 0.0
+
+    def _value_mappings(self, keyword: str) -> List[Mapping]:
+        postings = self.index.lookup(keyword)
+        if not postings:
+            return []
+        per_column: Dict[Tuple[str, str], int] = {}
+        for posting in postings:
+            per_column[(posting.table, posting.column)] = (
+                per_column.get((posting.table, posting.column), 0) + 1
+            )
+        found: List[Mapping] = []
+        for (table, column), count in per_column.items():
+            weight = self._value_weight(count)
+            found.append(Mapping(keyword, MappingKind.VALUE, table, column, weight))
+        return found
+
+    @staticmethod
+    def _value_weight(match_count: int) -> float:
+        """Selectivity-weighted value evidence.
+
+        A unique value gets the full base weight; weight decays smoothly
+        toward the floor as the value becomes common (1/2 at 2 rows never
+        drops below the floor).
+        """
+        if match_count <= 0:
+            return 0.0
+        decayed = VALUE_BASE_WEIGHT / (1.0 + 0.15 * (match_count - 1))
+        return max(VALUE_FLOOR_WEIGHT, decayed)

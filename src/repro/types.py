@@ -1,0 +1,66 @@
+"""Shared value types used across subsystems.
+
+These are deliberately tiny, hashable dataclasses: a tuple reference
+(``TupleRef``) identifies one row of one table, and a scored tuple carries
+the confidence the search pipeline assigned to it.  They live at package
+root because the annotation store, the search engine, and Nebula's core all
+exchange them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class TupleRef:
+    """A reference to one data tuple: ``(table, rowid)``.
+
+    SQLite rowids are stable per table, so the pair uniquely identifies a
+    tuple in the database — a node of the paper's set ``T``.
+    """
+
+    table: str
+    rowid: int
+
+    def __str__(self) -> str:
+        return f"{self.table}#{self.rowid}"
+
+
+@dataclass(frozen=True)
+class CellRef:
+    """A reference to one cell (or a whole row when ``column`` is None)."""
+
+    table: str
+    rowid: int
+    column: Optional[str] = None
+
+    @property
+    def tuple_ref(self) -> TupleRef:
+        return TupleRef(self.table, self.rowid)
+
+    def __str__(self) -> str:
+        suffix = f".{self.column}" if self.column else ""
+        return f"{self.table}#{self.rowid}{suffix}"
+
+
+@dataclass(frozen=True)
+class ScoredTuple:
+    """A candidate tuple with the pipeline's confidence in it.
+
+    ``provenance`` records which keyword queries produced the tuple — it
+    becomes the *evidence* of the verification task built from it.
+    """
+
+    ref: TupleRef
+    confidence: float
+    provenance: Tuple[str, ...] = field(default_factory=tuple)
+
+    def scaled(self, factor: float) -> "ScoredTuple":
+        """Return a copy with confidence multiplied by ``factor``."""
+        return ScoredTuple(self.ref, self.confidence * factor, self.provenance)
+
+    def rescored(self, confidence: float) -> "ScoredTuple":
+        """Return a copy with confidence replaced by ``confidence``."""
+        return ScoredTuple(self.ref, confidence, self.provenance)

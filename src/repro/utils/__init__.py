@@ -1,0 +1,16 @@
+"""Small shared utilities: tokenization, timing, and deterministic RNG."""
+
+from .tokenize import Token, tokenize, normalize_word, is_stopword, STOPWORDS
+from .timer import Stopwatch, PhaseTimer
+from .rng import make_rng
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "normalize_word",
+    "is_stopword",
+    "STOPWORDS",
+    "Stopwatch",
+    "PhaseTimer",
+    "make_rng",
+]

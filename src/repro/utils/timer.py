@@ -1,0 +1,70 @@
+"""Lightweight timing helpers used by the engine and the benchmarks.
+
+The paper reports *per-phase* execution times (Figure 11a splits query
+generation into map generation, context adjustment, and query formation), so
+the engine instruments its stages through :class:`PhaseTimer` and surfaces
+the per-phase totals on its result objects.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch measuring wall-clock seconds."""
+
+    elapsed: float = 0.0
+    _started_at: float = field(default=0.0, repr=False)
+    _running: bool = field(default=False, repr=False)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._started_at = time.perf_counter()
+        self._running = True
+
+    def stop(self) -> float:
+        if self._running:
+            self.elapsed += time.perf_counter() - self._started_at
+            self._running = False
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._running = False
+
+
+class PhaseTimer:
+    """Named-phase timer; each phase accumulates across repeated entries.
+
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("map_generation"):
+    ...     pass
+    >>> sorted(timer.totals()) == ["map_generation"]
+    True
+    """
+
+    def __init__(self) -> None:
+        self._watches: Dict[str, Stopwatch] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        watch = self._watches.setdefault(name, Stopwatch())
+        watch.start()
+        try:
+            yield
+        finally:
+            watch.stop()
+
+    def totals(self) -> Dict[str, float]:
+        """Snapshot of per-phase elapsed seconds."""
+        return {name: watch.elapsed for name, watch in self._watches.items()}
+
+    def total(self) -> float:
+        """Sum of all phases."""
+        return sum(watch.elapsed for watch in self._watches.values())

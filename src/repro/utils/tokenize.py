@@ -1,0 +1,102 @@
+"""Annotation-text tokenizer.
+
+Annotations are free text (comments, article abstracts).  Nebula's signature
+maps operate over a positional word sequence, so the tokenizer must:
+
+* preserve word *positions* (the influence range is measured in words);
+* keep identifier-like tokens intact (``JW0014`` must not be split);
+* strip punctuation that would otherwise glue onto identifiers
+  (``JW0014,`` or ``(grpC)``);
+* record each token's original surface form for evidence reporting.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+#: Words too common to ever be an embedded reference on their own.  This is a
+#: compact stopword list (the usual English closed-class words); NebulaMeta's
+#: lexicon supplements it with domain vocabulary.
+STOPWORDS = frozenset(
+    """
+    a about above after again against all am an and any are as at be because
+    been before being below between both but by could did do does doing down
+    during each few for from further had has have having he her here hers him
+    his how i if in into is it its itself just me more most my no nor not of
+    off on once only or other our out over own same she should so some such
+    than that the their them then there these they this those through to too
+    under until up very was we were what when where which while who whom why
+    will with you your
+    it's we're don't can't isn't seems seem seemed also may might must shall
+    """.split()
+)
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9_\-./]*")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One word of an annotation, with its position and surface form."""
+
+    #: Zero-based word position within the annotation.
+    position: int
+    #: Surface form as written in the annotation.
+    surface: str
+    #: Character offset of the surface form in the original text.
+    offset: int
+
+    @property
+    def word(self) -> str:
+        """Normalized form used for matching (case-folded, trimmed)."""
+        return normalize_word(self.surface)
+
+    @property
+    def cleaned(self) -> str:
+        """Surface form with stray punctuation trimmed but case preserved.
+
+        Case-sensitive evidence (syntactic value patterns like
+        ``[a-z]{3}[A-Z]``) must see the original casing.
+        """
+        return self.surface.strip(".-/")
+
+
+def normalize_word(surface: str) -> str:
+    """Normalize a surface form for matching.
+
+    Case is folded and trailing punctuation that survived tokenization
+    (dots from sentence ends, hyphens) is stripped.  Identifier-internal
+    characters are preserved, so ``G-Actin`` stays intact.
+
+    >>> normalize_word("Gene.")
+    'gene'
+    >>> normalize_word("JW0014")
+    'jw0014'
+    """
+    return surface.strip(".-/").casefold()
+
+
+def is_stopword(word: str) -> bool:
+    """Return True when ``word`` (already normalized) is a stopword."""
+    return word in STOPWORDS
+
+
+def _iter_matches(text: str) -> Iterator[re.Match]:
+    return _TOKEN_RE.finditer(text)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split annotation ``text`` into positional :class:`Token` objects.
+
+    Tokens keep identifier punctuation (``-``, ``_``, ``.``, ``/``) so
+    database identifiers survive intact; pure punctuation is discarded and
+    does not consume a word position.
+
+    >>> [t.word for t in tokenize("gene JW0014, of grpC")]
+    ['gene', 'jw0014', 'of', 'grpc']
+    """
+    tokens: List[Token] = []
+    for position, match in enumerate(_iter_matches(text)):
+        tokens.append(Token(position=position, surface=match.group(), offset=match.start()))
+    return tokens

@@ -1,0 +1,119 @@
+"""Unit tests for the extended-SQL command layer."""
+
+import pytest
+
+from repro.annotations.commands import CommandProcessor
+from repro.annotations.engine import AnnotationManager
+from repro.errors import CommandError
+from repro.types import TupleRef
+
+from conftest import build_figure1_connection
+
+
+class FakeResolver:
+    """Minimal verification resolver recording calls."""
+
+    def __init__(self):
+        self.verified = []
+        self.rejected = []
+        self._pending = ["task-a", "task-b"]
+
+    def verify(self, task_id):
+        self.verified.append(task_id)
+
+    def reject(self, task_id):
+        self.rejected.append(task_id)
+
+    def pending(self):
+        return list(self._pending)
+
+
+@pytest.fixture
+def processor():
+    manager = AnnotationManager(build_figure1_connection())
+    return CommandProcessor(manager, resolver=FakeResolver(), author="alice")
+
+
+class TestAddAnnotation:
+    def test_where_predicate(self, processor):
+        result = processor.execute(
+            "ADD ANNOTATION 'flag F1 members' ON Gene WHERE Family = 'F1'"
+        )
+        annotation_id = result.ids[0]
+        focal = processor.manager.focal_of(annotation_id)
+        assert len(focal) == 4  # four F1 genes in the figure-1 data
+
+    def test_rows_list(self, processor):
+        result = processor.execute("ADD ANNOTATION 'two rows' ON Gene ROWS (1, 3)")
+        focal = processor.manager.focal_of(result.ids[0])
+        assert set(focal) == {TupleRef("Gene", 1), TupleRef("Gene", 3)}
+
+    def test_column_target(self, processor):
+        result = processor.execute(
+            "ADD ANNOTATION 'cell note' ON Gene COLUMN Name ROWS (2)"
+        )
+        attachments = processor.manager.store.attachments_of(result.ids[0])
+        assert attachments[0].column == "Name"
+
+    def test_escaped_quote(self, processor):
+        result = processor.execute(
+            "ADD ANNOTATION 'it''s odd' ON Gene ROWS (1)"
+        )
+        annotation = processor.manager.annotation(result.ids[0])
+        assert annotation.content == "it's odd"
+
+    def test_author_recorded(self, processor):
+        result = processor.execute("ADD ANNOTATION 'note' ON Gene ROWS (1)")
+        assert processor.manager.annotation(result.ids[0]).author == "alice"
+
+    def test_unknown_table(self, processor):
+        with pytest.raises(Exception):
+            processor.execute("ADD ANNOTATION 'x' ON Nothing ROWS (1)")
+
+    def test_injection_shaped_predicate_rejected(self, processor):
+        with pytest.raises(CommandError):
+            processor.execute(
+                "ADD ANNOTATION 'x' ON Gene WHERE Family = 'F1'; DROP TABLE Gene"
+            )
+
+    def test_invalid_predicate(self, processor):
+        with pytest.raises(CommandError):
+            processor.execute("ADD ANNOTATION 'x' ON Gene WHERE NoSuchCol = 1")
+
+
+class TestVerifyReject:
+    def test_verify(self, processor):
+        result = processor.execute("VERIFY ATTACHMENT 7")
+        assert processor.resolver.verified == [7]
+        assert result.ids == (7,)
+
+    def test_reject(self, processor):
+        processor.execute("REJECT ATTACHMENT 9;")
+        assert processor.resolver.rejected == [9]
+
+    def test_paper_spelling_accepted(self, processor):
+        processor.execute("Verify Attachement 3")
+        assert processor.resolver.verified == [3]
+
+    def test_requires_resolver(self):
+        manager = AnnotationManager(build_figure1_connection())
+        bare = CommandProcessor(manager)
+        with pytest.raises(CommandError):
+            bare.execute("VERIFY ATTACHMENT 1")
+
+
+class TestListPending:
+    def test_list(self, processor):
+        result = processor.execute("LIST PENDING")
+        assert result.rows == ("task-a", "task-b")
+        assert "2 pending" in result.message
+
+
+class TestParsing:
+    def test_empty_statement(self, processor):
+        with pytest.raises(CommandError):
+            processor.execute("   ")
+
+    def test_unrecognized(self, processor):
+        with pytest.raises(CommandError):
+            processor.execute("SELECT * FROM Gene")

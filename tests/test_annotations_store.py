@@ -1,0 +1,185 @@
+"""Unit tests for the SQLite annotation store."""
+
+import pytest
+
+from repro.annotations.store import AnnotationStore, AttachmentKind
+from repro.errors import (
+    StorageError,
+    UnknownAnnotationError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from repro.types import CellRef, TupleRef
+
+from conftest import build_figure1_connection
+
+
+@pytest.fixture
+def store():
+    return AnnotationStore(build_figure1_connection())
+
+
+class TestAnnotations:
+    def test_insert_and_get(self, store):
+        annotation = store.insert_annotation("hello", author="bob")
+        loaded = store.get_annotation(annotation.annotation_id)
+        assert loaded.content == "hello"
+        assert loaded.author == "bob"
+
+    def test_sequence_increments(self, store):
+        first = store.insert_annotation("a")
+        second = store.insert_annotation("b")
+        assert second.created_seq == first.created_seq + 1
+
+    def test_empty_content_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.insert_annotation("   ")
+
+    def test_unknown_annotation(self, store):
+        with pytest.raises(UnknownAnnotationError):
+            store.get_annotation(999)
+
+    def test_iter_in_insertion_order(self, store):
+        ids = [store.insert_annotation(f"a{i}").annotation_id for i in range(3)]
+        assert [a.annotation_id for a in store.iter_annotations()] == ids
+
+    def test_count(self, store):
+        assert store.count_annotations() == 0
+        store.insert_annotation("x")
+        assert store.count_annotations() == 1
+
+
+class TestValidation:
+    def test_table_case_insensitive(self, store):
+        assert store.validate_table("gene") == "Gene"
+
+    def test_unknown_table(self, store):
+        with pytest.raises(UnknownTableError):
+            store.validate_table("Nope")
+
+    def test_column_case_insensitive(self, store):
+        assert store.validate_column("gene", "gid") == "GID"
+
+    def test_unknown_column(self, store):
+        with pytest.raises(UnknownColumnError):
+            store.validate_column("Gene", "Nope")
+
+    def test_internal_tables_hidden(self, store):
+        with pytest.raises(UnknownTableError):
+            store.validate_table("_nebula_annotations")
+
+
+class TestAttachments:
+    def test_row_attachment(self, store):
+        a = store.insert_annotation("x")
+        attachment = store.attach(a.annotation_id, CellRef("Gene", 1))
+        assert attachment.kind is AttachmentKind.TRUE
+        assert attachment.confidence == 1.0
+        assert attachment.tuple_ref == TupleRef("Gene", 1)
+
+    def test_cell_attachment(self, store):
+        a = store.insert_annotation("x")
+        attachment = store.attach(a.annotation_id, CellRef("Gene", 1, "Name"))
+        assert attachment.column == "Name"
+
+    def test_column_attachment_has_no_tuple_ref(self, store):
+        a = store.insert_annotation("x")
+        attachment = store.attach(a.annotation_id, CellRef("Gene", None, "Family"))
+        assert attachment.tuple_ref is None
+
+    def test_true_attachment_forces_confidence_one(self, store):
+        a = store.insert_annotation("x")
+        attachment = store.attach(
+            a.annotation_id, CellRef("Gene", 1), confidence=0.4, kind=AttachmentKind.TRUE
+        )
+        assert attachment.confidence == 1.0
+
+    def test_predicted_requires_confidence_below_one(self, store):
+        a = store.insert_annotation("x")
+        with pytest.raises(StorageError):
+            store.attach(
+                a.annotation_id, CellRef("Gene", 1), confidence=1.0,
+                kind=AttachmentKind.PREDICTED,
+            )
+
+    def test_duplicate_attach_idempotent(self, store):
+        a = store.insert_annotation("x")
+        first = store.attach(a.annotation_id, CellRef("Gene", 1))
+        second = store.attach(a.annotation_id, CellRef("Gene", 1))
+        assert first.attachment_id == second.attachment_id
+        assert store.count_attachments() == 1
+
+    def test_reattach_upgrades_predicted_to_true(self, store):
+        a = store.insert_annotation("x")
+        predicted = store.attach(
+            a.annotation_id, CellRef("Gene", 1), confidence=0.5,
+            kind=AttachmentKind.PREDICTED,
+        )
+        upgraded = store.attach(a.annotation_id, CellRef("Gene", 1))
+        assert upgraded.attachment_id == predicted.attachment_id
+        assert upgraded.kind is AttachmentKind.TRUE
+        assert upgraded.confidence == 1.0
+
+    def test_true_never_downgrades(self, store):
+        a = store.insert_annotation("x")
+        store.attach(a.annotation_id, CellRef("Gene", 1))
+        again = store.attach(
+            a.annotation_id, CellRef("Gene", 1), confidence=0.3,
+            kind=AttachmentKind.PREDICTED,
+        )
+        assert again.kind is AttachmentKind.TRUE
+
+    def test_detach(self, store):
+        a = store.insert_annotation("x")
+        attachment = store.attach(a.annotation_id, CellRef("Gene", 1))
+        assert store.detach(attachment.attachment_id)
+        assert not store.detach(attachment.attachment_id)
+        assert store.count_attachments() == 0
+
+    def test_promote(self, store):
+        a = store.insert_annotation("x")
+        predicted = store.attach(
+            a.annotation_id, CellRef("Gene", 2), confidence=0.7,
+            kind=AttachmentKind.PREDICTED,
+        )
+        store.promote(predicted.attachment_id)
+        (loaded,) = store.attachments_of(a.annotation_id)
+        assert loaded.kind is AttachmentKind.TRUE
+
+    def test_promote_unknown(self, store):
+        with pytest.raises(StorageError):
+            store.promote(12345)
+
+    def test_attachments_on_row_includes_column_level(self, store):
+        a = store.insert_annotation("row")
+        b = store.insert_annotation("column")
+        store.attach(a.annotation_id, CellRef("Gene", 1))
+        store.attach(b.annotation_id, CellRef("Gene", None, "Family"))
+        found = store.attachments_on("Gene", rowid=1)
+        assert {x.annotation_id for x in found} == {a.annotation_id, b.annotation_id}
+
+    def test_attachments_on_other_row_excluded(self, store):
+        a = store.insert_annotation("row")
+        store.attach(a.annotation_id, CellRef("Gene", 1))
+        assert store.attachments_on("Gene", rowid=2) == []
+
+    def test_true_attachment_pairs(self, store):
+        a = store.insert_annotation("x")
+        store.attach(a.annotation_id, CellRef("Gene", 1))
+        store.attach(
+            a.annotation_id, CellRef("Gene", 2), confidence=0.5,
+            kind=AttachmentKind.PREDICTED,
+        )
+        pairs = store.true_attachment_pairs()
+        assert pairs == [(a.annotation_id, TupleRef("Gene", 1))]
+
+    def test_count_by_kind(self, store):
+        a = store.insert_annotation("x")
+        store.attach(a.annotation_id, CellRef("Gene", 1))
+        store.attach(
+            a.annotation_id, CellRef("Gene", 2), confidence=0.5,
+            kind=AttachmentKind.PREDICTED,
+        )
+        assert store.count_attachments(AttachmentKind.TRUE) == 1
+        assert store.count_attachments(AttachmentKind.PREDICTED) == 1
+        assert store.count_attachments() == 2

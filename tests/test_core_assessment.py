@@ -1,0 +1,171 @@
+"""Unit + property tests for Definition 7.2 and the model metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.assessment import assess, average_assessments, band_counts
+from repro.core.model import false_negative_ratio, false_positive_ratio
+from repro.types import ScoredTuple, TupleRef
+
+
+def _t(i: int) -> TupleRef:
+    return TupleRef("Gene", i)
+
+
+def _scored(pairs):
+    return [ScoredTuple(_t(i), conf, ()) for i, conf in pairs]
+
+
+class TestBandCounts:
+    def test_basic_banding(self):
+        candidates = _scored([(1, 0.95), (2, 0.5), (3, 0.1), (4, 0.9), (5, 0.6)])
+        ideal = {_t(1), _t(2)}
+        counts = band_counts(candidates, ideal, [], 0.32, 0.86)
+        n_reject, n_verify_t, n_verify_f, n_accept_t, n_accept_f = counts
+        assert n_reject == 1       # #3
+        assert n_verify_t == 1     # #2 (0.5, correct)
+        assert n_verify_f == 1     # #5 (0.6, wrong)
+        assert n_accept_t == 1     # #1 (0.95, correct)
+        assert n_accept_f == 1     # #4 (0.9, wrong)
+
+    def test_focal_excluded(self):
+        candidates = _scored([(1, 0.95)])
+        counts = band_counts(candidates, {_t(1)}, [_t(1)], 0.32, 0.86)
+        assert counts == (0, 0, 0, 0, 0)
+
+
+class TestAssess:
+    def test_perfect_prediction(self):
+        candidates = _scored([(2, 0.95), (3, 0.9)])
+        ideal = {_t(1), _t(2), _t(3)}
+        result = assess(candidates, ideal, [_t(1)], 0.32, 0.86)
+        assert result.f_n == 0.0
+        assert result.f_p == 0.0
+        assert result.m_f == 0
+
+    def test_false_negative_counted(self):
+        candidates = _scored([(2, 0.95)])
+        ideal = {_t(1), _t(2), _t(3)}  # 3 is never found
+        result = assess(candidates, ideal, [_t(1)], 0.32, 0.86)
+        assert result.f_n == pytest.approx(1 / 3)
+
+    def test_rejected_true_link_is_false_negative(self):
+        candidates = _scored([(2, 0.1)])  # true link auto-rejected
+        ideal = {_t(1), _t(2)}
+        result = assess(candidates, ideal, [_t(1)], 0.32, 0.86)
+        assert result.f_n == pytest.approx(0.5)
+
+    def test_only_auto_accept_makes_false_positives(self):
+        # A wrong prediction in the verify band is caught by the expert, so
+        # it must not contribute to F_P (only to M_F).
+        candidates = _scored([(9, 0.6)])
+        ideal = {_t(1)}
+        result = assess(candidates, ideal, [_t(1)], 0.32, 0.86)
+        assert result.f_p == 0.0
+        assert result.m_f == 1
+        assert result.m_h == 0.0
+
+    def test_wrong_auto_accept_is_false_positive(self):
+        candidates = _scored([(9, 0.95)])
+        ideal = {_t(1)}
+        result = assess(candidates, ideal, [_t(1)], 0.32, 0.86)
+        assert result.f_p == pytest.approx(1 / 2)  # N_accept_F / (0 + 1 + 1)
+
+    def test_manual_hit_ratio(self):
+        candidates = _scored([(2, 0.6), (9, 0.6)])
+        ideal = {_t(1), _t(2)}
+        result = assess(candidates, ideal, [_t(1)], 0.32, 0.86)
+        assert result.m_f == 2
+        assert result.m_h == pytest.approx(0.5)
+
+    def test_empty_ideal(self):
+        result = assess([], set(), [], 0.32, 0.86)
+        assert result.f_n == 0.0
+        assert result.f_p == 0.0
+
+    def test_degenerate_bounds_no_expert(self):
+        # beta_lower == beta_upper == 0.5: everything is decided
+        # automatically, M_F must be zero.
+        candidates = _scored([(2, 0.6), (9, 0.55), (3, 0.4)])
+        ideal = {_t(1), _t(2), _t(3)}
+        result = assess(candidates, ideal, [_t(1)], 0.5, 0.5)
+        assert result.m_f == 0
+        assert result.n_accept == 2
+        assert result.n_reject == 1
+        assert result.f_p > 0.0   # the wrong 0.55 got auto-accepted
+        assert result.f_n > 0.0   # the true 0.4 got auto-rejected
+
+
+class TestAverage:
+    def test_average_of_two(self):
+        a = assess(_scored([(2, 0.95)]), {_t(1), _t(2)}, [_t(1)], 0.32, 0.86)
+        b = assess(_scored([(9, 0.6)]), {_t(1)}, [_t(1)], 0.32, 0.86)
+        avg = average_assessments([a, b])
+        assert avg.f_n == pytest.approx((a.f_n + b.f_n) / 2)
+        assert avg.m_f == round((a.m_f + b.m_f) / 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_assessments([])
+
+
+class TestModelMetrics:
+    def test_equations_one_and_two(self):
+        ideal = {(1, _t(1)), (1, _t(2)), (2, _t(3))}
+        actual = {(1, _t(1)), (2, _t(3)), (2, _t(4))}
+        assert false_negative_ratio(ideal, actual) == pytest.approx(1 / 3)
+        assert false_positive_ratio(ideal, actual) == pytest.approx(1 / 3)
+
+    def test_empty_sets(self):
+        assert false_negative_ratio(set(), {(1, _t(1))}) == 0.0
+        assert false_positive_ratio({(1, _t(1))}, set()) == 0.0
+
+    def test_no_predicted_edges_no_false_positives(self):
+        """Paper §3: a database without predicted edges has F_P = 0."""
+        ideal = {(1, _t(1)), (1, _t(2))}
+        actual = {(1, _t(1))}  # subset of ideal
+        assert false_positive_ratio(ideal, actual) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+
+_candidates_strategy = st.lists(
+    st.tuples(st.integers(1, 20), st.floats(0.0, 1.0, allow_nan=False)),
+    max_size=30,
+).map(lambda pairs: _scored([(i, round(c, 6)) for i, c in pairs]))
+
+
+@given(
+    candidates=_candidates_strategy,
+    ideal=st.sets(st.integers(1, 20), max_size=20).map(lambda s: {_t(i) for i in s}),
+    bounds=st.tuples(st.floats(0, 1), st.floats(0, 1)).map(
+        lambda p: (min(p), max(p))
+    ),
+)
+def test_assessment_invariants(candidates, ideal, bounds):
+    lower, upper = bounds
+    result = assess(candidates, ideal, [], lower, upper)
+    assert 0.0 <= result.f_n <= 1.0
+    assert 0.0 <= result.f_p <= 1.0
+    assert 0.0 <= result.m_h <= 1.0
+    assert result.m_f == result.n_verify
+    # Counter conservation: every non-focal candidate lands in one band.
+    total = result.n_reject + result.n_verify + result.n_accept
+    assert total == len(candidates)
+
+
+@given(
+    ideal=st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=20),
+    actual=st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=20),
+)
+def test_metric_identities(ideal, actual):
+    fn = false_negative_ratio(ideal, actual)
+    fp = false_positive_ratio(ideal, actual)
+    assert 0.0 <= fn <= 1.0
+    assert 0.0 <= fp <= 1.0
+    if ideal == actual:
+        assert fn == 0.0 and fp == 0.0
+    if ideal and actual and not (set(ideal) & set(actual)):
+        assert fn == 1.0 and fp == 1.0

@@ -1,0 +1,141 @@
+"""Unit tests for the context-based weight adjustment (Figure 17)."""
+
+import pytest
+
+from repro.config import NebulaConfig
+from repro.core.context_adjust import MatchType, adjust_context_weights
+from repro.core.signature_maps import SHAPE_VALUE, build_context_map
+
+from conftest import build_figure1_meta
+
+
+@pytest.fixture
+def meta():
+    return build_figure1_meta()
+
+
+def _weight_of(context, position, shape):
+    entry = context.entry_at(position)
+    return max(m.weight for m in entry.mappings if m.shape == shape)
+
+
+class TestMatchTypes:
+    def test_type1_strongest_reward(self, meta):
+        config = NebulaConfig()
+        # {table, column, value}: "gene id JW0018" — id is a GID equivalent.
+        context = build_context_map("gene id JW0018", meta, config.epsilon)
+        before = _weight_of(context, 2, SHAPE_VALUE)
+        reports = adjust_context_weights(context, config)
+        after = _weight_of(context, 2, SHAPE_VALUE)
+        assert after == pytest.approx(before * (1 + config.beta1))
+        value_report = next(
+            r for r in reports if r.position == 2 and "value" in r.mapping_description
+        )
+        assert value_report.match_type is MatchType.TYPE1
+
+    def test_type2_for_table_value_pair(self, meta):
+        config = NebulaConfig()
+        context = build_context_map("gene yaaB", meta, config.epsilon)
+        before = _weight_of(context, 1, SHAPE_VALUE)
+        adjust_context_weights(context, config)
+        after = _weight_of(context, 1, SHAPE_VALUE)
+        assert after == pytest.approx(before * (1 + config.beta2))
+
+    def test_type3_for_column_value_pair(self, meta):
+        config = NebulaConfig()
+        # "name" maps only to the Gene.Name column (triangle); grpC maps to
+        # the Gene.Name domain (hexagon): a pure Type-3 pair.
+        context = build_context_map("name grpC", meta, config.epsilon)
+        entry = context.entry_at(1)
+        assert entry is not None
+        before = _weight_of(context, 1, SHAPE_VALUE)
+        reports = adjust_context_weights(context, config)
+        after = _weight_of(context, 1, SHAPE_VALUE)
+        assert after == pytest.approx(before * (1 + config.beta3))
+        report = next(
+            r for r in reports if r.position == 1 and "value" in r.mapping_description
+        )
+        assert report.match_type is MatchType.TYPE3
+
+    def test_family_concept_word_forms_type1(self, meta):
+        # "family" maps both to the Gene table (via the Gene Family
+        # concept) and to the Family column, so "family F1" can assemble a
+        # full {table, column, value} Type-1 match around F1.
+        config = NebulaConfig()
+        context = build_context_map("family F1", meta, config.epsilon)
+        reports = adjust_context_weights(context, config)
+        report = next(
+            r for r in reports if r.position == 1 and "value" in r.mapping_description
+        )
+        assert report.match_type is MatchType.TYPE1
+
+    def test_no_match_no_change(self, meta):
+        config = NebulaConfig()
+        context = build_context_map("JW0014", meta, config.epsilon)
+        before = _weight_of(context, 0, SHAPE_VALUE)
+        adjust_context_weights(context, config)
+        assert _weight_of(context, 0, SHAPE_VALUE) == before
+
+    def test_mismatched_table_no_reward(self, meta):
+        config = NebulaConfig()
+        # "protein JW0014": the value maps to Gene.GID, the concept to the
+        # Protein table — inconsistent, so no reward for the value mapping.
+        context = build_context_map("protein JW0014", meta, config.epsilon)
+        before = _weight_of(context, 1, SHAPE_VALUE)
+        adjust_context_weights(context, config)
+        assert _weight_of(context, 1, SHAPE_VALUE) == before
+
+    def test_out_of_range_neighbor_ignored(self, meta):
+        config = NebulaConfig(alpha=2)
+        context = build_context_map(
+            "gene was seen near here JW0018", meta, config.epsilon
+        )
+        before = _weight_of(context, 5, SHAPE_VALUE)
+        adjust_context_weights(context, config)
+        assert _weight_of(context, 5, SHAPE_VALUE) == before
+
+
+class TestRewardMechanics:
+    def test_weights_may_exceed_one_before_normalization(self, meta):
+        # Figure 17 applies uncapped percent rewards; the [0, 1] range is
+        # restored by query-weight normalization, not by clamping here.
+        config = NebulaConfig(beta1=0.9, beta2=0.5, beta3=0.2)
+        context = build_context_map("gene id JW0018", meta, config.epsilon)
+        adjust_context_weights(context, config)
+        boosted = [
+            m.weight
+            for entry in context.entries.values()
+            for m in entry.mappings
+        ]
+        assert max(boosted) > 1.0
+
+    def test_multiple_matches_compound(self, meta):
+        config = NebulaConfig()
+        # Two table words around the value: two Type-2 matches.
+        context = build_context_map("gene gene yaaB", meta, config.epsilon)
+        reports = adjust_context_weights(context, config)
+        report = next(
+            r for r in reports if r.position == 2 and "value" in r.mapping_description
+        )
+        assert report.match_count == 2
+
+    def test_rewards_use_snapshot_not_cascade(self, meta):
+        """The same map adjusted twice from fresh builds must agree —
+        i.e. iteration order inside one pass cannot change the result."""
+        config = NebulaConfig()
+        first = build_context_map("gene id JW0018 and yaaB", meta, config.epsilon)
+        second = build_context_map("gene id JW0018 and yaaB", meta, config.epsilon)
+        adjust_context_weights(first, config)
+        adjust_context_weights(second, config)
+        for position in first.entries:
+            weights_a = sorted(m.weight for m in first.entries[position].mappings)
+            weights_b = sorted(m.weight for m in second.entries[position].mappings)
+            assert weights_a == weights_b
+
+    def test_concept_words_also_rewarded(self, meta):
+        config = NebulaConfig()
+        context = build_context_map("gene yaaB", meta, config.epsilon)
+        before = max(m.weight for m in context.entry_at(0).mappings)
+        adjust_context_weights(context, config)
+        after = max(m.weight for m in context.entry_at(0).mappings)
+        assert after > before

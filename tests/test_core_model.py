@@ -1,0 +1,88 @@
+"""Unit tests for the annotated-database graph model."""
+
+import pytest
+
+from repro.annotations.engine import AnnotationManager
+from repro.annotations.store import AttachmentKind
+from repro.core.model import AnnotatedDatabaseModel
+from repro.types import CellRef, TupleRef
+
+from conftest import build_figure1_connection
+
+
+@pytest.fixture
+def world():
+    manager = AnnotationManager(build_figure1_connection())
+    a = manager.add_annotation("a", attach_to=[CellRef("Gene", 1), CellRef("Gene", 2)])
+    b = manager.add_annotation("b", attach_to=[CellRef("Gene", 2)])
+    manager.attach_predicted(b.annotation_id, CellRef("Gene", 3), 0.7)
+    return manager, a, b
+
+
+class TestEdges:
+    def test_edges_cover_true_and_predicted(self, world):
+        manager, a, b = world
+        model = AnnotatedDatabaseModel(manager)
+        edges = model.edges()
+        assert len(edges) == 4
+        kinds = {e.kind for e in edges}
+        assert kinds == {AttachmentKind.TRUE, AttachmentKind.PREDICTED}
+
+    def test_predicted_excludable(self, world):
+        manager, *_ = world
+        model = AnnotatedDatabaseModel(manager)
+        assert len(model.edges(include_predicted=False)) == 3
+
+    def test_edge_weights(self, world):
+        manager, a, b = world
+        model = AnnotatedDatabaseModel(manager)
+        for edge in model.edges():
+            if edge.kind is AttachmentKind.TRUE:
+                assert edge.weight == 1.0
+            else:
+                assert edge.weight < 1.0
+
+    def test_true_edge_keys(self, world):
+        manager, a, b = world
+        model = AnnotatedDatabaseModel(manager)
+        assert (b.annotation_id, TupleRef("Gene", 3)) not in model.true_edge_keys()
+        assert (a.annotation_id, TupleRef("Gene", 1)) in model.true_edge_keys()
+
+
+class TestQuality:
+    def test_quality_against_ideal(self, world):
+        manager, a, b = world
+        model = AnnotatedDatabaseModel(manager)
+        ideal = {
+            (a.annotation_id, TupleRef("Gene", 1)),
+            (a.annotation_id, TupleRef("Gene", 2)),
+            (b.annotation_id, TupleRef("Gene", 2)),
+            (b.annotation_id, TupleRef("Gene", 4)),  # missing from store
+        }
+        f_n, f_p = model.quality(ideal)
+        assert f_n == pytest.approx(1 / 4)  # Gene#4 link missing
+        assert f_p == pytest.approx(1 / 4)  # the predicted Gene#3 edge
+
+    def test_without_predictions_fp_zero(self, world):
+        manager, a, b = world
+        model = AnnotatedDatabaseModel(manager)
+        ideal = model.true_edge_keys() | {(a.annotation_id, TupleRef("Gene", 7))}
+        f_n, f_p = model.quality(ideal, include_predicted=False)
+        assert f_p == 0.0
+        assert f_n > 0.0
+
+
+class TestDegrees:
+    def test_annotation_degree(self, world):
+        manager, a, b = world
+        model = AnnotatedDatabaseModel(manager)
+        degrees = model.annotation_degree()
+        assert degrees[a.annotation_id] == 2
+        assert degrees[b.annotation_id] == 2  # one true + one predicted
+
+    def test_tuple_degree(self, world):
+        manager, a, b = world
+        model = AnnotatedDatabaseModel(manager)
+        degrees = model.tuple_degree()
+        assert degrees[TupleRef("Gene", 2)] == 2
+        assert degrees[TupleRef("Gene", 3)] == 1

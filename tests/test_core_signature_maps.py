@@ -1,0 +1,117 @@
+"""Unit tests for signature-map construction (Stage 1, Steps 1-3)."""
+
+import pytest
+
+from repro.core.signature_maps import (
+    SHAPE_COLUMN,
+    SHAPE_TABLE,
+    SHAPE_VALUE,
+    build_concept_map,
+    build_context_map,
+    build_value_map,
+    overlay_maps,
+)
+from repro.utils.tokenize import tokenize
+
+from conftest import build_figure1_meta
+
+
+@pytest.fixture
+def meta():
+    return build_figure1_meta()
+
+
+class TestConceptMap:
+    def test_table_word_emphasized(self, meta):
+        tokens = tokenize("the gene JW0014")
+        entries = build_concept_map(tokens, meta, epsilon=0.6)
+        assert 1 in entries
+        assert SHAPE_TABLE in entries[1].shapes()
+
+    def test_value_word_not_in_concept_map(self, meta):
+        tokens = tokenize("the gene JW0014")
+        entries = build_concept_map(tokens, meta, epsilon=0.6)
+        assert 2 not in entries
+
+    def test_cutoff_drops_synonyms(self, meta):
+        tokens = tokenize("this cistron here")  # lexicon synonym, score 0.65
+        loose = build_concept_map(tokens, meta, epsilon=0.6)
+        tight = build_concept_map(tokens, meta, epsilon=0.8)
+        assert 1 in loose
+        assert 1 not in tight
+
+    def test_column_word_shape(self, meta):
+        tokens = tokenize("the family column")
+        entries = build_concept_map(tokens, meta, epsilon=0.6)
+        assert SHAPE_COLUMN in entries[1].shapes()
+
+    def test_mappings_below_epsilon_removed(self, meta):
+        tokens = tokenize("gene")
+        entries = build_concept_map(tokens, meta, epsilon=0.9)
+        assert all(
+            m.weight >= 0.9 for e in entries.values() for m in e.mappings
+        )
+
+
+class TestValueMap:
+    def test_identifier_emphasized(self, meta):
+        tokens = tokenize("about JW0014 today")
+        entries = build_value_map(tokens, meta, epsilon=0.6)
+        assert 1 in entries
+        assert entries[1].shapes() == (SHAPE_VALUE,)
+
+    def test_gene_name_case_matters(self, meta):
+        # Exact-case pattern evidence scores 0.9; casefolded-only evidence
+        # scores 0.6 — visible at the tight 0.8 cutoff.
+        strong = build_value_map(tokenize("grpC"), meta, epsilon=0.8)
+        weak = build_value_map(tokenize("GRPC"), meta, epsilon=0.8)
+        assert 0 in strong
+        assert 0 not in weak
+        loose = build_value_map(tokenize("GRPC"), meta, epsilon=0.6)
+        assert 0 in loose  # casefold evidence admits at the loose cutoff
+
+    def test_plain_word_not_emphasized(self, meta):
+        entries = build_value_map(tokenize("spectacular"), meta, epsilon=0.6)
+        assert entries == {}
+
+    def test_ontology_value(self, meta):
+        entries = build_value_map(tokenize("an enzyme assay"), meta, epsilon=0.6)
+        assert 1 in entries
+        assert entries[1].mappings[0].column == "PType"
+
+
+class TestOverlay:
+    def test_overlay_merges_shapes(self, meta):
+        tokens = tokenize("gene JW0014")
+        concept = build_concept_map(tokens, meta, epsilon=0.6)
+        value = build_value_map(tokens, meta, epsilon=0.6)
+        context = overlay_maps(tokens, concept, value)
+        assert context.emphasized_positions() == [0, 1]
+
+    def test_word_with_both_kinds_of_mappings(self, meta):
+        # "enzyme" is a lexicon synonym of the Protein table name AND an
+        # ontology member of Protein.PType: both mappings must coexist.
+        context = build_context_map("the enzyme levels", meta, epsilon=0.6)
+        entry = context.entry_at(1)
+        assert entry is not None
+        shapes = set(entry.shapes())
+        assert SHAPE_VALUE in shapes and SHAPE_TABLE in shapes
+
+    def test_neighbors_respect_alpha(self, meta):
+        context = build_context_map("gene one two three JW0014", meta, epsilon=0.6)
+        # positions: gene=0, jw0014=4; alpha=3 excludes, alpha=4 includes.
+        assert context.entries.keys() == {0, 4}
+        assert context.neighbors(4, alpha=3) == []
+        assert [e.position for e in context.neighbors(4, alpha=4)] == [0]
+
+    def test_render_shows_placeholders(self, meta):
+        context = build_context_map("the gene JW0014", meta, epsilon=0.6)
+        rendered = context.render()
+        assert rendered.startswith("- ")
+        assert "gene[" in rendered and "JW0014[" in rendered
+
+    def test_best_prefers_higher_weight(self, meta):
+        context = build_context_map("gene", meta, epsilon=0.6)
+        best = context.entry_at(0).best()
+        assert best.shape == SHAPE_TABLE
+        assert best.weight == pytest.approx(0.95)

@@ -1,0 +1,111 @@
+"""Unit tests for the mini database and focal-based spreading search."""
+
+import pytest
+
+from repro.core.acg import AnnotationsConnectivityGraph
+from repro.core.spreading import MiniDatabase, select_radius, spreading_scope
+from repro.core.acg import HopProfile
+from repro.types import TupleRef
+
+from conftest import build_figure1_connection
+
+
+@pytest.fixture
+def connection():
+    return build_figure1_connection()
+
+
+@pytest.fixture
+def chain_acg():
+    # Gene#1 - Gene#2 - Gene#3 - Gene#4, plus isolated Protein#1 edge.
+    acg = AnnotationsConnectivityGraph()
+    for ann, (a, b) in enumerate([(1, 2), (2, 3), (3, 4)], start=1):
+        acg.add_attachment(ann, TupleRef("Gene", a))
+        acg.add_attachment(ann, TupleRef("Gene", b))
+    acg.add_attachment(9, TupleRef("Protein", 1))
+    acg.add_attachment(9, TupleRef("Gene", 4))
+    return acg
+
+
+class TestMiniDatabase:
+    def test_materializes_with_preserved_rowids(self, connection):
+        refs = [TupleRef("Gene", 2), TupleRef("Gene", 5)]
+        mini = MiniDatabase.materialize(connection, refs)
+        rows = connection.execute(
+            f"SELECT rowid, GID FROM {mini.tables['Gene']} ORDER BY rowid"
+        ).fetchall()
+        assert rows == [(2, "JW0014"), (5, "JW0019")]
+
+    def test_row_counts(self, connection):
+        mini = MiniDatabase.materialize(
+            connection, [TupleRef("Gene", 1), TupleRef("Protein", 1)]
+        )
+        assert mini.row_counts == {"Gene": 1, "Protein": 1}
+        assert mini.total_rows == 2
+
+    def test_drop_removes_tables(self, connection):
+        mini = MiniDatabase.materialize(connection, [TupleRef("Gene", 1)])
+        name = mini.tables["Gene"]
+        mini.drop()
+        with pytest.raises(Exception):
+            connection.execute(f"SELECT * FROM {name}")
+
+    def test_context_manager(self, connection):
+        with MiniDatabase.materialize(connection, [TupleRef("Gene", 1)]) as mini:
+            assert mini.total_rows == 1
+        assert mini.tables == {}
+
+    def test_rematerialization_overwrites(self, connection):
+        MiniDatabase.materialize(connection, [TupleRef("Gene", 1)])
+        mini = MiniDatabase.materialize(connection, [TupleRef("Gene", 2)])
+        rows = connection.execute(f"SELECT rowid FROM {mini.tables['Gene']}").fetchall()
+        assert rows == [(2,)]
+
+
+class TestSpreadingScope:
+    def test_scope_covers_k_hop(self, connection, chain_acg):
+        focal = [TupleRef("Gene", 1)]
+        scope, mini = spreading_scope(connection, chain_acg, focal, k=2)
+        assert scope.allows("Gene", 1)
+        assert scope.allows("Gene", 3)
+        assert not scope.allows("Gene", 4)
+        mini.drop()
+
+    def test_focal_included_even_if_not_in_acg(self, connection, chain_acg):
+        focal = [TupleRef("Gene", 6)]  # not annotated yet
+        scope, mini = spreading_scope(connection, chain_acg, focal, k=2)
+        assert scope.allows("Gene", 6)
+        mini.drop()
+
+    def test_scope_uses_physical_minidb(self, connection, chain_acg):
+        scope, mini = spreading_scope(
+            connection, chain_acg, [TupleRef("Gene", 1)], k=1
+        )
+        assert "SELECT rowid FROM _minidb_Gene" in scope.sql_filters()["gene"]
+        mini.drop()
+
+    def test_no_materialization_mode(self, connection, chain_acg):
+        scope, mini = spreading_scope(
+            connection, chain_acg, [TupleRef("Gene", 1)], k=1, materialize=False
+        )
+        assert mini is None
+        assert "rowid IN (" in scope.sql_filters()["gene"]
+
+    def test_cross_table_neighbors_included(self, connection, chain_acg):
+        scope, mini = spreading_scope(
+            connection, chain_acg, [TupleRef("Gene", 4)], k=1
+        )
+        assert scope.allows("Protein", 1)
+        mini.drop()
+
+
+class TestSelectRadius:
+    def test_profile_guided(self):
+        profile = HopProfile()
+        for hops in [1] * 80 + [2] * 15 + [3] * 5:
+            profile.record(hops)
+        assert select_radius(profile, 0.90, fallback=7) == 2
+
+    def test_fallback_without_profile(self):
+        assert select_radius(None, 0.9, fallback=3) == 3
+        assert select_radius(HopProfile(), 0.9, fallback=3) == 3

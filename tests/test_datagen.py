@@ -1,0 +1,271 @@
+"""Unit tests for the synthetic data generator and workload builder."""
+
+import re
+
+import pytest
+
+from repro.datagen.biodb import BioDatabaseSpec, generate_bio_database
+from repro.datagen.text import ReferenceStyle, TextSynthesizer
+from repro.datagen.vocab import FILLER_WORDS, PROTEIN_TYPES, VocabularyBuilder
+from repro.datagen.workload import (
+    DATASET_SCALES,
+    REFERENCE_BANDS,
+    SIZE_GROUPS,
+    WorkloadSpec,
+    generate_workload,
+)
+from repro.utils.rng import make_rng
+from repro.utils.tokenize import normalize_word
+
+
+class TestVocabulary:
+    @pytest.fixture
+    def vocab(self):
+        return VocabularyBuilder(make_rng(3, "t"))
+
+    def test_gene_id_format(self, vocab):
+        assert re.fullmatch(r"JW\d{4}", vocab.gene_id(14))
+
+    def test_gene_name_format(self, vocab):
+        for _ in range(50):
+            assert re.fullmatch(r"[a-z]{3}[A-Z]", vocab.gene_name())
+
+    def test_gene_names_unique(self, vocab):
+        names = [vocab.gene_name() for _ in range(100)]
+        assert len(set(names)) == 100
+
+    def test_gene_names_avoid_filler_collisions(self, vocab):
+        filler = {normalize_word(w) for w in FILLER_WORDS}
+        for _ in range(200):
+            assert normalize_word(vocab.gene_name()) not in filler
+
+    def test_protein_id_format(self, vocab):
+        assert re.fullmatch(r"P\d{5}", vocab.protein_id(2))
+
+    def test_protein_names_heterogeneous(self, vocab):
+        names = [vocab.protein_name(i) for i in range(9)]
+        # Three distinct shape families by construction.
+        assert any("-" in n for n in names)
+        assert any(n[-1].isdigit() and "-" not in n for n in names)
+
+    def test_records_complete(self, vocab):
+        gene = vocab.gene(5)
+        assert gene.family in [f"F{i}" for i in range(1, 10)]
+        assert set(gene.seq) <= set("ACGT")
+        protein = vocab.protein(3, gene.gid)
+        assert protein.ptype in PROTEIN_TYPES
+        assert protein.gid == gene.gid
+
+    def test_filler_sentence_no_placeholders(self, vocab):
+        for _ in range(30):
+            sentence = vocab.filler_sentence()
+            assert "{w}" not in sentence and "{concept}" not in sentence
+
+
+class TestTextSynthesizer:
+    @pytest.fixture
+    def synth(self):
+        return TextSynthesizer(VocabularyBuilder(make_rng(5, "v")), make_rng(5, "t"))
+
+    @pytest.fixture
+    def records(self):
+        vocab = VocabularyBuilder(make_rng(9, "r"))
+        genes = [vocab.gene(i) for i in range(4)]
+        proteins = [vocab.protein(i, genes[i].gid) for i in range(2)]
+        return genes, proteins
+
+    def test_all_keywords_present_in_text(self, synth, records):
+        genes, proteins = records
+        text, references = synth.compose(genes, proteins, max_bytes=1000)
+        for reference in references:
+            assert reference.keyword in text
+
+    def test_reference_count_matches(self, synth, records):
+        genes, proteins = records
+        _, references = synth.compose(genes, proteins, max_bytes=1000)
+        assert {r.key for r in references} == {g.gid for g in genes} | {
+            p.pid for p in proteins
+        }
+
+    def test_byte_budget_respected(self, synth, records):
+        genes, proteins = records
+        for budget in (80, 200, 500):
+            text, _ = synth.compose(genes[:2], [], max_bytes=budget)
+            assert len(text.encode()) <= budget
+
+    def test_terse_fallback_for_tight_budget(self, synth, records):
+        genes, _ = records
+        text, references = synth.compose(genes[:3], [], max_bytes=50)
+        assert len(text.encode()) <= 50
+        assert len(references) == 3
+
+    def test_impossible_budget_raises(self, synth, records):
+        genes, proteins = records
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            synth.compose(genes, proteins, max_bytes=20)
+
+    def test_head_reference_has_concept_style(self, synth, records):
+        genes, _ = records
+        _, references = synth.compose(genes[:1], [], max_bytes=200)
+        assert references[0].style in (
+            ReferenceStyle.TYPE1, ReferenceStyle.TYPE2, ReferenceStyle.TYPE3,
+        )
+
+
+class TestBioDatabase:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_bio_database(
+            BioDatabaseSpec(genes=60, proteins=35, publications=150, seed=3)
+        )
+
+    def test_table_cardinalities(self, db):
+        counts = {
+            table: db.connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            for table in ("Gene", "Protein", "Publication")
+        }
+        assert counts == {"Gene": 60, "Protein": 35, "Publication": 150}
+
+    def test_fk_integrity(self, db):
+        orphans = db.connection.execute(
+            "SELECT COUNT(*) FROM Protein p LEFT JOIN Gene g ON p.GID = g.GID "
+            "WHERE g.GID IS NULL"
+        ).fetchone()[0]
+        assert orphans == 0
+
+    def test_protein_publication_bridge_consistent(self, db):
+        # Every bridge row corresponds to a protein reference in the truth.
+        bridge = db.connection.execute(
+            "SELECT COUNT(*) FROM ProteinPublication pp "
+            "LEFT JOIN Protein p ON pp.PID = p.PID WHERE p.PID IS NULL"
+        ).fetchone()[0]
+        assert bridge == 0
+
+    def test_every_publication_is_an_annotation(self, db):
+        assert db.manager.store.count_annotations() == 150
+        assert len(db.truths) == 150
+
+    def test_truth_refs_match_attachments(self, db):
+        for annotation_id, truth in list(db.truths.items())[:20]:
+            focal = db.manager.focal_of(annotation_id)
+            assert set(focal) == set(truth.refs)
+
+    def test_abstracts_embed_reference_keywords(self, db):
+        for truth in list(db.truths.values())[:20]:
+            annotation = db.manager.annotation(truth.annotation_id)
+            for reference in truth.references:
+                assert reference.keyword in annotation.content
+
+    def test_reference_counts_in_band(self, db):
+        for truth in db.truths.values():
+            assert 1 <= len(truth.refs) <= 10
+
+    def test_meta_patterns_inferred(self, db):
+        assert db.meta.pattern_for("Gene", "GID") is not None
+        assert db.meta.pattern_for("Protein", "PID") is not None
+        assert db.meta.pattern_for("Protein", "PName") is None  # heterogeneous
+
+    def test_meta_ontology_attached(self, db):
+        onto = db.meta.ontology_for("Protein", "PType")
+        assert onto is not None and "enzyme" in onto
+
+    def test_searchable_columns(self, db):
+        assert ("Gene", "GID") in db.searchable_columns
+        assert ("Protein", "PType") in db.searchable_columns
+
+    def test_determinism(self):
+        spec = BioDatabaseSpec(genes=20, proteins=10, publications=30, seed=11)
+        a = generate_bio_database(spec)
+        b = generate_bio_database(spec)
+        assert [g.gid for g in a.genes] == [g.gid for g in b.genes]
+        assert [g.name for g in a.genes] == [g.name for g in b.genes]
+        text_a = [t.pub_key for t in a.truths.values()]
+        text_b = [t.pub_key for t in b.truths.values()]
+        assert text_a == text_b
+
+    def test_scaled_spec(self):
+        spec = BioDatabaseSpec(genes=10, proteins=5, publications=20).scaled(3)
+        assert (spec.genes, spec.proteins, spec.publications) == (30, 15, 60)
+
+    def test_community_members(self, db):
+        genes, proteins = db.community_members(0)
+        assert len(genes) == db.spec.community_size
+        assert all(p.gid in {g.gid for g in genes} for p in proteins)
+
+
+class TestWorkload:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_bio_database(
+            BioDatabaseSpec(genes=60, proteins=35, publications=150, seed=3)
+        )
+
+    @pytest.fixture(scope="class")
+    def workload(self, db):
+        return generate_workload(db, WorkloadSpec(seed=21))
+
+    def test_sixty_annotations(self, workload):
+        assert len(workload) == 60
+
+    def test_fifteen_per_size_group(self, workload):
+        for size in SIZE_GROUPS:
+            assert len(workload.group(size)) == 15
+
+    def test_l50_backfills_infeasible_band(self, workload):
+        # The 7-10 band cannot fit in 50 bytes; its five annotations are
+        # redistributed into the two smaller bands (paper footnote 3).
+        assert workload.subset(50, (7, 10)) == []
+        assert len(workload.subset(50, (1, 3))) + len(
+            workload.subset(50, (4, 6))
+        ) == 15
+
+    def test_larger_groups_have_all_bands(self, workload):
+        for size in (100, 500, 1000):
+            for band in REFERENCE_BANDS:
+                assert len(workload.subset(size, band)) == 5
+
+    def test_reference_counts_within_band(self, workload):
+        for annotation in workload.annotations:
+            low, high = annotation.band
+            assert low <= len(annotation.ideal_keywords) <= high
+
+    def test_size_limits_respected(self, workload):
+        for annotation in workload.annotations:
+            assert len(annotation.text.encode()) <= annotation.size_limit
+
+    def test_keywords_present_in_text(self, workload):
+        for annotation in workload.annotations:
+            lowered = annotation.text.casefold()
+            for keyword in annotation.ideal_keywords:
+                assert keyword in lowered
+
+    def test_distortion_keeps_delta_links(self, workload):
+        annotation = next(
+            a for a in workload.annotations if len(a.ideal_refs) >= 4
+        )
+        focal = annotation.focal(2)
+        assert len(focal) == 2
+        assert set(focal) <= set(annotation.ideal_refs)
+        missing = annotation.missing(focal)
+        assert set(missing) | set(focal) == set(annotation.ideal_refs)
+
+    def test_distortion_deterministic(self, workload):
+        annotation = workload.annotations[0]
+        assert annotation.focal(1, seed=5) == annotation.focal(1, seed=5)
+
+    def test_distortion_delta_exceeding_links(self, workload):
+        annotation = next(
+            a for a in workload.annotations if len(a.ideal_refs) <= 3
+        )
+        assert annotation.focal(10) == annotation.ideal_refs
+
+    def test_invalid_delta(self, workload):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            workload.annotations[0].focal(0)
+
+    def test_dataset_scales_defined(self):
+        assert DATASET_SCALES == {"small": 1, "mid": 4, "large": 8}

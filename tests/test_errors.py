@@ -1,0 +1,61 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_class",
+        [
+            errors.ConfigurationError,
+            errors.StorageError,
+            errors.MetadataError,
+            errors.SearchError,
+            errors.WorkloadError,
+            errors.VerificationError,
+            errors.CommandError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc_class):
+        assert issubclass(exc_class, errors.NebulaError)
+
+    def test_specific_storage_errors(self):
+        assert issubclass(errors.UnknownTableError, errors.StorageError)
+        assert issubclass(errors.UnknownColumnError, errors.StorageError)
+        assert issubclass(errors.UnknownAnnotationError, errors.StorageError)
+        assert issubclass(errors.UnknownTupleError, errors.StorageError)
+
+    def test_unknown_table_carries_context(self):
+        error = errors.UnknownTableError("Foo")
+        assert error.table == "Foo"
+        assert "Foo" in str(error)
+
+    def test_unknown_column_carries_context(self):
+        error = errors.UnknownColumnError("Gene", "Bar")
+        assert (error.table, error.column) == ("Gene", "Bar")
+        assert "Bar" in str(error)
+
+    def test_unknown_annotation_carries_id(self):
+        assert errors.UnknownAnnotationError(42).annotation_id == 42
+
+    def test_unknown_tuple_carries_ref(self):
+        error = errors.UnknownTupleError("Gene", 7)
+        assert (error.table, error.rowid) == ("Gene", 7)
+
+    def test_unknown_concept(self):
+        assert issubclass(errors.UnknownConceptError, errors.MetadataError)
+        assert errors.UnknownConceptError("X").concept == "X"
+
+    def test_unknown_verification_task(self):
+        error = errors.UnknownVerificationTaskError(9)
+        assert error.task_id == 9
+        assert issubclass(type(error), errors.VerificationError)
+
+    def test_empty_query_is_search_error(self):
+        assert issubclass(errors.EmptyQueryError, errors.SearchError)
+
+    def test_catch_all(self):
+        with pytest.raises(errors.NebulaError):
+            raise errors.UnknownTableError("anything")

@@ -1,0 +1,65 @@
+"""Unit tests for the embedded lexicon (WordNet substitute)."""
+
+from repro.meta.lexicon import DEFAULT_LEXICON, Lexicon
+
+
+class TestLexicon:
+    def test_synonyms_are_symmetric(self):
+        lex = Lexicon([("gene", "locus", "cistron")])
+        assert lex.are_synonyms("gene", "locus")
+        assert lex.are_synonyms("locus", "gene")
+
+    def test_word_is_its_own_synonym(self):
+        lex = Lexicon()
+        assert lex.are_synonyms("gene", "Gene")
+
+    def test_synonyms_excludes_self(self):
+        lex = Lexicon([("gene", "locus")])
+        assert "gene" not in lex.synonyms("gene")
+        assert lex.synonyms("gene") == frozenset({"locus"})
+
+    def test_unknown_word_has_no_synonyms(self):
+        assert Lexicon().synonyms("quux") == frozenset()
+
+    def test_multiple_synsets_union(self):
+        lex = Lexicon([("bank", "shore"), ("bank", "institution")])
+        assert lex.synonyms("bank") == frozenset({"shore", "institution"})
+
+    def test_case_insensitive(self):
+        lex = Lexicon([("Gene", "LOCUS")])
+        assert lex.are_synonyms("gene", "locus")
+
+    def test_single_word_synset_ignored(self):
+        lex = Lexicon([("gene",)])
+        assert len(lex) == 0
+
+    def test_hyponyms(self):
+        lex = Lexicon(hyponyms={"molecule": ("protein", "enzyme")})
+        assert lex.is_hyponym("protein", "molecule")
+        assert not lex.is_hyponym("molecule", "protein")
+        assert lex.hyponyms("molecule") == frozenset({"protein", "enzyme"})
+
+    def test_add_hyponyms_merges(self):
+        lex = Lexicon()
+        lex.add_hyponyms("record", ["gene"])
+        lex.add_hyponyms("record", ["protein"])
+        assert lex.hyponyms("record") == frozenset({"gene", "protein"})
+
+    def test_knows(self):
+        lex = Lexicon([("gene", "locus")], {"molecule": ("protein",)})
+        assert lex.knows("gene")
+        assert lex.knows("molecule")
+        assert not lex.knows("xyzzy")
+
+
+class TestDefaultLexicon:
+    def test_domain_synonyms_present(self):
+        assert DEFAULT_LEXICON.are_synonyms("gene", "locus")
+        assert DEFAULT_LEXICON.are_synonyms("protein", "enzyme")
+        assert DEFAULT_LEXICON.are_synonyms("id", "identifier")
+
+    def test_nonsense_not_synonyms(self):
+        assert not DEFAULT_LEXICON.are_synonyms("gene", "protein")
+
+    def test_has_reasonable_size(self):
+        assert len(DEFAULT_LEXICON) >= 20

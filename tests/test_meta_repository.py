@@ -1,0 +1,153 @@
+"""Unit tests for NebulaMeta: ConceptRefs, p(w, c), and d(w, c)."""
+
+import pytest
+
+from repro.errors import MetadataError, UnknownConceptError
+from repro.meta.concepts import ConceptRef, ReferencingColumn
+from repro.meta.repository import (
+    EQUIVALENT_NAME_SCORE,
+    EXACT_NAME_SCORE,
+    SYNONYM_NAME_SCORE,
+    NebulaMeta,
+)
+
+from conftest import build_figure1_connection, build_figure1_meta
+
+
+class TestConceptRef:
+    def test_build_single_and_combined_alternatives(self):
+        ref = ConceptRef.build("Protein", "Protein", [["PID"], ["PName", "PType"]])
+        assert len(ref.referenced_by) == 2
+        assert ref.referenced_by[1] == (
+            ReferencingColumn("Protein", "PName"),
+            ReferencingColumn("Protein", "PType"),
+        )
+
+    def test_qualified_column_names(self):
+        ref = ConceptRef.build("X", "A", [["B.col"]])
+        assert ref.referenced_by[0][0].table == "B"
+
+    def test_matches_name_with_equivalents(self):
+        ref = ConceptRef.build("Gene", "Gene", [["GID"]], equivalent_names=["locus"])
+        assert ref.matches_name("gene")
+        assert ref.matches_name("LOCUS")
+        assert not ref.matches_name("protein")
+
+    def test_referencing_columns_flattened(self):
+        ref = ConceptRef.build("Protein", "Protein", [["PID"], ["PName", "PType"]])
+        columns = {c.column for c in ref.referencing_columns}
+        assert columns == {"PID", "PName", "PType"}
+
+
+class TestConceptMappings:
+    @pytest.fixture
+    def meta(self):
+        return build_figure1_meta()
+
+    def test_exact_table_name(self, meta):
+        mappings = meta.concept_mappings("gene")
+        table_hits = [m for m in mappings if m.kind == "table" and m.table == "Gene"]
+        assert table_hits and table_hits[0].score == EXACT_NAME_SCORE
+
+    def test_equivalent_name(self, meta):
+        mappings = meta.concept_mappings("genes")
+        assert any(
+            m.kind == "table" and m.score == EQUIVALENT_NAME_SCORE for m in mappings
+        )
+
+    def test_column_equivalent(self, meta):
+        mappings = meta.concept_mappings("id")
+        assert any(
+            m.kind == "column" and m.column == "GID" and m.score == EQUIVALENT_NAME_SCORE
+            for m in mappings
+        )
+
+    def test_synonym_via_lexicon(self, meta):
+        # "cistron" is in the gene synset of the default lexicon.
+        mappings = meta.concept_mappings("cistron")
+        assert any(m.score == SYNONYM_NAME_SCORE for m in mappings)
+
+    def test_exact_column_name(self, meta):
+        mappings = meta.concept_mappings("family")
+        assert any(m.kind == "column" and m.column == "Family" for m in mappings)
+
+    def test_stopwords_never_map(self, meta):
+        assert meta.concept_mappings("the") == []
+
+    def test_unrelated_word(self, meta):
+        assert meta.concept_mappings("spectacular") == []
+
+    def test_mappings_sorted_best_first(self, meta):
+        mappings = meta.concept_mappings("gene")
+        scores = [m.score for m in mappings]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestValueMappings:
+    @pytest.fixture
+    def meta(self):
+        return build_figure1_meta()
+
+    def test_pattern_match_scores_high(self, meta):
+        mappings = meta.value_mappings("JW0014")
+        gid = [m for m in mappings if m.column == "GID"]
+        assert gid and gid[0].score >= 0.8
+        assert any("pattern" in e for e in gid[0].evidence)
+
+    def test_gene_name_pattern_case_sensitive(self, meta):
+        strong = meta.value_mappings("nhaA")
+        weak = meta.value_mappings("nhaa")
+        strong_name = max(m.score for m in strong if m.column == "Name")
+        weak_name = max((m.score for m in weak if m.column == "Name"), default=0.0)
+        assert strong_name > weak_name
+
+    def test_ontology_member(self, meta):
+        mappings = meta.value_mappings("enzyme")
+        ptype = [m for m in mappings if m.column == "PType"]
+        assert ptype and ptype[0].score >= 0.8
+
+    def test_sample_exact_membership(self, meta):
+        mappings = meta.value_mappings("G-Actin")
+        pname = [m for m in mappings if m.column == "PName"]
+        assert pname and pname[0].score >= 0.8
+
+    def test_type_only_evidence_insufficient(self, meta):
+        # A word with no ontology/pattern/sample signal yields no mapping
+        # for pattern-guarded columns.
+        mappings = meta.value_mappings("zzzzzzzzzzzzzzzz")
+        assert all(m.score < 0.6 for m in mappings)
+
+    def test_stopword_rejected(self, meta):
+        assert meta.value_mappings("the") == []
+
+    def test_sorted_best_first(self, meta):
+        mappings = meta.value_mappings("JW0013")
+        scores = [m.score for m in mappings]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestBootstrap:
+    def test_bootstrap_draws_samples_and_patterns(self):
+        connection = build_figure1_connection()
+        meta = NebulaMeta()
+        meta.add_concept(ConceptRef.build("Gene", "Gene", [["GID"], ["Name"]]))
+        meta.bootstrap_from_connection(connection, sample_size=10)
+        assert meta.sample_for("Gene", "GID") is not None
+        assert meta.pattern_for("Gene", "GID") is not None
+        # 7 hand-picked names are enough support and share the template.
+        assert meta.pattern_for("Gene", "Name") is not None
+
+    def test_bootstrap_rejects_unknown_column(self):
+        connection = build_figure1_connection()
+        meta = NebulaMeta()
+        meta.add_concept(ConceptRef.build("Gene", "Gene", [["NoSuchColumn"]]))
+        with pytest.raises(MetadataError):
+            meta.bootstrap_from_connection(connection)
+
+    def test_get_concept_unknown(self):
+        with pytest.raises(UnknownConceptError):
+            NebulaMeta().get_concept("nothing")
+
+    def test_get_concept_case_insensitive(self):
+        meta = build_figure1_meta()
+        assert meta.get_concept("GENE").concept == "Gene"

@@ -1,0 +1,156 @@
+"""Unit tests for configurations, SQL generation, and the search engine."""
+
+import pytest
+
+from repro.errors import EmptyQueryError
+from repro.meta.lexicon import DEFAULT_LEXICON
+from repro.search.configurations import enumerate_configurations
+from repro.search.engine import KeywordQuery, KeywordSearchEngine, SearchScope
+from repro.search.sqlgen import generate_sql
+from repro.types import TupleRef
+
+from conftest import build_figure1_connection
+
+SEARCHABLE = [("Gene", "GID"), ("Gene", "Name"), ("Protein", "PID"),
+              ("Protein", "PName"), ("Protein", "PType")]
+
+
+@pytest.fixture
+def engine():
+    return KeywordSearchEngine(
+        build_figure1_connection(),
+        searchable_columns=SEARCHABLE,
+        aliases={"genes": ("Gene", None)},
+        lexicon=DEFAULT_LEXICON,
+    )
+
+
+class TestConfigurations:
+    def test_requires_a_value_mapping(self, engine):
+        mappings = engine.mapper.map_query(["gene"])  # schema-only word
+        assert enumerate_configurations(mappings, engine.schema) == []
+
+    def test_configurations_sorted_best_first(self, engine):
+        mappings = engine.mapper.map_query(["gene", "JW0013"])
+        configs = enumerate_configurations(mappings, engine.schema)
+        scores = [c.score for c in configs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_coherent_config_wins(self, engine):
+        mappings = engine.mapper.map_query(["gene", "JW0013"])
+        best = enumerate_configurations(mappings, engine.schema)[0]
+        assert best.value_mappings
+        assert best.value_mappings[0].table == "Gene"
+        assert any(m.kind.value == "table" for m in best.schema_mappings)
+
+    def test_dedupe_by_value_signature(self, engine):
+        mappings = engine.mapper.map_query(["gene", "JW0013"])
+        configs = enumerate_configurations(mappings, engine.schema)
+        signatures = [
+            frozenset((m.keyword, m.table, m.column) for m in c.value_mappings)
+            for c in configs
+        ]
+        assert len(signatures) == len(set(signatures))
+
+    def test_max_configurations_cap(self, engine):
+        mappings = engine.mapper.map_query(["gene", "JW0013", "grpC"])
+        configs = enumerate_configurations(mappings, engine.schema, max_configurations=2)
+        assert len(configs) <= 2
+
+
+class TestSqlGeneration:
+    def test_single_table_query(self, engine):
+        mappings = engine.mapper.map_query(["JW0013"])
+        config = enumerate_configurations(mappings, engine.schema)[0]
+        (sql,) = generate_sql(config, engine.schema)
+        assert sql.target_table == "Gene"
+        assert "COLLATE NOCASE" in sql.sql
+        assert sql.params == ("JW0013",)
+
+    def test_cross_table_join(self, engine):
+        # grpC is a gene name, G-Actin a protein name: the Protein-target
+        # query must join through the FK to constrain on Gene.
+        mappings = engine.mapper.map_query(["grpC", "G-Actin"])
+        configs = enumerate_configurations(mappings, engine.schema)
+        config = next(
+            c for c in configs
+            if {v.table for v in c.value_mappings} == {"Gene", "Protein"}
+        )
+        queries = generate_sql(config, engine.schema)
+        assert {q.target_table for q in queries} == {"Gene", "Protein"}
+        assert all("JOIN" in q.sql for q in queries)
+
+    def test_scope_filter_injected(self, engine):
+        mappings = engine.mapper.map_query(["JW0013"])
+        config = enumerate_configurations(mappings, engine.schema)[0]
+        (sql,) = generate_sql(config, engine.schema, {"gene": "rowid IN (1, 2)"})
+        assert "rowid IN (1, 2)" in sql.sql
+
+    def test_single_local_condition_flag(self, engine):
+        mappings = engine.mapper.map_query(["JW0013"])
+        config = enumerate_configurations(mappings, engine.schema)[0]
+        (sql,) = generate_sql(config, engine.schema)
+        assert sql.is_single_local_condition
+
+
+class TestEngineSearch:
+    def test_finds_gene_by_gid(self, engine):
+        result = engine.search(KeywordQuery(("gene", "JW0013")))
+        assert TupleRef("Gene", 1) in result.refs
+
+    def test_finds_gene_by_name_case_insensitive(self, engine):
+        result = engine.search(KeywordQuery(("gene", "GRPC")))
+        assert TupleRef("Gene", 1) in result.refs
+
+    def test_finds_protein_join_tuple(self, engine):
+        result = engine.search(KeywordQuery(("protein", "G-Actin")))
+        assert TupleRef("Protein", 1) in result.refs
+
+    def test_confidences_bounded(self, engine):
+        result = engine.search(KeywordQuery(("gene", "JW0013")))
+        assert all(0.0 < t.confidence <= 1.0 for t in result.tuples)
+
+    def test_results_sorted(self, engine):
+        result = engine.search(KeywordQuery(("gene", "JW0013", "grpC")))
+        confidences = [t.confidence for t in result.tuples]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_empty_query_raises(self, engine):
+        with pytest.raises(EmptyQueryError):
+            engine.search(KeywordQuery(()))
+
+    def test_no_match_query(self, engine):
+        result = engine.search(KeywordQuery(("gene", "JW9999")))
+        assert result.tuples == []
+
+    def test_scope_restricts_answers(self, engine):
+        scope = SearchScope.from_refs([TupleRef("Gene", 2)])
+        result = engine.search(KeywordQuery(("gene", "JW0013")), scope=scope)
+        assert TupleRef("Gene", 1) not in result.refs
+
+    def test_scope_allows_in_scope_answer(self, engine):
+        scope = SearchScope.from_refs([TupleRef("Gene", 1)])
+        result = engine.search(KeywordQuery(("gene", "JW0013")), scope=scope)
+        assert TupleRef("Gene", 1) in result.refs
+
+
+class TestSearchScope:
+    def test_allows(self):
+        scope = SearchScope.from_refs([TupleRef("Gene", 1), TupleRef("Protein", 2)])
+        assert scope.allows("gene", 1)
+        assert not scope.allows("Gene", 2)
+        assert not scope.allows("Other", 1)
+
+    def test_sql_filters_literal(self):
+        scope = SearchScope.from_refs([TupleRef("Gene", 2), TupleRef("Gene", 1)])
+        assert scope.sql_filters()["gene"] == "rowid IN (1, 2)"
+
+    def test_sql_filters_physical(self):
+        scope = SearchScope.from_refs(
+            [TupleRef("Gene", 1)], physical={"gene": "_minidb_Gene"}
+        )
+        assert scope.sql_filters()["gene"] == "rowid IN (SELECT rowid FROM _minidb_Gene)"
+
+    def test_size(self):
+        scope = SearchScope.from_refs([TupleRef("Gene", 1), TupleRef("Gene", 2)])
+        assert scope.size() == 2

@@ -1,0 +1,124 @@
+"""Unit tests for the inverted value index and the keyword mapper."""
+
+import pytest
+
+from repro.meta.lexicon import DEFAULT_LEXICON
+from repro.search.index import InvertedValueIndex, Posting
+from repro.search.mapper import (
+    EXACT_NAME_WEIGHT,
+    ALIAS_NAME_WEIGHT,
+    VALUE_BASE_WEIGHT,
+    VALUE_FLOOR_WEIGHT,
+    KeywordMapper,
+    MappingKind,
+)
+from repro.search.metadata import SchemaGraph
+
+from conftest import build_figure1_connection
+
+SEARCHABLE = [("Gene", "GID"), ("Gene", "Name"), ("Protein", "PID"),
+              ("Protein", "PName"), ("Protein", "PType")]
+
+
+@pytest.fixture
+def connection():
+    return build_figure1_connection()
+
+
+@pytest.fixture
+def index(connection):
+    return InvertedValueIndex.build(connection, SEARCHABLE)
+
+
+@pytest.fixture
+def mapper(connection, index):
+    return KeywordMapper(
+        SchemaGraph.from_connection(connection),
+        index,
+        aliases={"genes": ("Gene", None), "id": ("Gene", "GID")},
+        lexicon=DEFAULT_LEXICON,
+    )
+
+
+class TestIndex:
+    def test_exact_lookup(self, index):
+        postings = index.lookup("JW0013")
+        assert postings == (Posting("Gene", "GID", 1),)
+
+    def test_lookup_normalizes_case(self, index):
+        assert index.lookup("jw0013") == index.lookup("JW0013")
+
+    def test_lookup_in_scoped(self, index):
+        assert index.lookup_in("grpC", "Gene") == (Posting("Gene", "Name", 1),)
+        assert index.lookup_in("grpC", "Protein") == ()
+
+    def test_absent_value(self, index):
+        assert index.lookup("absent") == ()
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("enzyme") == 1
+        assert index.document_frequency("JW0013") >= 1
+
+    def test_selectivity(self, index):
+        assert index.selectivity("JW0013", "Gene", "GID") == 1.0
+        assert index.selectivity("absent", "Gene", "GID") == 0.0
+
+    def test_duplicate_column_registration_is_noop(self, connection, index):
+        before = len(index)
+        assert index.add_column(connection, "Gene", "GID") == 0
+        assert len(index) == before
+
+    def test_add_row_incremental(self, index):
+        index.add_row("Gene", "GID", 99, "JW9999")
+        assert index.lookup("JW9999") == (Posting("Gene", "GID", 99),)
+
+    def test_indexed_columns(self, index):
+        assert ("gene", "gid") in index.indexed_columns
+
+
+class TestMapper:
+    def test_exact_table_name(self, mapper):
+        mappings = mapper.map_keyword("gene")
+        assert mappings[0].kind is MappingKind.TABLE
+        assert mappings[0].weight == EXACT_NAME_WEIGHT
+
+    def test_alias(self, mapper):
+        mappings = mapper.map_keyword("genes")
+        assert any(
+            m.kind is MappingKind.TABLE and m.weight == ALIAS_NAME_WEIGHT
+            for m in mappings
+        )
+
+    def test_value_mapping_unique_value(self, mapper):
+        mappings = mapper.map_keyword("JW0013")
+        value = [m for m in mappings if m.kind is MappingKind.VALUE]
+        assert value and value[0].weight == VALUE_BASE_WEIGHT
+
+    def test_value_weight_decays_with_frequency(self):
+        assert KeywordMapper._value_weight(1) > KeywordMapper._value_weight(5)
+        assert KeywordMapper._value_weight(1000) == VALUE_FLOOR_WEIGHT
+
+    def test_stopword_maps_to_nothing(self, mapper):
+        assert mapper.map_keyword("the") == []
+
+    def test_unknown_word(self, mapper):
+        assert mapper.map_keyword("xyzzyplugh") == []
+
+    def test_mappings_capped(self, mapper):
+        mapper.max_mappings_per_keyword = 2
+        assert len(mapper.map_keyword("gene")) <= 2
+
+    def test_map_query_preserves_order(self, mapper):
+        mapped = mapper.map_query(["gene", "JW0013"])
+        assert list(mapped) == ["gene", "JW0013"]
+
+    def test_column_name_mapping(self, mapper):
+        mappings = mapper.map_keyword("family")
+        assert any(
+            m.kind is MappingKind.COLUMN and m.column == "Family" for m in mappings
+        )
+
+    def test_synonym_via_lexicon(self, mapper):
+        # "locus" is a lexicon synonym of the Gene table name.
+        mappings = mapper.map_keyword("locus")
+        assert any(m.kind is MappingKind.TABLE and m.table == "Gene" for m in mappings)

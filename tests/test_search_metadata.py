@@ -1,0 +1,120 @@
+"""Unit tests for the schema graph and join-path search."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import UnknownTableError
+from repro.search.metadata import ColumnInfo, ForeignKey, SchemaGraph
+
+from conftest import build_figure1_connection
+
+
+@pytest.fixture
+def schema():
+    return SchemaGraph.from_connection(build_figure1_connection())
+
+
+class TestIntrospection:
+    def test_tables_found(self, schema):
+        assert schema.tables == ("Gene", "Protein")
+
+    def test_columns_found(self, schema):
+        names = {c.name for c in schema.columns_of("Gene")}
+        assert names == {"GID", "Name", "Length", "Seq", "Family"}
+
+    def test_primary_key_flag(self, schema):
+        gid = schema.column("Gene", "GID")
+        assert gid is not None and gid.is_primary_key
+
+    def test_foreign_key_found(self, schema):
+        assert any(
+            fk.child_table == "Protein" and fk.parent_table == "Gene"
+            for fk in schema.foreign_keys
+        )
+
+    def test_internal_tables_hidden(self):
+        connection = build_figure1_connection()
+        connection.execute("CREATE TABLE _nebula_junk (x)")
+        connection.execute("CREATE TABLE _minidb_junk (x)")
+        schema = SchemaGraph.from_connection(connection)
+        assert schema.tables == ("Gene", "Protein")
+
+    def test_text_columns(self, schema):
+        text_columns = {c.qualified for c in schema.text_columns()}
+        assert "Gene.Name" in text_columns
+        assert "Gene.Length" not in text_columns
+
+    def test_unknown_table_raises(self, schema):
+        with pytest.raises(UnknownTableError):
+            schema.columns_of("Nope")
+
+    def test_case_insensitive_lookup(self, schema):
+        assert schema.canonical_table("gene") == "Gene"
+        assert schema.column("gene", "gid").name == "GID"
+
+
+class TestJoinPaths:
+    def test_self_path_is_empty(self, schema):
+        assert schema.join_path("Gene", "Gene") == []
+
+    def test_direct_fk_path(self, schema):
+        path = schema.join_path("Protein", "Gene")
+        assert len(path) == 1
+        assert path[0].fk.child_table == "Protein"
+
+    def test_path_is_bidirectional(self, schema):
+        assert len(schema.join_path("Gene", "Protein")) == 1
+
+    def test_multi_hop_path(self):
+        connection = sqlite3.connect(":memory:")
+        connection.executescript(
+            """
+            CREATE TABLE A (id INTEGER PRIMARY KEY);
+            CREATE TABLE B (id INTEGER PRIMARY KEY, a_id INTEGER REFERENCES A(id));
+            CREATE TABLE C (id INTEGER PRIMARY KEY, b_id INTEGER REFERENCES B(id));
+            """
+        )
+        schema = SchemaGraph.from_connection(connection)
+        path = schema.join_path("A", "C")
+        assert [s.target for s in path] == ["B", "C"]
+
+    def test_unconnected_tables(self):
+        connection = sqlite3.connect(":memory:")
+        connection.executescript(
+            "CREATE TABLE A (id INTEGER); CREATE TABLE B (id INTEGER);"
+        )
+        schema = SchemaGraph.from_connection(connection)
+        assert schema.join_path("A", "B") is None
+        assert not schema.are_connected("A", "B")
+
+    def test_shortest_path_chosen(self):
+        # A-B-D and A-C-D plus a direct A-D edge: BFS must take A-D.
+        connection = sqlite3.connect(":memory:")
+        connection.executescript(
+            """
+            CREATE TABLE D (id INTEGER PRIMARY KEY);
+            CREATE TABLE B (id INTEGER PRIMARY KEY, d_id INTEGER REFERENCES D(id));
+            CREATE TABLE A (
+                id INTEGER PRIMARY KEY,
+                b_id INTEGER REFERENCES B(id),
+                d_id INTEGER REFERENCES D(id)
+            );
+            """
+        )
+        schema = SchemaGraph.from_connection(connection)
+        assert len(schema.join_path("A", "D")) == 1
+
+
+class TestForeignKey:
+    def test_join_condition_rendering(self):
+        fk = ForeignKey("Protein", "GID", "Gene", "GID")
+        assert fk.join_condition("p", "g") == "p.GID = g.GID"
+
+
+class TestColumnInfo:
+    def test_is_text(self):
+        assert ColumnInfo("T", "c", "TEXT", False).is_text
+        assert not ColumnInfo("T", "c", "INTEGER", False).is_text
+        assert not ColumnInfo("T", "c", "REAL", False).is_text
+        assert ColumnInfo("T", "c", "", False).is_text

@@ -1,0 +1,60 @@
+"""Unit tests for the Naive baseline."""
+
+import pytest
+
+from repro.search.naive import NaiveSearch
+from repro.types import TupleRef
+
+from conftest import build_figure1_connection
+
+
+@pytest.fixture
+def naive():
+    return NaiveSearch(build_figure1_connection())
+
+
+class TestNaive:
+    def test_finds_exact_reference(self, naive):
+        result = naive.search("this comment is about grpC for sure")
+        assert TupleRef("Gene", 1) in result.refs
+
+    def test_substring_noise(self, naive):
+        # "act" appears inside "G-Actin": the naive LIKE scan drags the
+        # protein row in even though nothing references it.
+        result = naive.search("we act on the data")
+        assert TupleRef("Protein", 1) in result.refs
+
+    def test_confidences_low_band(self, naive):
+        result = naive.search("gene grpC and yaaB observed in the assay")
+        assert result.tuples
+        assert all(0.3 <= t.confidence <= 0.8 for t in result.tuples)
+
+    def test_stopwords_excluded_from_keywords(self, naive):
+        result = naive.search("the and of is")
+        assert result.keyword_count == 0
+        assert result.tuples == []
+
+    def test_keyword_cap(self):
+        naive = NaiveSearch(build_figure1_connection(), max_keywords=2)
+        result = naive.search("grpC yaaB insL nhaA")
+        assert result.keyword_count == 2
+
+    def test_scanned_columns_counted(self, naive):
+        result = naive.search("grpC")
+        # Gene: GID, Name, Seq, Family; Protein: PID, PName, PType, GID.
+        assert result.scanned_columns == 8
+
+    def test_more_hits_higher_confidence(self, naive):
+        result = naive.search("grpC JW0013")
+        gene1 = next(t for t in result.tuples if t.ref == TupleRef("Gene", 1))
+        # Gene#1 is matched by both keywords; any single-keyword match of
+        # another row must score lower.
+        singles = [t for t in result.tuples if t.ref != TupleRef("Gene", 1)]
+        if singles:
+            assert gene1.confidence > max(t.confidence for t in singles)
+
+    def test_short_keywords_match_exactly_only(self, naive):
+        # "F1" is 2 chars: equality only, so it hits Family values exactly.
+        result = naive.search("F1")
+        assert all(t.ref.table == "Gene" for t in result.tuples)
+        assert len(result.tuples) == 4

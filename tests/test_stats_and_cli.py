@@ -1,0 +1,150 @@
+"""Tests for dataset statistics, workload serialization, and the CLI."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datagen.stats import collect_stats
+from repro.datagen.workload import AnnotationWorkload, WorkloadSpec, generate_workload
+from repro.annotations.engine import AnnotationManager
+from repro.types import CellRef
+
+from conftest import build_figure1_connection
+
+
+class TestCollectStats:
+    def test_counts(self):
+        connection = build_figure1_connection()
+        manager = AnnotationManager(connection)
+        a = manager.add_annotation("x", attach_to=[CellRef("Gene", 1), CellRef("Gene", 2)])
+        manager.add_annotation("y", attach_to=[CellRef("Gene", 2)])
+        manager.attach_predicted(a.annotation_id, CellRef("Gene", 3), 0.6)
+        stats = collect_stats(connection)
+        assert stats.table_rows["Gene"] == 7
+        assert stats.annotations == 2
+        assert stats.true_attachments == 3
+        assert stats.predicted_attachments == 1
+        assert stats.acg_nodes == 2  # Gene#1 and Gene#2 (true edges only)
+        assert stats.acg_edges == 1
+
+    def test_degree_stats(self):
+        connection = build_figure1_connection()
+        manager = AnnotationManager(connection)
+        manager.add_annotation("x", attach_to=[CellRef("Gene", 1), CellRef("Gene", 2)])
+        manager.add_annotation("y", attach_to=[CellRef("Gene", 2)])
+        stats = collect_stats(connection)
+        lo, mean, hi = stats.annotation_degree
+        assert (lo, hi) == (1, 2)
+        assert mean == pytest.approx(1.5)
+
+    def test_quality_metrics_with_ideal(self):
+        connection = build_figure1_connection()
+        manager = AnnotationManager(connection)
+        a = manager.add_annotation("x", attach_to=[CellRef("Gene", 1)])
+        from repro.types import TupleRef
+
+        ideal = frozenset(
+            {(a.annotation_id, TupleRef("Gene", 1)),
+             (a.annotation_id, TupleRef("Gene", 2))}
+        )
+        stats = collect_stats(connection, ideal_edges=ideal)
+        assert stats.f_n == pytest.approx(0.5)
+        assert stats.f_p == 0.0
+
+    def test_lines_render(self):
+        connection = build_figure1_connection()
+        AnnotationManager(connection)
+        lines = collect_stats(connection).lines()
+        assert any("Gene: 7 rows" in line for line in lines)
+        assert any(line.startswith("ACG:") for line in lines)
+
+
+class TestWorkloadSerialization:
+    def test_round_trip(self, bio_db):
+        workload = generate_workload(bio_db, WorkloadSpec(seed=31))
+        payload = workload.to_dict()
+        restored = AnnotationWorkload.from_dict(json.loads(json.dumps(payload)))
+        assert len(restored) == len(workload)
+        for original, loaded in zip(workload.annotations, restored.annotations):
+            assert original.label == loaded.label
+            assert original.text == loaded.text
+            assert original.band == loaded.band
+            assert original.ideal_refs == loaded.ideal_refs
+            assert original.ideal_keywords == loaded.ideal_keywords
+            assert original.references == loaded.references
+
+    def test_distortion_identical_after_round_trip(self, bio_db):
+        workload = generate_workload(bio_db, WorkloadSpec(seed=31))
+        restored = AnnotationWorkload.from_dict(workload.to_dict())
+        for original, loaded in zip(workload.annotations, restored.annotations):
+            assert original.focal(2, seed=3) == loaded.focal(2, seed=3)
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["generate", "--db", "x.db"])
+        assert args.command == "generate"
+        args = parser.parse_args(["verify", "--db", "x.db", "--task", "3"])
+        assert args.task == 3
+
+    def test_generate_stats_annotate_flow(self, tmp_path, capsys):
+        db_path = str(tmp_path / "cli.db")
+        workload_path = str(tmp_path / "wl.json")
+        assert main([
+            "generate", "--db", db_path, "--genes", "60", "--proteins", "36",
+            "--publications", "200", "--workload", workload_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "60 genes" in out
+
+        assert main(["stats", "--db", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "Gene: 60 rows" in out
+
+        assert main([
+            "annotate", "--db", db_path,
+            "--text", "We examined genes JW0001 in depth.",
+            "--attach", "Gene:1", "--author", "cli",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "inserted" in out
+
+        payload = json.loads(open(workload_path).read())
+        assert len(payload["annotations"]) == 60
+
+    def test_pending_and_verify_flow(self, tmp_path, capsys):
+        db_path = str(tmp_path / "cli2.db")
+        main([
+            "generate", "--db", db_path, "--genes", "60", "--proteins", "36",
+            "--publications", "200",
+        ])
+        capsys.readouterr()
+        # Two references: the second normalizes below 1.0 -> pending when
+        # bounds are the defaults? Default upper is 0.86; craft a weaker
+        # backward reference to land between the bounds.
+        main([
+            "annotate", "--db", db_path,
+            "--text", "We examined genes JW0001, and later saw JW0002 too.",
+            "--attach", "Gene:5",
+        ])
+        capsys.readouterr()
+        assert main(["pending", "--db", db_path]) == 0
+        out = capsys.readouterr().out
+        if "task" in out:
+            task_id = out.split("task ")[1].split(":")[0]
+            assert main(["verify", "--db", db_path, "--task", task_id]) == 0
+            assert "verified" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--seed", "3"]) == 0
+        assert "inserting" in capsys.readouterr().out
+
+    def test_annotate_bad_ref_format(self, tmp_path):
+        db_path = str(tmp_path / "cli3.db")
+        main(["generate", "--db", db_path, "--genes", "40", "--proteins", "24",
+              "--publications", "100"])
+        with pytest.raises(SystemExit):
+            main(["annotate", "--db", db_path, "--text", "x", "--attach", "Gene"])

@@ -1,0 +1,49 @@
+"""Unit tests for the shared value types."""
+
+import pytest
+
+from repro.types import CellRef, ScoredTuple, TupleRef
+
+
+class TestTupleRef:
+    def test_ordering_and_equality(self):
+        a = TupleRef("Gene", 1)
+        b = TupleRef("Gene", 2)
+        c = TupleRef("Protein", 1)
+        assert a < b < c
+        assert a == TupleRef("Gene", 1)
+
+    def test_hashable(self):
+        assert len({TupleRef("Gene", 1), TupleRef("Gene", 1)}) == 1
+
+    def test_str(self):
+        assert str(TupleRef("Gene", 3)) == "Gene#3"
+
+
+class TestCellRef:
+    def test_tuple_ref_projection(self):
+        cell = CellRef("Gene", 4, "Name")
+        assert cell.tuple_ref == TupleRef("Gene", 4)
+
+    def test_str_with_and_without_column(self):
+        assert str(CellRef("Gene", 4, "Name")) == "Gene#4.Name"
+        assert str(CellRef("Gene", 4)) == "Gene#4"
+
+
+class TestScoredTuple:
+    def test_scaled(self):
+        scored = ScoredTuple(TupleRef("Gene", 1), 0.5, ("q1",))
+        scaled = scored.scaled(0.5)
+        assert scaled.confidence == pytest.approx(0.25)
+        assert scaled.ref == scored.ref
+        assert scaled.provenance == ("q1",)
+        assert scored.confidence == 0.5  # original untouched
+
+    def test_rescored(self):
+        scored = ScoredTuple(TupleRef("Gene", 1), 0.5)
+        assert scored.rescored(0.9).confidence == 0.9
+
+    def test_frozen(self):
+        scored = ScoredTuple(TupleRef("Gene", 1), 0.5)
+        with pytest.raises(Exception):
+            scored.confidence = 1.0  # type: ignore[misc]
