@@ -30,12 +30,23 @@ from .config import NEBULA_06, NEBULA_08, NebulaConfig
 from .errors import (
     CommandError,
     ConfigurationError,
+    DeadLetterError,
     MetadataError,
     NebulaError,
+    PipelineStageError,
     SearchError,
     StorageError,
+    TransientStorageError,
     VerificationError,
     WorkloadError,
+)
+from .resilience import (
+    DeadLetter,
+    DeadLetterQueue,
+    FaultInjector,
+    InjectedFault,
+    RetryPolicy,
+    Savepoint,
 )
 from .types import CellRef, ScoredTuple, TupleRef
 from .annotations import (
@@ -116,11 +127,21 @@ __all__ = [
     "NebulaError",
     "ConfigurationError",
     "StorageError",
+    "TransientStorageError",
     "MetadataError",
     "SearchError",
     "WorkloadError",
     "VerificationError",
     "CommandError",
+    "PipelineStageError",
+    "DeadLetterError",
+    # resilience layer
+    "RetryPolicy",
+    "Savepoint",
+    "FaultInjector",
+    "InjectedFault",
+    "DeadLetter",
+    "DeadLetterQueue",
     # shared types
     "TupleRef",
     "CellRef",

@@ -12,6 +12,7 @@ import sqlite3
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import UnknownTupleError
+from ..resilience.retry import RetryPolicy
 from ..types import CellRef, TupleRef
 from .store import Annotation, AnnotationStore, Attachment, AttachmentKind
 
@@ -19,9 +20,13 @@ from .store import Annotation, AnnotationStore, Attachment, AttachmentKind
 class AnnotationManager:
     """High-level API of the passive annotation engine."""
 
-    def __init__(self, connection: sqlite3.Connection):
+    def __init__(
+        self,
+        connection: sqlite3.Connection,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.connection = connection
-        self.store = AnnotationStore(connection)
+        self.store = AnnotationStore(connection, retry=retry)
 
     # ------------------------------------------------------------------
     # Adding and attaching

@@ -38,6 +38,7 @@ from ..errors import (
     UnknownColumnError,
     UnknownTableError,
 )
+from ..resilience.retry import RetryPolicy
 from ..types import CellRef, TupleRef
 
 _SCHEMA = """
@@ -131,8 +132,15 @@ class Attachment:
 class AnnotationStore:
     """Low-level persistence for annotations and attachments."""
 
-    def __init__(self, connection: sqlite3.Connection):
+    def __init__(
+        self,
+        connection: sqlite3.Connection,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.connection = connection
+        #: Retry policy for transient lock/busy errors on writes; None
+        #: keeps the historical fail-fast behavior.
+        self.retry = retry
         self.connection.executescript(_SCHEMA)
         # Schema lookups are on the hot path of bulk attachment; results are
         # cached and invalidated via ``invalidate_schema_cache`` on DDL.
@@ -144,6 +152,12 @@ class AnnotationStore:
             "SELECT COALESCE(MAX(created_seq), 0) FROM _nebula_annotations"
         ).fetchone()
         self._next_seq = int(row[0]) + 1
+
+    def _write(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+        """Execute a mutating statement, retrying transient lock errors."""
+        if self.retry is None:
+            return self.connection.execute(sql, params)
+        return self.retry.run(lambda: self.connection.execute(sql, params), sql)
 
     # ------------------------------------------------------------------
     # Schema validation helpers
@@ -196,7 +210,7 @@ class AnnotationStore:
             raise StorageError("annotation content must be non-empty")
         created_seq = self._next_seq
         self._next_seq += 1
-        cursor = self.connection.execute(
+        cursor = self._write(
             "INSERT INTO _nebula_annotations (content, author, created_seq) VALUES (?, ?, ?)",
             (content, author, created_seq),
         )
@@ -256,7 +270,7 @@ class AnnotationStore:
         existing = self._find(annotation_id, table, target.rowid, column)
         if existing is not None:
             return self._upgrade_if_needed(existing, confidence, kind)
-        cursor = self.connection.execute(
+        cursor = self._write(
             "INSERT INTO _nebula_attachments "
             "(annotation_id, target_table, target_rowid, target_column, confidence, kind) "
             "VALUES (?, ?, ?, ?, ?, ?)",
@@ -300,7 +314,7 @@ class AnnotationStore:
         ).fetchone()
         if existing is not None:
             return _row_to_attachment(existing)
-        cursor = self.connection.execute(
+        cursor = self._write(
             "INSERT INTO _nebula_attachments "
             "(annotation_id, target_table, target_rowid, target_rowid_hi, "
             "target_column, confidence, kind) VALUES (?, ?, ?, ?, ?, 1.0, 'true')",
@@ -323,7 +337,7 @@ class AnnotationStore:
         """A re-attachment can only upgrade predicted -> true."""
         if existing.kind is AttachmentKind.TRUE or kind is AttachmentKind.PREDICTED:
             return existing
-        self.connection.execute(
+        self._write(
             "UPDATE _nebula_attachments SET confidence = 1.0, kind = 'true' "
             "WHERE attachment_id = ?",
             (existing.attachment_id,),
@@ -356,14 +370,14 @@ class AnnotationStore:
 
     def detach(self, attachment_id: int) -> bool:
         """Remove one attachment edge; returns whether anything was removed."""
-        cursor = self.connection.execute(
+        cursor = self._write(
             "DELETE FROM _nebula_attachments WHERE attachment_id = ?", (attachment_id,)
         )
         return cursor.rowcount > 0
 
     def promote(self, attachment_id: int) -> None:
         """Turn a predicted attachment into a true one (verified edge)."""
-        cursor = self.connection.execute(
+        cursor = self._write(
             "UPDATE _nebula_attachments SET confidence = 1.0, kind = 'true' "
             "WHERE attachment_id = ?",
             (attachment_id,),

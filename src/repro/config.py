@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from .errors import ConfigurationError
+from .resilience.faults import FaultInjector
 
 
 def _require(condition: bool, message: str) -> None:
@@ -79,6 +80,20 @@ class NebulaConfig:
     max_query_keywords: int = 3
     #: Seed for any internal randomized tie-breaking (sampling, etc.).
     seed: Optional[int] = field(default=7)
+    #: Retry attempts for transient storage errors ("database is locked").
+    retry_max_attempts: int = 3
+    #: Base backoff delay (seconds) of the storage retry policy.
+    retry_base_delay: float = 0.005
+    #: Backoff ceiling (seconds) of the storage retry policy.
+    retry_max_delay: float = 0.25
+    #: Capture failed ingestions in the ``_nebula_dead_letters`` table.
+    dead_letters: bool = True
+    #: Test seam: raise scripted faults at the pipeline's named fault
+    #: points (``store.add``, ``spreading.scope``, ``executor.run``,
+    #: ``queue.triage``).  None in production.
+    fault_injector: Optional[FaultInjector] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         _require(0.0 < self.epsilon <= 1.0, "epsilon must be in (0, 1]")
@@ -101,6 +116,11 @@ class NebulaConfig:
             "focal_mode must be 'direct' or 'path'",
         )
         _require(self.focal_max_hops >= 1, "focal_max_hops must be >= 1")
+        _require(self.retry_max_attempts >= 1, "retry_max_attempts must be >= 1")
+        _require(
+            0.0 <= self.retry_base_delay <= self.retry_max_delay,
+            "retry delays must satisfy 0 <= retry_base_delay <= retry_max_delay",
+        )
 
     def with_updates(self, **changes: object) -> "NebulaConfig":
         """Return a copy of this config with ``changes`` applied.

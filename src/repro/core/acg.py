@@ -64,6 +64,37 @@ class AnnotationsConnectivityGraph:
         siblings.add(ref)
         return new_edges
 
+    def remove_annotation(self, annotation_id: int) -> int:
+        """Remove every attachment of one annotation; returns edges dropped.
+
+        The inverse of the ``add_attachment`` calls made for the
+        annotation — used by the pipeline's fault boundary to restore the
+        in-memory graph after the persistent Stage 0 writes roll back.
+        An edge survives only while the two tuples still share at least
+        one *other* annotation (the live-set semantics of :meth:`weight`).
+        """
+        refs = self._tuples_of.pop(annotation_id, set())
+        for ref in refs:
+            annotations = self._annotations_of.get(ref)
+            if annotations is not None:
+                annotations.discard(annotation_id)
+        removed = 0
+        for ref in refs:
+            for neighbor in list(self._adjacency.get(ref, ())):
+                if self.weight(ref, neighbor) == 0.0:
+                    self._adjacency[ref].discard(neighbor)
+                    self._adjacency.get(neighbor, set()).discard(ref)
+                    if not self._adjacency.get(neighbor):
+                        self._adjacency.pop(neighbor, None)
+                    self._edge_count -= 1
+                    removed += 1
+        for ref in refs:
+            if not self._annotations_of.get(ref):
+                self._annotations_of.pop(ref, None)
+            if not self._adjacency.get(ref):
+                self._adjacency.pop(ref, None)
+        return removed
+
     def _add_edge(self, a: TupleRef, b: TupleRef) -> bool:
         if a == b:
             return False

@@ -27,7 +27,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..annotations.commands import CommandProcessor, CommandResult
 from ..annotations.engine import AnnotationManager
 from ..config import NebulaConfig
+from ..errors import PipelineStageError
 from ..meta.repository import NebulaMeta
+from ..resilience import (
+    EXECUTOR_FALLBACK,
+    MINI_DROP_LEAK,
+    SPREADING_FALLBACK,
+    DeadLetterQueue,
+    RetryPolicy,
+    Savepoint,
+    pipeline_stage,
+)
+from ..resilience.degradation import logger as _resilience_logger
 from ..search.engine import KeywordSearchEngine, SearchScope
 from ..types import CellRef, ScoredTuple, TupleRef
 from .acg import AnnotationsConnectivityGraph, HopProfile, StabilityTracker
@@ -57,6 +68,10 @@ class DiscoveryReport:
     tasks: List[VerificationTask] = field(default_factory=list)
     #: Set when the spam guard quarantined the annotation (no triage ran).
     spam_verdict: Optional[SpamVerdict] = None
+    #: Graceful-degradation labels: optimizations that failed and fell
+    #: back to a simpler technique while producing this report (see
+    #: :mod:`repro.resilience.degradation`).  Empty on a clean run.
+    degradations: List[str] = field(default_factory=list)
     elapsed: float = 0.0
 
     @property
@@ -82,12 +97,20 @@ class Nebula:
         self.connection = connection
         self.meta = meta
         self.config = config or NebulaConfig()
-        self.manager = AnnotationManager(connection)
+        self.retry = RetryPolicy(
+            max_attempts=self.config.retry_max_attempts,
+            base_delay=self.config.retry_base_delay,
+            max_delay=self.config.retry_max_delay,
+        )
+        self._faults = self.config.fault_injector
+        self.manager = AnnotationManager(connection, retry=self.retry)
+        self.dead_letters = DeadLetterQueue(connection, retry=self.retry)
         self.engine = KeywordSearchEngine(
             connection,
             searchable_columns=self._searchable_columns(),
             aliases=aliases,
             lexicon=meta.lexicon,
+            retry=self.retry,
         )
         self.acg = (
             AnnotationsConnectivityGraph.build_from_manager(self.manager)
@@ -138,6 +161,7 @@ class Nebula:
         started = time.perf_counter()
         focal = tuple(focal)
         generation = generate_queries(text, self.meta, self.config)
+        degradations: List[str] = list(generation.degradations)
 
         spreading = (
             use_spreading if use_spreading is not None else self.stability.stable
@@ -147,27 +171,75 @@ class Nebula:
         mini = None
         chosen_radius: Optional[int] = None
         if spreading:
-            chosen_radius = radius or select_radius(
-                self.profile, self.config.target_recall, self.config.spreading_hops
-            )
-            scope, mini = spreading_scope(
-                self.connection, self.acg, focal, chosen_radius
-            )
+            try:
+                if self._faults is not None:
+                    self._faults.check("spreading.scope")
+                # An explicit radius of 0 means "search the focal only"
+                # and must not fall through to the profile selection.
+                chosen_radius = (
+                    radius
+                    if radius is not None
+                    else select_radius(
+                        self.profile,
+                        self.config.target_recall,
+                        self.config.spreading_hops,
+                    )
+                )
+                scope, mini = spreading_scope(
+                    self.connection, self.acg, focal, chosen_radius, retry=self.retry
+                )
+            except Exception as error:
+                # Degradation ladder: a broken scope construction falls
+                # back to the exact whole-database search.
+                _resilience_logger.warning(
+                    "spreading scope failed, using full search: %s", error
+                )
+                degradations.append(SPREADING_FALLBACK)
+                spreading = False
+                scope, mini, chosen_radius = None, None, None
+
         use_shared = shared if shared is not None else self.config.shared_execution
-        try:
-            identified = identify_related_tuples(
+
+        def identify(executor: Optional[SharedExecutor]) -> IdentifiedTuples:
+            return identify_related_tuples(
                 generation.queries,
                 self.engine,
                 scope=scope,
                 acg=self.acg if self.config.focal_adjustment else None,
                 focal=focal,
-                executor=self.executor if use_shared else None,
+                executor=executor,
                 focal_mode=self.config.focal_mode,
                 focal_max_hops=self.config.focal_max_hops,
             )
+
+        try:
+            if use_shared:
+                try:
+                    if self._faults is not None:
+                        self._faults.check("executor.run")
+                    identified = identify(self.executor)
+                except Exception as error:
+                    # Degradation ladder: shared execution is an
+                    # optimization — re-run each query sequentially.
+                    _resilience_logger.warning(
+                        "shared executor failed, executing sequentially: %s", error
+                    )
+                    degradations.append(EXECUTOR_FALLBACK)
+                    identified = identify(None)
+            else:
+                identified = identify(None)
         finally:
             if mini is not None:
-                mini.drop()
+                try:
+                    mini.drop()
+                except Exception as error:
+                    # A failed cleanup must not mask the pipeline outcome
+                    # (nor any in-flight exception); the temp tables leak
+                    # until the connection closes.
+                    _resilience_logger.warning(
+                        "failed to drop spreading mini-database (leaked): %s", error
+                    )
+                    degradations.append(MINI_DROP_LEAK)
         return DiscoveryReport(
             text=text,
             focal=focal,
@@ -176,6 +248,7 @@ class Nebula:
             mode="spreading" if spreading else "full",
             radius=chosen_radius,
             scope_size=scope.size() if scope is not None else None,
+            degradations=degradations,
             elapsed=time.perf_counter() - started,
         )
 
@@ -190,51 +263,149 @@ class Nebula:
         author: Optional[str] = None,
         use_spreading: Optional[bool] = None,
         radius: Optional[int] = None,
+        capture_dead_letter: Optional[bool] = None,
     ) -> DiscoveryReport:
         """Insert a new annotation and proactively discover its missing
-        attachments; predictions are triaged into verification tasks."""
+        attachments; predictions are triaged into verification tasks.
+
+        The whole pipeline runs inside a SQLite SAVEPOINT: a Stage 1-3
+        failure that cannot be degraded around rolls the Stage 0 writes
+        (annotation row, focal attachments, ACG edges) back atomically,
+        captures the inputs in the dead-letter queue (unless
+        ``capture_dead_letter`` is False), and raises
+        :class:`~repro.errors.PipelineStageError`.
+        """
         started = time.perf_counter()
         focal = tuple(attach_to)
-        annotation = self.manager.add_annotation(
-            text,
-            attach_to=[CellRef(r.table, r.rowid) for r in focal],
-            author=author,
+        capture = (
+            self.config.dead_letters
+            if capture_dead_letter is None
+            else capture_dead_letter
         )
-        edges_before = self.acg.edge_count
-        new_edges = 0
-        for ref in focal:
-            new_edges += self.acg.add_attachment(annotation.annotation_id, ref)
+        annotation = None
+        profile_snapshot = (dict(self.profile.buckets), self.profile.unreachable)
+        savepoint = Savepoint(self.connection, "nebula_insert").begin()
+        try:
+            # Stage 0 — persist the annotation + focal, update the ACG.
+            with pipeline_stage("store.add", self._faults):
+                annotation = self.manager.add_annotation(
+                    text,
+                    attach_to=[CellRef(r.table, r.rowid) for r in focal],
+                    author=author,
+                )
+            edges_before = self.acg.edge_count
+            new_edges = 0
+            for ref in focal:
+                new_edges += self.acg.add_attachment(annotation.annotation_id, ref)
 
-        report = self.analyze(
-            text, focal=focal, use_spreading=use_spreading, radius=radius
-        )
-        report.annotation_id = annotation.annotation_id
-        verdict = self.spam_guard.screen(
-            report.candidates, self._searchable_tuple_count
-        )
-        if verdict.is_spam:
-            # Footnote-1 guard: a spam-like annotation is quarantined —
-            # its focal stays, but no predicted attachments are created.
-            report.spam_verdict = verdict
-            self.stability.record_annotation(
-                attachments=len(focal), new_edges=new_edges
+            # Stages 1-2 — optimization failures degrade inside analyze;
+            # anything that escapes it is a hard Stage 1-2 failure.
+            with pipeline_stage("pipeline.analyze"):
+                report = self.analyze(
+                    text, focal=focal, use_spreading=use_spreading, radius=radius
+                )
+            report.annotation_id = annotation.annotation_id
+            verdict = self.spam_guard.screen(
+                report.candidates, self._searchable_tuple_count
             )
-            report.elapsed = time.perf_counter() - started
-            return report
-        report.tasks = self.queue.triage(
-            annotation.annotation_id,
-            report.candidates,
-            self.config.beta_lower,
-            self.config.beta_upper,
-            focal=focal,
-        )
+            if verdict.is_spam:
+                # Footnote-1 guard: a spam-like annotation is quarantined —
+                # its focal stays, but no predicted attachments are created.
+                report.spam_verdict = verdict
+                savepoint.release()
+                self.stability.record_annotation(
+                    attachments=len(focal), new_edges=new_edges
+                )
+                report.elapsed = time.perf_counter() - started
+                return report
+
+            # Stage 3 — triage the candidates into verification tasks.
+            with pipeline_stage("queue.triage", self._faults):
+                report.tasks = self.queue.triage(
+                    annotation.annotation_id,
+                    report.candidates,
+                    self.config.beta_lower,
+                    self.config.beta_upper,
+                    focal=focal,
+                )
+        except Exception as error:
+            self._abort_insert(savepoint, annotation, profile_snapshot)
+            failure = (
+                error
+                if isinstance(error, PipelineStageError)
+                else PipelineStageError("pipeline", error)
+            )
+            if capture:
+                letter = self.dead_letters.capture(
+                    text, focal, author, failure.stage, repr(failure.original)
+                )
+                failure.dead_letter_id = letter.letter_id
+            if failure is not error:
+                raise failure from error
+            raise
+        savepoint.release()
         accepted = sum(1 for t in report.tasks if t.decision.is_accepted)
-        total_new_edges = new_edges + (self.acg.edge_count - edges_before - new_edges)
+        # ACG delta across the whole pipeline: focal edges + edges from
+        # auto-accepted attachments (added during triage).
+        total_new_edges = self.acg.edge_count - edges_before
         self.stability.record_annotation(
             attachments=len(focal) + accepted, new_edges=total_new_edges
         )
         report.elapsed = time.perf_counter() - started
         return report
+
+    def _abort_insert(
+        self,
+        savepoint: Savepoint,
+        annotation,
+        profile_snapshot: Tuple[Dict[int, int], int],
+    ) -> None:
+        """Undo a failed ingestion completely.
+
+        The SAVEPOINT rollback restores the database (annotation row,
+        attachments, verification tasks); the in-memory ACG, hop profile,
+        and triage bookkeeping are restored to match.  The stability
+        tracker is only updated on success, so it needs no restore.
+        """
+        savepoint.rollback()
+        if annotation is not None:
+            self.acg.remove_annotation(annotation.annotation_id)
+            self.queue.forget(annotation.annotation_id)
+        buckets, unreachable = profile_snapshot
+        self.profile.buckets = dict(buckets)
+        self.profile.unreachable = unreachable
+
+    def reprocess_dead_letters(
+        self, limit: Optional[int] = None
+    ) -> List[DiscoveryReport]:
+        """Drain the dead-letter queue by re-running the full pipeline.
+
+        Each pending letter is replayed through :meth:`insert_annotation`
+        with its captured text / focal / author; a successful replay
+        resolves the letter, a failed one bumps its attempt counter and
+        leaves it pending (the replay never captures a second letter).
+        Returns the reports of the successful replays, in letter order.
+        """
+        reports: List[DiscoveryReport] = []
+        letters = self.dead_letters.pending()
+        if limit is not None:
+            letters = letters[:limit]
+        for letter in letters:
+            try:
+                report = self.insert_annotation(
+                    letter.content,
+                    attach_to=letter.focal,
+                    author=letter.author,
+                    capture_dead_letter=False,
+                )
+            except PipelineStageError as error:
+                self.dead_letters.record_attempt(
+                    letter.letter_id, repr(error.original)
+                )
+                continue
+            self.dead_letters.mark_resolved(letter.letter_id)
+            reports.append(report)
+        return reports
 
     # ------------------------------------------------------------------
     # Stage-3 passthroughs

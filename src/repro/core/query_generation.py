@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import NebulaConfig
 from ..meta.repository import NebulaMeta
+from ..resilience.degradation import CONTEXT_FALLBACK, logger as _resilience_logger
 from ..search.engine import KeywordQuery
 from ..utils.timer import PhaseTimer
 from ..utils.tokenize import normalize_word, tokenize
@@ -65,6 +66,9 @@ class QueryGenerationResult:
     phase_times: Dict[str, float] = field(default_factory=dict)
     adjustment_reports: List[MatchReport] = field(default_factory=list)
     candidates: List[CandidateQuery] = field(default_factory=list)
+    #: Degradation labels for optimizations that failed and fell back
+    #: (currently only the context-based adjustment).
+    degradations: List[str] = field(default_factory=list)
 
     @property
     def total_time(self) -> float:
@@ -80,12 +84,22 @@ def generate_queries(
         tokens = tokenize(text)
         concept_entries = build_concept_map(tokens, meta, config.epsilon)
         value_entries = build_value_map(tokens, meta, config.epsilon)
+    degradations: List[str] = []
     with timer.phase(PHASE_CONTEXT):
         context_map = overlay_maps(tokens, concept_entries, value_entries)
+        reports: List[MatchReport] = []
         if config.context_adjustment:
-            reports = adjust_context_weights(context_map, config)
-        else:
-            reports = []
+            try:
+                reports = adjust_context_weights(context_map, config)
+            except Exception as error:
+                # Degradation ladder: a broken adjustment must not sink the
+                # annotation — rebuild the overlay (the adjuster mutates
+                # weights in place) and search with unadjusted weights.
+                _resilience_logger.warning(
+                    "context adjustment failed, using unadjusted weights: %s", error
+                )
+                context_map = overlay_maps(tokens, concept_entries, value_entries)
+                degradations.append(CONTEXT_FALLBACK)
     with timer.phase(PHASE_QUERIES):
         candidates = _form_candidates(context_map, config)
         queries = _finalize(candidates, config)
@@ -95,6 +109,7 @@ def generate_queries(
         phase_times=timer.totals(),
         adjustment_reports=reports,
         candidates=candidates,
+        degradations=degradations,
     )
 
 

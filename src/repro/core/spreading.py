@@ -23,6 +23,7 @@ import sqlite3
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+from ..resilience.retry import RetryPolicy
 from ..search.engine import SearchScope
 from ..types import TupleRef
 from .acg import AnnotationsConnectivityGraph, HopProfile
@@ -42,29 +43,40 @@ class MiniDatabase:
 
     @classmethod
     def materialize(
-        cls, connection: sqlite3.Connection, refs: Iterable[TupleRef]
+        cls,
+        connection: sqlite3.Connection,
+        refs: Iterable[TupleRef],
+        retry: Optional[RetryPolicy] = None,
     ) -> "MiniDatabase":
         """Copy the referenced rows into ``_minidb_*`` tables.
 
         Rowids are preserved (``INSERT`` with explicit rowid), so the
         answers coming out of the mini database are directly the original
-        tuple references.
+        tuple references.  Transient lock errors during materialization
+        are retried under ``retry``; each statement is idempotent (DROP
+        IF EXISTS + CREATE + INSERT), so a retried statement cannot
+        duplicate rows.
         """
+        def execute(sql: str, params: Sequence = ()):
+            if retry is None:
+                return connection.execute(sql, params)
+            return retry.run(lambda: connection.execute(sql, params), sql)
+
         mini = cls(connection=connection)
         buckets: Dict[str, List[int]] = {}
         for ref in refs:
             buckets.setdefault(ref.table, []).append(ref.rowid)
         for table, rowids in sorted(buckets.items()):
             name = f"{_MINI_PREFIX}{table}"
-            connection.execute(f"DROP TABLE IF EXISTS {name}")
+            execute(f"DROP TABLE IF EXISTS {name}")
             columns = [row[1] for row in connection.execute(f"PRAGMA table_info({table})")]
             column_list = ", ".join(columns)
-            connection.execute(
+            execute(
                 f"CREATE TEMP TABLE {name} AS "
                 f"SELECT rowid AS rowid_copy, {column_list} FROM {table} WHERE 0"
             )
             placeholders = ", ".join("?" for _ in rowids)
-            connection.execute(
+            execute(
                 f"INSERT INTO {name} (rowid, rowid_copy, {column_list}) "
                 f"SELECT rowid, rowid, {column_list} FROM {table} "
                 f"WHERE rowid IN ({placeholders})",
@@ -109,6 +121,7 @@ def spreading_scope(
     focal: Sequence[TupleRef],
     k: int,
     materialize: bool = True,
+    retry: Optional[RetryPolicy] = None,
 ) -> Tuple[SearchScope, Optional[MiniDatabase]]:
     """Build the K-hop search scope around ``focal``.
 
@@ -123,7 +136,7 @@ def spreading_scope(
     mini: Optional[MiniDatabase] = None
     physical: Dict[str, str] = {}
     if materialize:
-        mini = MiniDatabase.materialize(connection, neighbors)
+        mini = MiniDatabase.materialize(connection, neighbors, retry=retry)
         physical = {table.casefold(): name for table, name in mini.tables.items()}
     scope = SearchScope.from_refs(neighbors, physical=physical)
     return scope, mini

@@ -178,6 +178,15 @@ class VerificationQueue:
                 self.manager.discard_attachment(attachment.attachment_id)
         return resolved
 
+    def forget(self, annotation_id: int) -> None:
+        """Drop the in-memory triage bookkeeping of one annotation.
+
+        Called by the pipeline's fault boundary when an ingestion rolls
+        back: the persisted task rows vanish with the SAVEPOINT, and this
+        keeps the focal cache consistent with them.
+        """
+        self._focal_of.pop(annotation_id, None)
+
     def pending(self, annotation_id: Optional[int] = None) -> List[VerificationTask]:
         """Pending tasks, optionally for one annotation."""
         sql = (

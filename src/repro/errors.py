@@ -20,6 +20,19 @@ class StorageError(NebulaError):
     """Raised by the annotation store for invalid persistence operations."""
 
 
+class TransientStorageError(StorageError):
+    """A transient storage failure that survived every retry attempt.
+
+    Wraps the underlying driver error (typically ``sqlite3.OperationalError:
+    database is locked``) after a :class:`repro.resilience.RetryPolicy`
+    exhausted its attempts; ``attempts`` records how many were made.
+    """
+
+    def __init__(self, message: str, attempts: int = 1):
+        super().__init__(f"storage still failing after {attempts} attempt(s): {message}")
+        self.attempts = attempts
+
+
 class UnknownTableError(StorageError):
     """Raised when an operation references a table absent from the schema."""
 
@@ -92,3 +105,27 @@ class UnknownVerificationTaskError(VerificationError):
 
 class CommandError(NebulaError):
     """Raised by the extended-SQL command parser for invalid statements."""
+
+
+class PipelineStageError(NebulaError):
+    """A Stage 0-3 pipeline failure that could not be degraded around.
+
+    Raised by :meth:`repro.core.nebula.Nebula.insert_annotation` after the
+    Stage 0 writes were rolled back; ``stage`` names the fault point,
+    ``original`` carries the underlying exception, and ``dead_letter_id``
+    (when set) points at the captured dead-letter row.
+    """
+
+    def __init__(self, stage: str, original: BaseException):
+        super().__init__(f"pipeline stage {stage!r} failed: {original}")
+        self.stage = stage
+        self.original = original
+        self.dead_letter_id = None
+
+
+class DeadLetterError(NebulaError):
+    """Raised for invalid dead-letter-queue operations."""
+
+    def __init__(self, letter_id: int, reason: str = "unknown dead letter"):
+        super().__init__(f"{reason}: {letter_id}")
+        self.letter_id = letter_id

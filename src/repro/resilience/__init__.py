@@ -1,0 +1,54 @@
+"""Fault tolerance for the annotation-ingestion pipeline.
+
+The paper's Stage 0-3 pipeline (Figure 16) assumes every stage succeeds;
+this package supplies what a production deployment needs when one does
+not:
+
+* :mod:`~repro.resilience.retry` — :class:`RetryPolicy`, exponential
+  backoff with a deterministic clock/jitter seam for transient SQLite
+  lock errors;
+* :mod:`~repro.resilience.boundaries` — :class:`Savepoint` and
+  :func:`pipeline_stage`, the SAVEPOINT-backed per-stage fault
+  boundaries that make a failed ingestion roll back atomically;
+* :mod:`~repro.resilience.degradation` — the graceful-degradation ladder
+  (spreading -> full search, shared -> sequential execution, adjusted ->
+  raw weights), recorded on ``DiscoveryReport.degradations``;
+* :mod:`~repro.resilience.dead_letter` — :class:`DeadLetterQueue`, the
+  persisted ``_nebula_dead_letters`` table capturing annotations whose
+  pipeline failed after retries, drained by
+  ``Nebula.reprocess_dead_letters()``;
+* :mod:`~repro.resilience.faults` — :class:`FaultInjector`, the
+  deterministic test harness raising at named fault points
+  (``store.add``, ``spreading.scope``, ``executor.run``,
+  ``queue.triage``).
+"""
+
+from .boundaries import Savepoint, pipeline_stage
+from .dead_letter import DeadLetter, DeadLetterQueue
+from .degradation import (
+    CONTEXT_FALLBACK,
+    EXECUTOR_FALLBACK,
+    MINI_DROP_LEAK,
+    SPREADING_FALLBACK,
+    with_fallback,
+)
+from .faults import FAULT_POINTS, FaultInjector, InjectedFault
+from .retry import RetryPolicy, is_transient_operational_error, no_retry
+
+__all__ = [
+    "Savepoint",
+    "pipeline_stage",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "CONTEXT_FALLBACK",
+    "EXECUTOR_FALLBACK",
+    "MINI_DROP_LEAK",
+    "SPREADING_FALLBACK",
+    "with_fallback",
+    "FAULT_POINTS",
+    "FaultInjector",
+    "InjectedFault",
+    "RetryPolicy",
+    "is_transient_operational_error",
+    "no_retry",
+]

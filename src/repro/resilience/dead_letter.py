@@ -1,0 +1,184 @@
+"""Persistent dead-letter queue for failed annotation ingestions.
+
+An annotation whose pipeline failed *after* retries and rollback is not
+lost: its inputs (text, focal, author) plus the failing stage and error
+are captured in the ``_nebula_dead_letters`` system table.  The queue
+survives restarts (it lives next to the annotation store) and is drained
+by :meth:`repro.core.nebula.Nebula.reprocess_dead_letters`, which re-runs
+the full pipeline for each pending letter once the underlying fault has
+cleared.
+
+The capture itself runs *outside* the pipeline's savepoint — a rollback
+of the failed ingestion must not also roll back the evidence of it.  For
+the same reason every queue write commits immediately: the process that
+just failed may be about to exit, and an uncommitted letter would vanish
+with its implicit transaction.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import DeadLetterError
+from ..types import TupleRef
+from .retry import RetryPolicy
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS _nebula_dead_letters (
+    letter_id   INTEGER PRIMARY KEY,
+    content     TEXT NOT NULL,
+    author      TEXT,
+    focal_json  TEXT NOT NULL,
+    stage       TEXT NOT NULL,
+    error       TEXT NOT NULL,
+    attempts    INTEGER NOT NULL DEFAULT 1,
+    status      TEXT NOT NULL DEFAULT 'pending'
+        CHECK (status IN ('pending', 'resolved'))
+);
+"""
+
+_COLUMNS = "letter_id, content, author, focal_json, stage, error, attempts, status"
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One captured ingestion failure, replayable as-is."""
+
+    letter_id: int
+    content: str
+    author: Optional[str]
+    focal: Tuple[TupleRef, ...]
+    stage: str
+    error: str
+    attempts: int
+    status: str
+
+    @property
+    def is_pending(self) -> bool:
+        return self.status == "pending"
+
+
+class DeadLetterQueue:
+    """SQLite-backed queue of annotations whose pipeline failed."""
+
+    def __init__(
+        self, connection: sqlite3.Connection, retry: Optional[RetryPolicy] = None
+    ) -> None:
+        self.connection = connection
+        self._retry = retry
+        self._execute_script(_DDL)
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, sql: str, params: Tuple = ()):
+        if self._retry is not None:
+            return self._retry.run(lambda: self.connection.execute(sql, params), sql)
+        return self.connection.execute(sql, params)
+
+    def _execute_script(self, script: str) -> None:
+        if self._retry is not None:
+            self._retry.run(lambda: self.connection.executescript(script), "ddl")
+        else:
+            self.connection.executescript(script)
+
+    def _commit(self) -> None:
+        """Make a queue write durable right away (see module docstring)."""
+        if self._retry is not None:
+            self._retry.run(self.connection.commit, "commit")
+        else:
+            self.connection.commit()
+
+    # ------------------------------------------------------------------
+
+    def capture(
+        self,
+        content: str,
+        focal: Tuple[TupleRef, ...],
+        author: Optional[str],
+        stage: str,
+        error: str,
+    ) -> DeadLetter:
+        """Persist one failed ingestion for later reprocessing."""
+        focal_json = json.dumps([[ref.table, ref.rowid] for ref in focal])
+        cursor = self._execute(
+            "INSERT INTO _nebula_dead_letters "
+            "(content, author, focal_json, stage, error) VALUES (?, ?, ?, ?, ?)",
+            (content, author, focal_json, stage, error),
+        )
+        self._commit()
+        return DeadLetter(
+            letter_id=int(cursor.lastrowid),
+            content=content,
+            author=author,
+            focal=focal,
+            stage=stage,
+            error=error,
+            attempts=1,
+            status="pending",
+        )
+
+    def get(self, letter_id: int) -> DeadLetter:
+        row = self._execute(
+            f"SELECT {_COLUMNS} FROM _nebula_dead_letters WHERE letter_id = ?",
+            (letter_id,),
+        ).fetchone()
+        if row is None:
+            raise DeadLetterError(letter_id)
+        return _row_to_letter(row)
+
+    def pending(self) -> List[DeadLetter]:
+        rows = self._execute(
+            f"SELECT {_COLUMNS} FROM _nebula_dead_letters "
+            "WHERE status = 'pending' ORDER BY letter_id"
+        ).fetchall()
+        return [_row_to_letter(r) for r in rows]
+
+    def count(self, status: Optional[str] = None) -> int:
+        if status is None:
+            row = self._execute("SELECT COUNT(*) FROM _nebula_dead_letters").fetchone()
+        else:
+            row = self._execute(
+                "SELECT COUNT(*) FROM _nebula_dead_letters WHERE status = ?", (status,)
+            ).fetchone()
+        return int(row[0])
+
+    def mark_resolved(self, letter_id: int) -> None:
+        """A successful replay: the letter leaves the pending set."""
+        cursor = self._execute(
+            "UPDATE _nebula_dead_letters SET status = 'resolved' "
+            "WHERE letter_id = ? AND status = 'pending'",
+            (letter_id,),
+        )
+        if cursor.rowcount == 0:
+            raise DeadLetterError(letter_id, "unknown or already resolved dead letter")
+        self._commit()
+
+    def record_attempt(self, letter_id: int, error: str) -> None:
+        """A failed replay: bump the attempt counter, keep it pending."""
+        cursor = self._execute(
+            "UPDATE _nebula_dead_letters SET attempts = attempts + 1, error = ? "
+            "WHERE letter_id = ? AND status = 'pending'",
+            (error, letter_id),
+        )
+        if cursor.rowcount == 0:
+            raise DeadLetterError(letter_id, "unknown or already resolved dead letter")
+        self._commit()
+
+
+def _row_to_letter(row) -> DeadLetter:
+    focal = tuple(
+        TupleRef(str(table), int(rowid)) for table, rowid in json.loads(row[3])
+    )
+    return DeadLetter(
+        letter_id=int(row[0]),
+        content=str(row[1]),
+        author=None if row[2] is None else str(row[2]),
+        focal=focal,
+        stage=str(row[4]),
+        error=str(row[5]),
+        attempts=int(row[6]),
+        status=str(row[7]),
+    )

@@ -1,0 +1,104 @@
+"""Deterministic fault injection for the annotation pipeline.
+
+A :class:`FaultInjector` is armed at named *fault points* — the stage
+boundaries of ``Nebula.insert_annotation`` / ``Nebula.analyze`` — and
+raises a scripted exception the next ``times`` times that point is
+reached.  Because it is plugged in through :class:`repro.config.
+NebulaConfig` (``fault_injector=...``), tests exercise every boundary,
+fallback, and rollback path through the *public* API, with zero
+monkeypatching and fully deterministic behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple, Union
+
+#: The named fault points the pipeline checks, in stage order.
+FAULT_POINTS: Tuple[str, ...] = (
+    "store.add",
+    "spreading.scope",
+    "executor.run",
+    "queue.triage",
+)
+
+
+class InjectedFault(RuntimeError):
+    """Default exception raised at an armed fault point."""
+
+    def __init__(self, point: str):
+        super().__init__(f"injected fault at {point!r}")
+        self.point = point
+
+
+@dataclass
+class _Arming:
+    factory: Callable[[], BaseException]
+    remaining: int
+
+
+class FaultInjector:
+    """Registry of armed fault points.
+
+    >>> faults = FaultInjector()
+    >>> faults.arm("queue.triage")          # next triage raises once
+    >>> faults.fired("queue.triage")
+    0
+    """
+
+    def __init__(self) -> None:
+        self._armed: Dict[str, _Arming] = {}
+        self._fired: Dict[str, int] = {}
+
+    def arm(
+        self,
+        point: str,
+        error: Union[BaseException, Callable[[], BaseException], None] = None,
+        times: int = 1,
+    ) -> "FaultInjector":
+        """Arm ``point`` to raise ``error`` for the next ``times`` hits.
+
+        ``error`` may be an exception instance, a zero-argument factory,
+        or None for the default :class:`InjectedFault`.  ``times`` may be
+        negative for "every time until disarmed".  Unknown points are
+        rejected — a typo'd arming would otherwise never fire and the
+        test exercising it would pass vacuously.
+        """
+        if point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {point!r}; pipeline checks {FAULT_POINTS}"
+            )
+        if error is None:
+            factory: Callable[[], BaseException] = lambda: InjectedFault(point)
+        elif isinstance(error, BaseException):
+            factory = lambda: error
+        else:
+            factory = error
+        self._armed[point] = _Arming(factory=factory, remaining=times)
+        return self
+
+    def disarm(self, point: str) -> None:
+        self._armed.pop(point, None)
+
+    def reset(self) -> None:
+        """Disarm everything and clear the fired counters."""
+        self._armed.clear()
+        self._fired.clear()
+
+    def fired(self, point: Optional[str] = None) -> int:
+        """How many faults actually fired (at ``point``, or in total)."""
+        if point is not None:
+            return self._fired.get(point, 0)
+        return sum(self._fired.values())
+
+    def check(self, point: str) -> None:
+        """Raise the scripted exception if ``point`` is armed."""
+        arming = self._armed.get(point)
+        if arming is None or arming.remaining == 0:
+            return
+        if arming.remaining > 0:
+            arming.remaining -= 1
+            if arming.remaining == 0:
+                self._armed.pop(point, None)
+        self._fired[point] = self._fired.get(point, 0) + 1
+        raise arming.factory()

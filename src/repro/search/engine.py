@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
 
 from ..errors import EmptyQueryError
+from ..resilience.retry import RetryPolicy
 from ..types import ScoredTuple, TupleRef
 from .configurations import enumerate_configurations
 from .index import InvertedValueIndex
@@ -122,8 +123,11 @@ class KeywordSearchEngine:
         aliases: Optional[TMapping[str, Tuple[str, Optional[str]]]] = None,
         lexicon=None,
         max_configurations: int = 24,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.connection = connection
+        #: Retry policy for transient lock errors during SQL execution.
+        self.retry = retry
         self.schema = schema or SchemaGraph.from_connection(connection)
         self.index = InvertedValueIndex.build(connection, searchable_columns)
         self.mapper = KeywordMapper(
@@ -177,8 +181,14 @@ class KeywordSearchEngine:
         return pruned
 
     def execute_sql(self, generated: GeneratedSQL) -> List[int]:
-        """Run one generated query, returning target-table rowids."""
-        rows = self.connection.execute(generated.sql, generated.params).fetchall()
+        """Run one generated query, returning target-table rowids.
+
+        Transient lock/busy errors are retried when a policy is set.
+        """
+        def run() -> List:
+            return self.connection.execute(generated.sql, generated.params).fetchall()
+
+        rows = self.retry.run(run, generated.sql) if self.retry is not None else run()
         return [int(r[0]) for r in rows]
 
     def search(
