@@ -13,7 +13,7 @@ from repro.core.query_generation import (
     generate_queries,
 )
 
-from conftest import EPSILONS, SIZE_GROUPS, make_nebula, report, table
+from conftest import EPSILONS, SIZE_GROUPS, dump_metrics, make_nebula, report, table
 
 
 @pytest.mark.benchmark(group="fig11a")
@@ -55,3 +55,6 @@ def test_fig11a_query_generation_time(benchmark, dataset_large, epsilon):
     # Benchmark the full generation over a representative mid-size text.
     sample = workload.group(500)[0]
     benchmark(generate_queries, sample.text, nebula.meta, nebula.config)
+
+    # Per-phase histograms + per-type query counters next to the table.
+    dump_metrics("fig11a_metrics")

@@ -12,7 +12,7 @@ import pytest
 
 from repro.search.naive import NaiveSearch
 
-from conftest import make_nebula, report, table
+from conftest import dump_metrics, make_nebula, report, table
 
 SIZE_GROUPS = (50, 100, 500, 1000)
 
@@ -60,3 +60,6 @@ def test_fig12a_execution_time(benchmark, all_datasets):
     nebula = make_nebula(db, 0.6)
     sample = workload.group(100)[0]
     benchmark(lambda: nebula.analyze(sample.text))
+
+    # SQL statement / row counters + sharing ratios next to the table.
+    dump_metrics("fig12a_metrics")

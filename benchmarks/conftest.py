@@ -15,6 +15,7 @@ Every benchmark both:
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -25,6 +26,7 @@ from repro import Nebula, NebulaConfig, generate_bio_database, generate_workload
 from repro.core.bounds import TrainingSample
 from repro.datagen.biodb import BioDatabase, BioDatabaseSpec
 from repro.datagen.workload import AnnotationWorkload, WorkloadSpec
+from repro.observability import get_metrics
 from repro.utils.tokenize import normalize_word
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -72,6 +74,28 @@ def _cell(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.4f}"
     return str(value)
+
+
+def dump_metrics(name: str) -> str:
+    """Write the process metrics snapshot to benchmarks/results/<name>.json.
+
+    Benchmarks call this after their measured section so the counters the
+    pipeline accumulated (queries per type, SQL executed, sharing ratios)
+    land next to the paper-style tables; EXPERIMENTS.md cross-checks them
+    against Figures 11(a) / 12(a) / 13.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(get_metrics().snapshot(), handle, indent=2, sort_keys=True)
+    return path
+
+
+@pytest.fixture(scope="session", autouse=True)
+def metrics_session_snapshot():
+    """Persist the whole benchmark session's metrics on teardown."""
+    yield
+    dump_metrics("metrics_session")
 
 
 # ----------------------------------------------------------------------

@@ -7,7 +7,14 @@ references — triaged into auto-accepted, pending, and rejected
 attachments.
 
 Run:  python examples/quickstart.py
+
+Set ``NEBULA_TRACE=/path/to/trace.jsonl`` to run the pipeline with
+structured tracing on: each pass appends its span tree to that file and
+the script prints the trace plus the non-zero pipeline counters (the CI
+smoke job validates the file with ``repro trace --validate``).
 """
+
+import os
 
 from repro import (
     BioDatabaseSpec,
@@ -15,6 +22,7 @@ from repro import (
     NebulaConfig,
     generate_bio_database,
 )
+from repro.observability import format_trace, non_zero_counters
 
 
 def main() -> None:
@@ -30,11 +38,17 @@ def main() -> None:
     )
 
     # 2. The Nebula engine: ConceptRefs metadata, inverted value index,
-    #    ACG built from the existing co-annotations.
+    #    ACG built from the existing co-annotations.  NEBULA_TRACE turns
+    #    on structured tracing (spans exported to the given JSONL file).
+    trace_path = os.environ.get("NEBULA_TRACE")
     nebula = Nebula(
         db.connection,
         db.meta,
-        NebulaConfig(epsilon=0.6),
+        NebulaConfig(
+            epsilon=0.6,
+            tracing=bool(trace_path),
+            trace_path=trace_path or None,
+        ),
         aliases=db.aliases,
     )
     print(
@@ -90,6 +104,15 @@ def main() -> None:
     }
     discovered = set(final) & expected
     print(f"discovered {len(discovered)}/{len(expected)} expected attachments")
+
+    # 8. With NEBULA_TRACE set, show what the observability layer saw.
+    if trace_path and report.trace is not None:
+        print(f"\npipeline trace (appended to {trace_path}):")
+        for line in format_trace(report.trace, indent=1):
+            print(line)
+        print("\nnon-zero pipeline counters:")
+        for key in non_zero_counters(report.metrics):
+            print(f"  {key} = {report.metrics['counters'][key]:g}")
 
 
 if __name__ == "__main__":

@@ -40,6 +40,17 @@ from .errors import (
     VerificationError,
     WorkloadError,
 )
+from .observability import (
+    JsonlExporter,
+    MetricsRegistry,
+    NoopTracer,
+    NOOP_TRACER,
+    RingBufferExporter,
+    SqlProfiler,
+    Tracer,
+    get_metrics,
+    set_metrics,
+)
 from .resilience import (
     DeadLetter,
     DeadLetterQueue,
@@ -135,6 +146,16 @@ __all__ = [
     "CommandError",
     "PipelineStageError",
     "DeadLetterError",
+    # observability layer
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "RingBufferExporter",
+    "JsonlExporter",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "SqlProfiler",
     # resilience layer
     "RetryPolicy",
     "Savepoint",

@@ -5,7 +5,8 @@ Usage (after ``pip install -e .``)::
     python -m repro generate --db curated.db --genes 400 --publications 2000
     python -m repro stats --db curated.db
     python -m repro annotate --db curated.db --text "gene JW0014 matters" \\
-        --attach Gene:3
+        --attach Gene:3 --trace
+    python -m repro trace --db curated.db --last 2
     python -m repro pending --db curated.db
     python -m repro verify --db curated.db --task 7
     python -m repro demo
@@ -13,25 +14,62 @@ Usage (after ``pip install -e .``)::
 ``generate`` persists a synthetic curated database (plus its NebulaMeta
 concepts, rebuilt on open from the stored schema); the other commands
 operate on it through a fresh Nebula engine.
+
+``annotate --trace`` also appends the pass's trace tree to
+``<db>.trace.jsonl`` and accumulates a metrics snapshot in
+``<db>.metrics.json``; ``trace`` pretty-prints those traces and ``stats``
+folds the persisted metrics into its report.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sqlite3
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .config import NebulaConfig
 from .core.nebula import Nebula
 from .datagen.biodb import BioDatabaseSpec, generate_bio_database, _build_meta
 from .datagen.stats import collect_stats
 from .datagen.workload import WorkloadSpec, generate_workload
+from .observability import (
+    MetricsRegistry,
+    format_trace,
+    read_jsonl_traces,
+    set_metrics,
+    validate_trace_file,
+)
 from .types import TupleRef
 
 
-def _open_engine(path: str, epsilon: float) -> Nebula:
+def _trace_path(db: str) -> str:
+    return f"{db}.trace.jsonl"
+
+
+def _metrics_path(db: str) -> str:
+    return f"{db}.metrics.json"
+
+
+def _load_metrics(db: str) -> MetricsRegistry:
+    """A registry seeded from the database's persisted snapshot (if any),
+    so traced CLI runs accumulate metrics across processes."""
+    registry = MetricsRegistry()
+    path = _metrics_path(db)
+    if os.path.exists(path):
+        with open(path) as handle:
+            registry.restore(json.load(handle))
+    return registry
+
+
+def _save_metrics(db: str, registry: MetricsRegistry) -> None:
+    with open(_metrics_path(db), "w") as handle:
+        json.dump(registry.snapshot(), handle, indent=2)
+
+
+def _open_engine(path: str, epsilon: float, trace: bool = False) -> Nebula:
     connection = sqlite3.connect(path)
     meta = _build_meta(connection)
     aliases = {
@@ -40,7 +78,18 @@ def _open_engine(path: str, epsilon: float) -> Nebula:
         "id": ("Gene", "GID"),
         "accession": ("Protein", "PID"),
     }
-    return Nebula(connection, meta, NebulaConfig(epsilon=epsilon), aliases=aliases)
+    config = NebulaConfig(
+        epsilon=epsilon,
+        tracing=trace,
+        trace_path=_trace_path(path) if trace else None,
+    )
+    metrics = None
+    if trace:
+        # Route the resilience layer's module-level counters into the
+        # same restored registry the engine will snapshot.
+        metrics = _load_metrics(path)
+        set_metrics(metrics)
+    return Nebula(connection, meta, config, aliases=aliases, metrics=metrics)
 
 
 def _parse_ref(text: str) -> TupleRef:
@@ -85,14 +134,23 @@ def cmd_stats(args: argparse.Namespace) -> int:
     stats = collect_stats(connection)
     for line in stats.lines():
         print(line)
+    metrics_path = _metrics_path(args.db)
+    if os.path.exists(metrics_path):
+        print()
+        print(f"pipeline metrics ({metrics_path}):")
+        registry = _load_metrics(args.db)
+        for line in registry.lines():
+            print(f"  {line}")
     return 0
 
 
 def cmd_annotate(args: argparse.Namespace) -> int:
-    nebula = _open_engine(args.db, args.epsilon)
+    nebula = _open_engine(args.db, args.epsilon, trace=args.trace)
     attach = list(args.attach or [])
     report = nebula.insert_annotation(args.text, attach_to=attach, author=args.author)
     nebula.connection.commit()
+    if args.trace:
+        _save_metrics(args.db, nebula.metrics)
     print(f"annotation {report.annotation_id} inserted ({report.mode} search)")
     print(f"queries: {[q.keywords for q in report.generation.queries]}")
     if report.spam_verdict is not None and report.spam_verdict.is_spam:
@@ -103,6 +161,33 @@ def cmd_annotate(args: argparse.Namespace) -> int:
             f"  task {task.task_id}: {task.ref} "
             f"confidence={task.confidence:.2f} -> {task.decision.value}"
         )
+    if args.trace and report.trace is not None:
+        print(f"trace (appended to {_trace_path(args.db)}):")
+        for line in format_trace(report.trace, indent=1):
+            print(line)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if not args.path and not args.db:
+        print("trace: one of --db or --path is required", file=sys.stderr)
+        return 2
+    path = args.path or _trace_path(args.db)
+    if args.validate:
+        try:
+            validate_trace_file(path, minimum=max(args.last, 1))
+        except ValueError as error:
+            print(f"trace validation failed: {error}", file=sys.stderr)
+            return 1
+        print(f"{path}: OK")
+    if not os.path.exists(path):
+        print(f"no trace file at {path} (run annotate --trace first)")
+        return 0 if args.validate else 1
+    traces = read_jsonl_traces(path)
+    for record in traces[-max(args.last, 0):]:
+        for line in format_trace(record):
+            print(line)
+        print()
     return 0
 
 
@@ -182,7 +267,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     annotate.add_argument("--author")
     annotate.add_argument("--epsilon", type=float, default=0.6)
+    annotate.add_argument(
+        "--trace", action="store_true",
+        help="trace the pipeline pass; appends to <db>.trace.jsonl and "
+        "accumulates metrics in <db>.metrics.json",
+    )
     annotate.set_defaults(func=cmd_annotate)
+
+    trace = sub.add_parser("trace", help="pretty-print recorded pipeline traces")
+    trace.add_argument("--db", help="database whose <db>.trace.jsonl to read")
+    trace.add_argument("--path", help="explicit trace JSONL file (overrides --db)")
+    trace.add_argument("--last", type=int, default=1, metavar="N",
+                       help="show the most recent N traces (default 1)")
+    trace.add_argument(
+        "--validate", action="store_true",
+        help="exit 1 unless the file holds >= N well-formed nested traces",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     pending = sub.add_parser("pending", help="list pending verification tasks")
     pending.add_argument("--db", required=True)

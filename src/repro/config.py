@@ -88,6 +88,14 @@ class NebulaConfig:
     retry_max_delay: float = 0.25
     #: Capture failed ingestions in the ``_nebula_dead_letters`` table.
     dead_letters: bool = True
+    #: Enable structured tracing of the pipeline (ring-buffer exporter,
+    #: plus a JSONL exporter when ``trace_path`` is set).  Off by default:
+    #: the no-op tracer keeps the hot path allocation-free.
+    tracing: bool = False
+    #: When tracing, also append each finished trace to this JSONL file.
+    trace_path: Optional[str] = None
+    #: Capacity of the in-memory trace ring buffer (last-N traces).
+    trace_buffer_size: int = 64
     #: Test seam: raise scripted faults at the pipeline's named fault
     #: points (``store.add``, ``spreading.scope``, ``executor.run``,
     #: ``queue.triage``).  None in production.
@@ -121,6 +129,7 @@ class NebulaConfig:
             0.0 <= self.retry_base_delay <= self.retry_max_delay,
             "retry delays must satisfy 0 <= retry_base_delay <= retry_max_delay",
         )
+        _require(self.trace_buffer_size >= 1, "trace_buffer_size must be >= 1")
 
     def with_updates(self, **changes: object) -> "NebulaConfig":
         """Return a copy of this config with ``changes`` applied.

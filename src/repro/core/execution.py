@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..observability.metrics import COUNT_BUCKETS, get_metrics
 from ..search.engine import KeywordQuery, KeywordSearchEngine, SearchResult, SearchScope
 from ..types import ScoredTuple, TupleRef
 from .acg import AnnotationsConnectivityGraph
@@ -89,6 +90,10 @@ def identify_related_tuples(
 
     # Step 3: normalize relative to the largest confidence.
     tuples = _normalize(grouped, provenance)
+    metrics = get_metrics()
+    metrics.counter("nebula_tuples_scored_total").inc(len(tuples))
+    metrics.counter("nebula_raw_tuples_total").inc(raw_count)
+    metrics.histogram("nebula_candidate_tuples", COUNT_BUCKETS).observe(len(tuples))
     return IdentifiedTuples(
         tuples=tuples,
         per_query=per_query,

@@ -29,6 +29,15 @@ from ..annotations.engine import AnnotationManager
 from ..config import NebulaConfig
 from ..errors import PipelineStageError
 from ..meta.repository import NebulaMeta
+from ..observability import (
+    NOOP_TRACER,
+    TIME_BUCKETS,
+    JsonlExporter,
+    MetricsRegistry,
+    RingBufferExporter,
+    Tracer,
+    get_metrics,
+)
 from ..resilience import (
     EXECUTOR_FALLBACK,
     MINI_DROP_LEAK,
@@ -36,6 +45,7 @@ from ..resilience import (
     DeadLetterQueue,
     RetryPolicy,
     Savepoint,
+    count_degradation,
     pipeline_stage,
 )
 from ..resilience.degradation import logger as _resilience_logger
@@ -48,6 +58,14 @@ from .shared_execution import SharedExecutor
 from .spam import SpamGuard, SpamVerdict, count_searchable_tuples
 from .spreading import select_radius, spreading_scope
 from .verification import VerificationQueue, VerificationTask
+
+
+def _decision_counts(tasks: Sequence[VerificationTask]) -> Dict[str, int]:
+    """Triage outcome tally, keyed by the decision value (Figure 16)."""
+    counts: Dict[str, int] = {}
+    for task in tasks:
+        counts[task.decision.value] = counts.get(task.decision.value, 0) + 1
+    return counts
 
 
 @dataclass
@@ -73,6 +91,12 @@ class DiscoveryReport:
     #: :mod:`repro.resilience.degradation`).  Empty on a clean run.
     degradations: List[str] = field(default_factory=list)
     elapsed: float = 0.0
+    #: The finished trace tree of this pass (root-span dict), populated
+    #: only when tracing is enabled on the engine.
+    trace: Optional[Dict] = None
+    #: Metrics-registry snapshot taken right after this pass, populated
+    #: only when tracing is enabled (the default hot path stays free).
+    metrics: Optional[Dict] = None
 
     @property
     def candidates(self) -> List[ScoredTuple]:
@@ -93,6 +117,8 @@ class Nebula:
         config: Optional[NebulaConfig] = None,
         aliases: Optional[Dict[str, Tuple[str, Optional[str]]]] = None,
         build_acg: bool = True,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.connection = connection
         self.meta = meta
@@ -103,6 +129,33 @@ class Nebula:
             max_delay=self.config.retry_max_delay,
         )
         self._faults = self.config.fault_injector
+        #: Metrics registry shared with every sub-component (the process
+        #: default unless injected — tests inject a fresh one).
+        self.metrics = metrics if metrics is not None else get_metrics()
+        #: Ring-buffer exporter backing ``trace --last N`` (None when the
+        #: tracer was injected or tracing is disabled).
+        self.trace_buffer: Optional[RingBufferExporter] = None
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.config.tracing:
+            self.trace_buffer = RingBufferExporter(self.config.trace_buffer_size)
+            exporters: List = [self.trace_buffer]
+            if self.config.trace_path:
+                exporters.append(JsonlExporter(self.config.trace_path))
+            self.tracer = Tracer(exporters)
+        else:
+            self.tracer = NOOP_TRACER
+        self._m_ingested = self.metrics.counter("nebula_annotations_ingested_total")
+        self._m_quarantined = self.metrics.counter(
+            "nebula_annotations_quarantined_total"
+        )
+        self._m_insert_seconds = self.metrics.histogram(
+            "nebula_insert_seconds", TIME_BUCKETS
+        )
+        self._m_analyze_seconds = self.metrics.histogram(
+            "nebula_analyze_seconds", TIME_BUCKETS
+        )
+        self._m_acg_edges = self.metrics.gauge("nebula_acg_edges")
         self.manager = AnnotationManager(connection, retry=self.retry)
         self.dead_letters = DeadLetterQueue(connection, retry=self.retry)
         self.engine = KeywordSearchEngine(
@@ -111,6 +164,7 @@ class Nebula:
             aliases=aliases,
             lexicon=meta.lexicon,
             retry=self.retry,
+            metrics=self.metrics,
         )
         self.acg = (
             AnnotationsConnectivityGraph.build_from_manager(self.manager)
@@ -157,10 +211,31 @@ class Nebula:
         ``use_spreading`` defaults to the ACG stability flag (the paper's
         trigger); ``radius`` defaults to the profile-guided selection;
         ``shared`` defaults to the config's shared-execution switch.
+
+        With tracing enabled the pass is one ``analyze`` span holding the
+        ``stage1.*`` generation spans and the ``stage2.execute`` span; a
+        standalone call exports it as its own trace, a call from
+        :meth:`insert_annotation` nests it under that trace's root.
         """
+        with self.tracer.span("analyze") as span:
+            report = self._analyze(
+                text, tuple(focal), use_spreading, radius, shared, span
+            )
+        self._m_analyze_seconds.observe(report.elapsed)
+        self._attach_trace(report)
+        return report
+
+    def _analyze(
+        self,
+        text: str,
+        focal: Tuple[TupleRef, ...],
+        use_spreading: Optional[bool],
+        radius: Optional[int],
+        shared: Optional[bool],
+        span,
+    ) -> DiscoveryReport:
         started = time.perf_counter()
-        focal = tuple(focal)
-        generation = generate_queries(text, self.meta, self.config)
+        generation = generate_queries(text, self.meta, self.config, tracer=self.tracer)
         degradations: List[str] = list(generation.degradations)
 
         spreading = (
@@ -170,76 +245,94 @@ class Nebula:
         scope: Optional[SearchScope] = None
         mini = None
         chosen_radius: Optional[int] = None
-        if spreading:
-            try:
-                if self._faults is not None:
-                    self._faults.check("spreading.scope")
-                # An explicit radius of 0 means "search the focal only"
-                # and must not fall through to the profile selection.
-                chosen_radius = (
-                    radius
-                    if radius is not None
-                    else select_radius(
-                        self.profile,
-                        self.config.target_recall,
-                        self.config.spreading_hops,
-                    )
-                )
-                scope, mini = spreading_scope(
-                    self.connection, self.acg, focal, chosen_radius, retry=self.retry
-                )
-            except Exception as error:
-                # Degradation ladder: a broken scope construction falls
-                # back to the exact whole-database search.
-                _resilience_logger.warning(
-                    "spreading scope failed, using full search: %s", error
-                )
-                degradations.append(SPREADING_FALLBACK)
-                spreading = False
-                scope, mini, chosen_radius = None, None, None
-
-        use_shared = shared if shared is not None else self.config.shared_execution
-
-        def identify(executor: Optional[SharedExecutor]) -> IdentifiedTuples:
-            return identify_related_tuples(
-                generation.queries,
-                self.engine,
-                scope=scope,
-                acg=self.acg if self.config.focal_adjustment else None,
-                focal=focal,
-                executor=executor,
-                focal_mode=self.config.focal_mode,
-                focal_max_hops=self.config.focal_max_hops,
-            )
-
-        try:
-            if use_shared:
+        with self.tracer.span("stage2.execute") as execute_span:
+            if spreading:
                 try:
                     if self._faults is not None:
-                        self._faults.check("executor.run")
-                    identified = identify(self.executor)
-                except Exception as error:
-                    # Degradation ladder: shared execution is an
-                    # optimization — re-run each query sequentially.
-                    _resilience_logger.warning(
-                        "shared executor failed, executing sequentially: %s", error
+                        self._faults.check("spreading.scope")
+                    # An explicit radius of 0 means "search the focal only"
+                    # and must not fall through to the profile selection.
+                    chosen_radius = (
+                        radius
+                        if radius is not None
+                        else select_radius(
+                            self.profile,
+                            self.config.target_recall,
+                            self.config.spreading_hops,
+                        )
                     )
-                    degradations.append(EXECUTOR_FALLBACK)
+                    scope, mini = spreading_scope(
+                        self.connection, self.acg, focal, chosen_radius,
+                        retry=self.retry,
+                    )
+                except Exception as error:
+                    # Degradation ladder: a broken scope construction falls
+                    # back to the exact whole-database search.
+                    _resilience_logger.warning(
+                        "spreading scope failed, using full search: %s", error
+                    )
+                    degradations.append(SPREADING_FALLBACK)
+                    count_degradation(SPREADING_FALLBACK)
+                    spreading = False
+                    scope, mini, chosen_radius = None, None, None
+
+            use_shared = shared if shared is not None else self.config.shared_execution
+
+            def identify(executor: Optional[SharedExecutor]) -> IdentifiedTuples:
+                return identify_related_tuples(
+                    generation.queries,
+                    self.engine,
+                    scope=scope,
+                    acg=self.acg if self.config.focal_adjustment else None,
+                    focal=focal,
+                    executor=executor,
+                    focal_mode=self.config.focal_mode,
+                    focal_max_hops=self.config.focal_max_hops,
+                )
+
+            try:
+                if use_shared:
+                    try:
+                        if self._faults is not None:
+                            self._faults.check("executor.run")
+                        identified = identify(self.executor)
+                    except Exception as error:
+                        # Degradation ladder: shared execution is an
+                        # optimization — re-run each query sequentially.
+                        _resilience_logger.warning(
+                            "shared executor failed, executing sequentially: %s",
+                            error,
+                        )
+                        degradations.append(EXECUTOR_FALLBACK)
+                        count_degradation(EXECUTOR_FALLBACK)
+                        identified = identify(None)
+                else:
                     identified = identify(None)
-            else:
-                identified = identify(None)
-        finally:
-            if mini is not None:
-                try:
-                    mini.drop()
-                except Exception as error:
-                    # A failed cleanup must not mask the pipeline outcome
-                    # (nor any in-flight exception); the temp tables leak
-                    # until the connection closes.
-                    _resilience_logger.warning(
-                        "failed to drop spreading mini-database (leaked): %s", error
-                    )
-                    degradations.append(MINI_DROP_LEAK)
+            finally:
+                if mini is not None:
+                    try:
+                        mini.drop()
+                    except Exception as error:
+                        # A failed cleanup must not mask the pipeline outcome
+                        # (nor any in-flight exception); the temp tables leak
+                        # until the connection closes.
+                        _resilience_logger.warning(
+                            "failed to drop spreading mini-database (leaked): %s",
+                            error,
+                        )
+                        degradations.append(MINI_DROP_LEAK)
+                        count_degradation(MINI_DROP_LEAK)
+            execute_span.set_attribute("mode", "spreading" if spreading else "full")
+            execute_span.set_attribute("radius", chosen_radius)
+            execute_span.set_attribute(
+                "scope_size", scope.size() if scope is not None else None
+            )
+            execute_span.set_attribute("raw_tuples", identified.raw_tuple_count)
+            execute_span.set_attribute("candidates", len(identified.tuples))
+        span.set_attribute("query_count", len(generation.queries))
+        span.set_attribute("candidates", len(identified.tuples))
+        if degradations:
+            span.set_attribute("degradations", list(degradations))
         return DiscoveryReport(
             text=text,
             focal=focal,
@@ -251,6 +344,17 @@ class Nebula:
             degradations=degradations,
             elapsed=time.perf_counter() - started,
         )
+
+    def _attach_trace(self, report: DiscoveryReport) -> None:
+        """Surface the finished trace + a metrics snapshot on the report.
+
+        Only a *root* span produces a trace (a nested ``analyze`` inside
+        ``insert_annotation`` is exported with that trace instead), and
+        only when tracing is enabled — the no-op tracer never has one.
+        """
+        if self.tracer.enabled and self.tracer.depth == 0:
+            report.trace = self.tracer.last_trace
+            report.metrics = self.metrics.snapshot()
 
     # ------------------------------------------------------------------
     # Full pipeline (Stages 0-3, persisted)
@@ -274,9 +378,34 @@ class Nebula:
         captures the inputs in the dead-letter queue (unless
         ``capture_dead_letter`` is False), and raises
         :class:`~repro.errors.PipelineStageError`.
+
+        With tracing enabled the pass becomes one exported trace rooted
+        at ``insert_annotation`` with ``stage0.store``, ``analyze``
+        (holding ``stage1.*`` and ``stage2.execute``), and
+        ``stage3.curate`` children; the finished tree plus a metrics
+        snapshot land on the returned report.
         """
+        with self.tracer.span("insert_annotation") as span:
+            report = self._insert_annotation(
+                text, tuple(attach_to), author, use_spreading, radius,
+                capture_dead_letter, span,
+            )
+        self._m_insert_seconds.observe(report.elapsed)
+        self._m_acg_edges.set(self.acg.edge_count)
+        self._attach_trace(report)
+        return report
+
+    def _insert_annotation(
+        self,
+        text: str,
+        focal: Tuple[TupleRef, ...],
+        author: Optional[str],
+        use_spreading: Optional[bool],
+        radius: Optional[int],
+        capture_dead_letter: Optional[bool],
+        span,
+    ) -> DiscoveryReport:
         started = time.perf_counter()
-        focal = tuple(attach_to)
         capture = (
             self.config.dead_letters
             if capture_dead_letter is None
@@ -287,16 +416,22 @@ class Nebula:
         savepoint = Savepoint(self.connection, "nebula_insert").begin()
         try:
             # Stage 0 — persist the annotation + focal, update the ACG.
-            with pipeline_stage("store.add", self._faults):
-                annotation = self.manager.add_annotation(
-                    text,
-                    attach_to=[CellRef(r.table, r.rowid) for r in focal],
-                    author=author,
-                )
-            edges_before = self.acg.edge_count
-            new_edges = 0
-            for ref in focal:
-                new_edges += self.acg.add_attachment(annotation.annotation_id, ref)
+            with self.tracer.span("stage0.store") as store_span:
+                with pipeline_stage("store.add", self._faults):
+                    annotation = self.manager.add_annotation(
+                        text,
+                        attach_to=[CellRef(r.table, r.rowid) for r in focal],
+                        author=author,
+                    )
+                edges_before = self.acg.edge_count
+                new_edges = 0
+                for ref in focal:
+                    new_edges += self.acg.add_attachment(
+                        annotation.annotation_id, ref
+                    )
+                store_span.set_attribute("annotation_id", annotation.annotation_id)
+                store_span.set_attribute("focal", len(focal))
+                store_span.set_attribute("new_edges", new_edges)
 
             # Stages 1-2 — optimization failures degrade inside analyze;
             # anything that escapes it is a hard Stage 1-2 failure.
@@ -305,6 +440,9 @@ class Nebula:
                     text, focal=focal, use_spreading=use_spreading, radius=radius
                 )
             report.annotation_id = annotation.annotation_id
+            span.set_attribute("annotation_id", annotation.annotation_id)
+            span.set_attribute("query_count", report.query_count)
+            span.set_attribute("candidates", len(report.candidates))
             verdict = self.spam_guard.screen(
                 report.candidates, self._searchable_tuple_count
             )
@@ -312,22 +450,28 @@ class Nebula:
                 # Footnote-1 guard: a spam-like annotation is quarantined —
                 # its focal stays, but no predicted attachments are created.
                 report.spam_verdict = verdict
+                span.set_attribute("spam", verdict.reason)
                 savepoint.release()
                 self.stability.record_annotation(
                     attachments=len(focal), new_edges=new_edges
                 )
+                self._m_quarantined.inc()
                 report.elapsed = time.perf_counter() - started
                 return report
 
             # Stage 3 — triage the candidates into verification tasks.
-            with pipeline_stage("queue.triage", self._faults):
-                report.tasks = self.queue.triage(
-                    annotation.annotation_id,
-                    report.candidates,
-                    self.config.beta_lower,
-                    self.config.beta_upper,
-                    focal=focal,
-                )
+            with self.tracer.span("stage3.curate") as curate_span:
+                with pipeline_stage("queue.triage", self._faults):
+                    report.tasks = self.queue.triage(
+                        annotation.annotation_id,
+                        report.candidates,
+                        self.config.beta_lower,
+                        self.config.beta_upper,
+                        focal=focal,
+                    )
+                curate_span.set_attribute("tasks", len(report.tasks))
+                for decision, count in _decision_counts(report.tasks).items():
+                    curate_span.set_attribute(decision, count)
         except Exception as error:
             self._abort_insert(savepoint, annotation, profile_snapshot)
             failure = (
@@ -351,6 +495,13 @@ class Nebula:
         self.stability.record_annotation(
             attachments=len(focal) + accepted, new_edges=total_new_edges
         )
+        self._m_ingested.inc()
+        for decision, count in _decision_counts(report.tasks).items():
+            self.metrics.counter(
+                "nebula_triage_decisions_total", {"decision": decision}
+            ).inc(count)
+        span.set_attribute("tasks", len(report.tasks))
+        span.set_attribute("acg_edge_delta", total_new_edges)
         report.elapsed = time.perf_counter() - started
         return report
 

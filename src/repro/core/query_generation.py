@@ -25,7 +25,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import NebulaConfig
 from ..meta.repository import NebulaMeta
-from ..resilience.degradation import CONTEXT_FALLBACK, logger as _resilience_logger
+from ..observability.metrics import TIME_BUCKETS, get_metrics
+from ..resilience.degradation import (
+    CONTEXT_FALLBACK,
+    count_degradation,
+    logger as _resilience_logger,
+)
 from ..search.engine import KeywordQuery
 from ..utils.timer import PhaseTimer
 from ..utils.tokenize import normalize_word, tokenize
@@ -45,6 +50,13 @@ from .signature_maps import (
 PHASE_MAPS = "map_generation"
 PHASE_CONTEXT = "context_adjustment"
 PHASE_QUERIES = "query_formation"
+
+#: Trace span per Figure 11a phase (the stage-1 part of the taxonomy).
+SPAN_NAMES = {
+    PHASE_MAPS: "stage1.maps",
+    PHASE_CONTEXT: "stage1.context",
+    PHASE_QUERIES: "stage1.queries",
+}
 
 
 @dataclass(frozen=True)
@@ -76,10 +88,16 @@ class QueryGenerationResult:
 
 
 def generate_queries(
-    text: str, meta: NebulaMeta, config: NebulaConfig
+    text: str, meta: NebulaMeta, config: NebulaConfig, tracer=None
 ) -> QueryGenerationResult:
-    """Run QueryGeneration() on one annotation's text."""
-    timer = PhaseTimer()
+    """Run QueryGeneration() on one annotation's text.
+
+    ``tracer`` (optional) threads the enclosing trace through: the three
+    Figure 11a phases then appear as ``stage1.maps`` / ``stage1.context``
+    / ``stage1.queries`` spans, measured by the same stopwatches that
+    fill ``phase_times``.
+    """
+    timer = PhaseTimer(tracer=tracer, span_names=SPAN_NAMES)
     with timer.phase(PHASE_MAPS):
         tokens = tokenize(text)
         concept_entries = build_concept_map(tokens, meta, config.epsilon)
@@ -100,17 +118,39 @@ def generate_queries(
                 )
                 context_map = overlay_maps(tokens, concept_entries, value_entries)
                 degradations.append(CONTEXT_FALLBACK)
+                count_degradation(CONTEXT_FALLBACK)
     with timer.phase(PHASE_QUERIES):
         candidates = _form_candidates(context_map, config)
         queries = _finalize(candidates, config)
+    phase_times = timer.totals()
+    _count_generation(queries, phase_times)
     return QueryGenerationResult(
         queries=queries,
         context_map=context_map,
-        phase_times=timer.totals(),
+        phase_times=phase_times,
         adjustment_reports=reports,
         candidates=candidates,
         degradations=degradations,
     )
+
+
+def _count_generation(
+    queries: Sequence[KeywordQuery], phase_times: Dict[str, float]
+) -> None:
+    """Fold one generation pass into the metrics registry."""
+    metrics = get_metrics()
+    metrics.counter("nebula_queries_generated_total").inc(len(queries))
+    for query in queries:
+        # Labels are "q@<position>:<match kind>:<keywords>" by construction.
+        parts = query.label.split(":")
+        kind = parts[1] if len(parts) >= 3 else "unknown"
+        metrics.counter(
+            "nebula_queries_generated_total", {"type": kind}
+        ).inc()
+    for phase, elapsed in phase_times.items():
+        metrics.histogram(
+            "nebula_phase_seconds", TIME_BUCKETS, {"phase": phase}
+        ).observe(elapsed)
 
 
 # ----------------------------------------------------------------------

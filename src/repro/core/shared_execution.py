@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..observability.metrics import get_metrics
 from ..search.engine import KeywordQuery, KeywordSearchEngine, SearchResult, SearchScope
 from ..search.sqlgen import GeneratedSQL
 from ..types import ScoredTuple, TupleRef
@@ -36,6 +37,11 @@ class SharedExecutionStats:
     @property
     def saved_statements(self) -> int:
         return self.total_sql - self.executed_statements
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of the generated statements sharing saved (Fig. 13)."""
+        return self.saved_statements / self.total_sql if self.total_sql else 0.0
 
 
 class SharedExecutor:
@@ -108,6 +114,16 @@ class SharedExecutor:
             stats.batched_statements += 1
 
         self.last_stats = stats
+        metrics = get_metrics()
+        metrics.counter("nebula_shared_sql_total").inc(stats.total_sql)
+        metrics.counter("nebula_shared_sql_executed_total").inc(
+            stats.executed_statements
+        )
+        metrics.counter("nebula_shared_sql_batched_total").inc(
+            stats.batched_statements
+        )
+        metrics.counter("nebula_shared_sql_saved_total").inc(stats.saved_statements)
+        metrics.gauge("nebula_shared_hit_ratio").set(stats.hit_ratio)
         return cache
 
     def _execute_batch(
@@ -133,7 +149,7 @@ class SharedExecutor:
             if fragment:
                 sql += f" AND {fragment}"
         by_value: Dict[str, List[int]] = {}
-        for rowid, value in self.engine.connection.execute(sql, values):
+        for rowid, value in self.engine.execute_rows(sql, values):
             by_value.setdefault(str(value).casefold(), []).append(int(rowid))
         for member in members:
             wanted = member.conditions[0].value.casefold()

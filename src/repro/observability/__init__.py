@@ -1,0 +1,72 @@
+"""Observability for the Nebula pipeline: tracing, metrics, profiling.
+
+Three cooperating pieces, none needing external dependencies:
+
+* :mod:`~repro.observability.tracing` — nested spans over the Figure 16
+  stages, exported per-trace to an in-memory ring buffer and/or a JSONL
+  file; :data:`NOOP_TRACER` keeps the default hot path allocation-free;
+* :mod:`~repro.observability.metrics` — counters, gauges, and
+  fixed-bucket histograms in a process-wide registry
+  (:func:`get_metrics`), covering ingestion, query generation per type,
+  SQL execution, scoring, shared-execution savings, and every
+  resilience event (retries, degradations, dead letters);
+* :mod:`~repro.observability.profiling` — bounded per-SQL-statement
+  timing and row counts inside the keyword-search engine.
+
+See ``docs/observability.md`` for the span taxonomy and metric catalog,
+and how each metric maps back to the paper's figures.
+"""
+
+from .metrics import (
+    COUNT_BUCKETS,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    encode_key,
+    get_metrics,
+    non_zero_counters,
+    set_metrics,
+)
+from .profiling import SqlProfiler, StatementProfile
+from .tracing import (
+    NOOP_TRACER,
+    JsonlExporter,
+    NoopTracer,
+    RingBufferExporter,
+    Span,
+    Tracer,
+    format_trace,
+    read_jsonl_traces,
+    span_names,
+    validate_trace_file,
+)
+
+__all__ = [
+    # tracing
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "Span",
+    "RingBufferExporter",
+    "JsonlExporter",
+    "format_trace",
+    "read_jsonl_traces",
+    "span_names",
+    "validate_trace_file",
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_metrics",
+    "set_metrics",
+    "encode_key",
+    "non_zero_counters",
+    "TIME_BUCKETS",
+    "COUNT_BUCKETS",
+    # profiling
+    "SqlProfiler",
+    "StatementProfile",
+]

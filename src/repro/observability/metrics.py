@@ -1,0 +1,228 @@
+"""Dependency-free metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the pipeline's flight recorder.  Components increment
+named instruments (optionally with a small, fixed label set — query type,
+degradation label, fault point); ``snapshot()`` turns the whole registry
+into a plain JSON-serializable dict that ``DiscoveryReport.metrics``, the
+``repro stats`` command, and the benchmark harness persist.
+
+Instrument identity is ``name`` plus canonically-encoded labels
+(``nebula_queries_generated_total{type="type1"}``), so snapshots read
+like a Prometheus exposition without needing the dependency.  Histogram
+buckets are *non-cumulative*: each upper bound counts only the
+observations that fell at or below it and above the previous bound.
+
+A module-level default registry serves the whole process — the pipeline,
+the resilience layer, and the CLI all meet at :func:`get_metrics` — and
+tests swap it out with :func:`set_metrics`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram bounds for durations, in seconds (0.5 ms .. 5 s).
+TIME_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: Default histogram bounds for per-annotation cardinalities.
+COUNT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+_INF = "+Inf"
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value that can move both ways."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with per-bucket (non-cumulative) counts.
+
+    An observation equal to a bucket's upper bound lands in that bucket
+    (``le`` semantics); anything above the last bound lands in ``+Inf``.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def bucket_counts(self) -> Dict[str, int]:
+        labels = [str(bound) for bound in self.bounds] + [_INF]
+        return dict(zip(labels, self.counts))
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+def encode_key(name: str, labels: Optional[Mapping[str, str]] = None) -> str:
+    """Canonical instrument key: ``name{k1="v1",k2="v2"}``."""
+    if not labels:
+        return name
+    body = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted as a dict."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access (get-or-create) -----------------------------
+
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        key = encode_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        key = encode_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = TIME_BUCKETS,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Histogram:
+        key = encode_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(buckets)
+        return instrument
+
+    # -- snapshots ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """The whole registry as a JSON-serializable dict."""
+        return {
+            "counters": {key: c.value for key, c in sorted(self._counters.items())},
+            "gauges": {key: g.value for key, g in sorted(self._gauges.items())},
+            "histograms": {
+                key: {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "buckets": h.bucket_counts(),
+                }
+                for key, h in sorted(self._histograms.items())
+            },
+        }
+
+    def restore(self, snapshot: Mapping[str, Dict]) -> None:
+        """Seed instruments from a prior :meth:`snapshot` (CLI continuity).
+
+        Existing instruments are overwritten; unknown snapshot sections
+        are ignored so older files stay loadable.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            self._counters[key] = Counter(float(value))
+        for key, value in snapshot.get("gauges", {}).items():
+            self._gauges[key] = Gauge(float(value))
+        for key, dump in snapshot.get("histograms", {}).items():
+            buckets = dump.get("buckets", {})
+            bounds = [float(b) for b in buckets if b != _INF]
+            if not bounds:
+                continue
+            histogram = Histogram(sorted(bounds))
+            histogram.counts = [
+                int(buckets.get(str(bound), 0)) for bound in histogram.bounds
+            ] + [int(buckets.get(_INF, 0))]
+            histogram.sum = float(dump.get("sum", 0.0))
+            histogram.count = int(dump.get("count", 0))
+            self._histograms[key] = histogram
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- reporting helpers ----------------------------------------------
+
+    def lines(self) -> Iterator[str]:
+        """Human-readable exposition, one instrument per line."""
+        snap = self.snapshot()
+        for key, value in snap["counters"].items():
+            yield f"counter    {key} = {value:g}"
+        for key, value in snap["gauges"].items():
+            yield f"gauge      {key} = {value:g}"
+        for key, dump in snap["histograms"].items():
+            mean = dump["sum"] / dump["count"] if dump["count"] else 0.0
+            yield (
+                f"histogram  {key}: count={dump['count']} "
+                f"sum={dump['sum']:.6g} mean={mean:.6g}"
+            )
+
+
+def non_zero_counters(snapshot: Mapping[str, Dict]) -> List[str]:
+    """Keys of every counter with a non-zero value (assertion helper)."""
+    return [key for key, value in snapshot.get("counters", {}).items() if value]
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT_REGISTRY
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests); returns the previous one."""
+    global _DEFAULT_REGISTRY
+    previous = _DEFAULT_REGISTRY
+    _DEFAULT_REGISTRY = registry
+    return previous

@@ -1,0 +1,86 @@
+"""Per-SQL-statement profiling for the keyword-search engine.
+
+The paper's execution-time figures (12a/13) are built from *per
+statement* costs; :class:`SqlProfiler` aggregates every statement the
+engine runs — calls, total/max wall-clock seconds, rows returned — keyed
+by the statement text.  The table is bounded: once ``max_statements``
+distinct statements are tracked, further novel statements fold into a
+single ``<other>`` bucket so a pathological workload cannot grow the
+profiler without bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+OVERFLOW_KEY = "<other>"
+
+
+@dataclass
+class StatementProfile:
+    """Aggregate cost of one SQL statement shape."""
+
+    sql: str
+    calls: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+    rows: int = 0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sql": self.sql,
+            "calls": self.calls,
+            "total_seconds": self.total_seconds,
+            "max_seconds": self.max_seconds,
+            "mean_seconds": self.mean_seconds,
+            "rows": self.rows,
+        }
+
+
+class SqlProfiler:
+    """Bounded per-statement timing and row-count aggregation."""
+
+    def __init__(self, max_statements: int = 256) -> None:
+        if max_statements < 1:
+            raise ValueError("max_statements must be >= 1")
+        self.max_statements = max_statements
+        self._profiles: Dict[str, StatementProfile] = {}
+
+    def record(self, sql: str, elapsed: float, rows: int) -> None:
+        profile = self._profiles.get(sql)
+        if profile is None:
+            if len(self._profiles) >= self.max_statements:
+                sql = OVERFLOW_KEY
+                profile = self._profiles.get(sql)
+            if profile is None:
+                profile = self._profiles[sql] = StatementProfile(sql)
+        profile.calls += 1
+        profile.total_seconds += elapsed
+        profile.max_seconds = max(profile.max_seconds, elapsed)
+        profile.rows += rows
+
+    def top(self, n: int = 10) -> List[StatementProfile]:
+        """The ``n`` most expensive statements by total time."""
+        ranked = sorted(
+            self._profiles.values(), key=lambda p: (-p.total_seconds, p.sql)
+        )
+        return ranked[:n]
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return [profile.to_dict() for profile in self.top(len(self._profiles))]
+
+    @property
+    def statement_count(self) -> int:
+        return len(self._profiles)
+
+    @property
+    def total_calls(self) -> int:
+        return sum(profile.calls for profile in self._profiles.values())
+
+    def reset(self) -> None:
+        self._profiles.clear()

@@ -30,6 +30,7 @@ from .degradation import (
     EXECUTOR_FALLBACK,
     MINI_DROP_LEAK,
     SPREADING_FALLBACK,
+    count_degradation,
     with_fallback,
 )
 from .faults import FAULT_POINTS, FaultInjector, InjectedFault
@@ -44,6 +45,7 @@ __all__ = [
     "EXECUTOR_FALLBACK",
     "MINI_DROP_LEAK",
     "SPREADING_FALLBACK",
+    "count_degradation",
     "with_fallback",
     "FAULT_POINTS",
     "FaultInjector",

@@ -23,6 +23,7 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from ..errors import PipelineStageError
+from ..observability.metrics import get_metrics
 
 #: Process-wide counter making savepoint names unique even when nested.
 _SAVEPOINT_IDS = itertools.count(1)
@@ -84,4 +85,7 @@ def pipeline_stage(stage: str, faults=None) -> Iterator[None]:
     except PipelineStageError:
         raise  # already tagged by an inner stage
     except Exception as error:
+        get_metrics().counter(
+            "nebula_stage_failures_total", {"stage": stage}
+        ).inc()
         raise PipelineStageError(stage, error) from error

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..errors import DeadLetterError
+from ..observability.metrics import get_metrics
 from ..types import TupleRef
 from .retry import RetryPolicy
 
@@ -109,6 +110,8 @@ class DeadLetterQueue:
             (content, author, focal_json, stage, error),
         )
         self._commit()
+        get_metrics().counter("nebula_dead_letters_total", {"stage": stage}).inc()
+        self._update_pending_gauge()
         return DeadLetter(
             letter_id=int(cursor.lastrowid),
             content=content,
@@ -155,6 +158,13 @@ class DeadLetterQueue:
         if cursor.rowcount == 0:
             raise DeadLetterError(letter_id, "unknown or already resolved dead letter")
         self._commit()
+        self._update_pending_gauge()
+
+    def _update_pending_gauge(self) -> None:
+        """Keep ``nebula_dead_letters_pending`` equal to the queue depth."""
+        get_metrics().gauge("nebula_dead_letters_pending").set(
+            self.count("pending")
+        )
 
     def record_attempt(self, letter_id: int, error: str) -> None:
         """A failed replay: bump the attempt counter, keep it pending."""

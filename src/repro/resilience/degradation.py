@@ -23,6 +23,8 @@ from __future__ import annotations
 import logging
 from typing import Callable, List, TypeVar
 
+from ..observability.metrics import get_metrics
+
 logger = logging.getLogger("repro.resilience")
 
 T = TypeVar("T")
@@ -35,6 +37,19 @@ EXECUTOR_FALLBACK = "executor.run:sequential"
 CONTEXT_FALLBACK = "context.adjust:unadjusted-weights"
 #: Mini-database drop failed -> temp tables leaked until connection close.
 MINI_DROP_LEAK = "spreading.mini_drop:leaked"
+
+
+def count_degradation(label: str) -> None:
+    """Record one degradation event in the metrics registry.
+
+    Every site that appends to ``DiscoveryReport.degradations`` calls
+    this, so operators can alert on ``nebula_degradation_events_total``
+    without scraping logs; the label keys the fault point (low
+    cardinality by construction — labels are the module constants above).
+    """
+    get_metrics().counter(
+        "nebula_degradation_events_total", {"fallback": label}
+    ).inc()
 
 
 def with_fallback(
@@ -53,4 +68,5 @@ def with_fallback(
     except Exception as error:
         logger.warning("degrading (%s): %s", label, error)
         degradations.append(label)
+        count_degradation(label)
         return fallback()

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, TypeVar
 
 from ..errors import TransientStorageError
+from ..observability.metrics import get_metrics
 
 T = TypeVar("T")
 
@@ -96,10 +97,12 @@ class RetryPolicy:
                 if not self.retry_on(error):
                     raise
                 if attempt >= self.max_attempts:
+                    get_metrics().counter("nebula_transient_errors_total").inc()
                     label = description or getattr(operation, "__name__", "operation")
                     raise TransientStorageError(
                         f"{label}: {error}", attempts=attempt
                     ) from error
+                get_metrics().counter("nebula_retry_attempts_total").inc()
                 self.sleep(self.delay_for(attempt))
 
 

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
 
 from ..errors import EmptyQueryError
+from ..observability.metrics import MetricsRegistry, TIME_BUCKETS, get_metrics
+from ..observability.profiling import SqlProfiler
 from ..resilience.retry import RetryPolicy
 from ..types import ScoredTuple, TupleRef
 from .configurations import enumerate_configurations
@@ -124,6 +126,8 @@ class KeywordSearchEngine:
         lexicon=None,
         max_configurations: int = 24,
         retry: Optional[RetryPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[SqlProfiler] = None,
     ) -> None:
         self.connection = connection
         #: Retry policy for transient lock errors during SQL execution.
@@ -134,6 +138,17 @@ class KeywordSearchEngine:
             self.schema, self.index, aliases=aliases, lexicon=lexicon
         )
         self.max_configurations = max_configurations
+        #: Per-statement timing/row-count aggregation (``repro stats``).
+        self.profiler = profiler if profiler is not None else SqlProfiler()
+        metrics = metrics if metrics is not None else get_metrics()
+        # Instrument handles are resolved once: the execute path must not
+        # pay a registry lookup per statement.
+        self._m_statements = metrics.counter("nebula_sql_statements_total")
+        self._m_rows = metrics.counter("nebula_sql_rows_total")
+        self._m_seconds = metrics.histogram(
+            "nebula_sql_statement_seconds", TIME_BUCKETS
+        )
+        self._m_generated = metrics.counter("nebula_sql_generated_total")
 
     # ------------------------------------------------------------------
 
@@ -163,6 +178,7 @@ class KeywordSearchEngine:
             generated.extend(
                 generate_sql(configuration, self.schema, scope_filter, table_map)
             )
+        self._m_generated.inc(len(generated))
         return generated
 
     def _prune_to_scope(self, keyword_mappings, scope: SearchScope):
@@ -184,12 +200,25 @@ class KeywordSearchEngine:
         """Run one generated query, returning target-table rowids.
 
         Transient lock/busy errors are retried when a policy is set.
+        Every execution is profiled: per-statement wall-clock and row
+        counts feed ``self.profiler`` and the metrics registry.
         """
-        def run() -> List:
-            return self.connection.execute(generated.sql, generated.params).fetchall()
-
-        rows = self.retry.run(run, generated.sql) if self.retry is not None else run()
+        rows = self.execute_rows(generated.sql, generated.params)
         return [int(r[0]) for r in rows]
+
+    def execute_rows(self, sql: str, params: Sequence = ()) -> List:
+        """Run one SQL statement with retry + profiling, returning rows."""
+        def run() -> List:
+            return self.connection.execute(sql, params).fetchall()
+
+        started = time.perf_counter()
+        rows = self.retry.run(run, sql) if self.retry is not None else run()
+        elapsed = time.perf_counter() - started
+        self.profiler.record(sql, elapsed, len(rows))
+        self._m_statements.inc()
+        self._m_rows.inc(len(rows))
+        self._m_seconds.observe(elapsed)
+        return rows
 
     def search(
         self, query: KeywordQuery, scope: Optional[SearchScope] = None

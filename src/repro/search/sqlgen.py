@@ -21,9 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..observability.metrics import get_metrics
 from .configurations import Configuration
 from .mapper import Mapping
 from .metadata import SchemaGraph
+
+#: Bucket bounds for the per-statement condition-count histogram.
+_CONDITION_BUCKETS = (1, 2, 3, 4, 6, 8, 12)
 
 
 @dataclass(frozen=True)
@@ -82,6 +86,7 @@ def generate_sql(
         by_table.setdefault(schema.canonical_table(mapping.table), []).append(mapping)
 
     queries: List[GeneratedSQL] = []
+    metrics = get_metrics()
     for target_table in sorted(by_table):
         query = _build_query(
             configuration,
@@ -93,6 +98,13 @@ def generate_sql(
         )
         if query is not None:
             queries.append(query)
+            metrics.histogram(
+                "nebula_sqlgen_conditions", _CONDITION_BUCKETS
+            ).observe(len(query.conditions))
+            if query.confidence < configuration.score:
+                # Unreachable-table conditions were dropped (§6.1): the
+                # statement answers weaker semantics than intended.
+                metrics.counter("nebula_sqlgen_weakened_total").inc()
     return queries
 
 

@@ -4,6 +4,12 @@ The paper reports *per-phase* execution times (Figure 11a splits query
 generation into map generation, context adjustment, and query formation), so
 the engine instruments its stages through :class:`PhaseTimer` and surfaces
 the per-phase totals on its result objects.
+
+Since the observability subsystem landed, :class:`PhaseTimer` is a thin
+adapter over tracer spans: give it a tracer and every ``phase(name)``
+block also opens a span, so the Figure 11a phase totals and the trace
+tree come from the *same* measurement.  Without a tracer it degrades to
+the original stopwatch-only behaviour (and costs nothing extra).
 """
 
 from __future__ import annotations
@@ -11,32 +17,45 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Mapping, Optional
 
 
 @dataclass
 class Stopwatch:
-    """Accumulating stopwatch measuring wall-clock seconds."""
+    """Accumulating stopwatch measuring wall-clock seconds.
+
+    Safe against the two misuse hazards of the naive implementation:
+    ``stop()`` on a never-started watch is a no-op, and re-entrant
+    ``start()``/``stop()`` pairs (nested ``phase()`` calls on the same
+    name) accumulate the *outermost* interval exactly once — the depth
+    counter keeps the watch running until the outermost ``stop()``.
+    """
 
     elapsed: float = 0.0
     _started_at: float = field(default=0.0, repr=False)
-    _running: bool = field(default=False, repr=False)
+    _depth: int = field(default=0, repr=False)
+
+    @property
+    def running(self) -> bool:
+        return self._depth > 0
 
     def start(self) -> None:
-        if self._running:
-            return
-        self._started_at = time.perf_counter()
-        self._running = True
+        if self._depth == 0:
+            self._started_at = time.perf_counter()
+        self._depth += 1
 
     def stop(self) -> float:
-        if self._running:
+        if self._depth == 0:
+            # Never started (or already stopped): nothing to account.
+            return self.elapsed
+        self._depth -= 1
+        if self._depth == 0:
             self.elapsed += time.perf_counter() - self._started_at
-            self._running = False
         return self.elapsed
 
     def reset(self) -> None:
         self.elapsed = 0.0
-        self._running = False
+        self._depth = 0
 
 
 class PhaseTimer:
@@ -47,17 +66,37 @@ class PhaseTimer:
     ...     pass
     >>> sorted(timer.totals()) == ["map_generation"]
     True
+
+    When constructed with a tracer, each phase also runs inside a span —
+    named by ``span_names[name]`` when given, else ``span_prefix + name``
+    — so the per-phase totals fold into the enclosing trace.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        tracer=None,
+        span_prefix: str = "",
+        span_names: Optional[Mapping[str, str]] = None,
+    ) -> None:
         self._watches: Dict[str, Stopwatch] = {}
+        self._tracer = tracer
+        self._span_prefix = span_prefix
+        self._span_names = dict(span_names or {})
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         watch = self._watches.setdefault(name, Stopwatch())
+        span_context = None
+        if self._tracer is not None:
+            span_name = self._span_names.get(name, self._span_prefix + name)
+            span_context = self._tracer.span(span_name)
         watch.start()
         try:
-            yield
+            if span_context is not None:
+                with span_context:
+                    yield
+            else:
+                yield
         finally:
             watch.stop()
 

@@ -1,11 +1,14 @@
 """Fault-boundary tests for the ingestion pipeline: savepoint rollback,
 graceful degradation, and the dead-letter queue (ISSUE PR 1)."""
 
+import sqlite3
+
 import pytest
 
 from repro import Nebula, NebulaConfig, generate_bio_database
 from repro.datagen.biodb import BioDatabaseSpec
-from repro.errors import DeadLetterError, PipelineStageError
+from repro.errors import DeadLetterError, PipelineStageError, TransientStorageError
+from repro.observability import MetricsRegistry, set_metrics
 from repro.resilience import (
     CONTEXT_FALLBACK,
     EXECUTOR_FALLBACK,
@@ -14,6 +17,7 @@ from repro.resilience import (
     DeadLetterQueue,
     FaultInjector,
     InjectedFault,
+    RetryPolicy,
 )
 from repro.types import TupleRef
 
@@ -31,7 +35,17 @@ def faults():
 
 
 @pytest.fixture()
-def nebula(db, faults):
+def metrics():
+    """Isolated default registry: the resilience layer's module-level
+    counters land here instead of polluting (or reading) global state."""
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    yield registry
+    set_metrics(previous)
+
+
+@pytest.fixture()
+def nebula(db, faults, metrics):
     config = NebulaConfig(epsilon=0.6, fault_injector=faults)
     return Nebula(db.connection, db.meta, config, aliases=db.aliases)
 
@@ -247,6 +261,60 @@ class TestDeadLetters:
         letters = DeadLetterQueue(reopened).pending()
         assert len(letters) == 1
         assert letters[0].stage == "store.add"
+
+
+class TestResilienceMetrics:
+    """Every fault point publishes its events to the metrics registry."""
+
+    def counter(self, metrics, key):
+        return metrics.snapshot()["counters"].get(key, 0.0)
+
+    def test_retry_attempts_are_counted(self, metrics):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, sleep=lambda _: None)
+        assert policy.run(flaky) == "ok"
+        assert self.counter(metrics, "nebula_retry_attempts_total") == 2
+        assert self.counter(metrics, "nebula_transient_errors_total") == 0
+
+    def test_exhausted_retries_count_a_transient_error(self, metrics):
+        def always_locked():
+            raise sqlite3.OperationalError("database is locked")
+
+        policy = RetryPolicy(max_attempts=2, sleep=lambda _: None)
+        with pytest.raises(TransientStorageError):
+            policy.run(always_locked)
+        assert self.counter(metrics, "nebula_retry_attempts_total") == 1
+        assert self.counter(metrics, "nebula_transient_errors_total") == 1
+
+    def test_degradation_events_counted_per_label(self, db, nebula, faults, metrics):
+        faults.arm("spreading.scope")
+        report = sample_insert(db, nebula, use_spreading=True, radius=2)
+        assert SPREADING_FALLBACK in report.degradations
+        key = f'nebula_degradation_events_total{{fallback="{SPREADING_FALLBACK}"}}'
+        assert self.counter(metrics, key) == 1
+
+    def test_dead_letter_counter_and_pending_gauge(self, db, nebula, faults, metrics):
+        faults.arm("queue.triage")
+        with pytest.raises(PipelineStageError):
+            sample_insert(db, nebula)
+        key = 'nebula_dead_letters_total{stage="queue.triage"}'
+        assert self.counter(metrics, key) == 1
+        assert metrics.snapshot()["gauges"]["nebula_dead_letters_pending"] == 1
+        stage_key = 'nebula_stage_failures_total{stage="queue.triage"}'
+        assert self.counter(metrics, stage_key) == 1
+
+        # Resolving the letter (fault auto-cleared) moves the gauge back.
+        reports = nebula.reprocess_dead_letters()
+        assert len(reports) == 1
+        assert metrics.snapshot()["gauges"]["nebula_dead_letters_pending"] == 0
+        assert self.counter(metrics, key) == 1  # capture count is monotonic
 
 
 class TestStabilityInputs:

@@ -142,6 +142,66 @@ class TestCli:
         assert main(["demo", "--seed", "3"]) == 0
         assert "inserting" in capsys.readouterr().out
 
+    def test_annotate_trace_flow(self, tmp_path, capsys):
+        """annotate --trace persists a trace + metrics; trace and stats
+        surface them (the observability PR's CLI acceptance path)."""
+        db_path = str(tmp_path / "cli4.db")
+        main([
+            "generate", "--db", db_path, "--genes", "60", "--proteins", "36",
+            "--publications", "200",
+        ])
+        capsys.readouterr()
+        assert main([
+            "annotate", "--db", db_path,
+            "--text", "We examined genes JW0001 in depth.",
+            "--attach", "Gene:1", "--trace",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "insert_annotation" in out
+        assert "stage0.store" in out
+
+        # The trace subcommand reads the persisted JSONL back.
+        assert main(["trace", "--db", db_path, "--last", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "insert_annotation" in out
+        assert "stage2.execute" in out
+
+        # --validate accepts the well-formed file...
+        assert main(["trace", "--db", db_path, "--validate"]) == 0
+        capsys.readouterr()
+        # ...and rejects a malformed one.
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["trace", "--path", str(bad), "--validate"]) == 1
+        capsys.readouterr()
+
+        # A second traced run accumulates the persisted metrics.
+        assert main([
+            "annotate", "--db", db_path,
+            "--text", "Another look at JW0002 here.",
+            "--attach", "Gene:2", "--trace",
+        ]) == 0
+        capsys.readouterr()
+        snapshot = json.load(open(f"{db_path}.metrics.json"))
+        assert snapshot["counters"]["nebula_annotations_ingested_total"] == 2
+
+        # stats folds the persisted metrics into its report.
+        assert main(["stats", "--db", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline metrics" in out
+        assert "nebula_annotations_ingested_total = 2" in out
+
+    def test_trace_without_db_or_path_errors(self, capsys):
+        assert main(["trace", "--last", "1"]) == 2
+        assert "one of --db or --path" in capsys.readouterr().err
+
+    def test_trace_missing_file(self, tmp_path, capsys):
+        missing = str(tmp_path / "none.db")
+        assert main(["trace", "--db", missing]) == 1
+        assert "no trace file" in capsys.readouterr().out
+        assert main(["trace", "--db", missing, "--validate"]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
     def test_annotate_bad_ref_format(self, tmp_path):
         db_path = str(tmp_path / "cli3.db")
         main(["generate", "--db", db_path, "--genes", "40", "--proteins", "24",

@@ -1,0 +1,136 @@
+"""Unit tests for the Stopwatch / PhaseTimer helpers (observability PR).
+
+The two misuse hazards fixed here: ``stop()`` on a never-started watch
+used to subtract a stale ``_started_at`` into ``elapsed``, and re-entrant
+``phase()`` blocks on the same name used to double-count the overlapping
+interval.  A fake clock pins the arithmetic exactly.
+"""
+
+import pytest
+
+import repro.utils.timer as timer_module
+from repro.observability import RingBufferExporter, Tracer
+from repro.utils.timer import PhaseTimer, Stopwatch
+
+
+class FakeClock:
+    """Deterministic stand-in for time.perf_counter."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock(monkeypatch):
+    fake = FakeClock()
+    monkeypatch.setattr(timer_module.time, "perf_counter", fake)
+    return fake
+
+
+class TestStopwatch:
+    def test_accumulates_across_intervals(self, clock):
+        watch = Stopwatch()
+        watch.start()
+        clock.advance(1.0)
+        assert watch.stop() == 1.0
+        watch.start()
+        clock.advance(0.5)
+        assert watch.stop() == 1.5
+        assert watch.elapsed == 1.5
+
+    def test_stop_without_start_is_a_noop(self, clock):
+        watch = Stopwatch()
+        clock.advance(100.0)  # a stale clock must not leak into elapsed
+        assert watch.stop() == 0.0
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+    def test_double_stop_does_not_double_count(self, clock):
+        watch = Stopwatch()
+        watch.start()
+        clock.advance(2.0)
+        watch.stop()
+        clock.advance(3.0)
+        assert watch.stop() == 2.0  # second stop accounts nothing
+
+    def test_reentrant_start_counts_outermost_interval_once(self, clock):
+        watch = Stopwatch()
+        watch.start()
+        clock.advance(1.0)
+        watch.start()  # nested entry on the same watch
+        clock.advance(1.0)
+        assert watch.stop() == 0.0  # still running (outer scope open)
+        assert watch.running
+        clock.advance(1.0)
+        assert watch.stop() == 3.0  # exactly the outermost interval
+        assert not watch.running
+
+    def test_reset_clears_depth_and_elapsed(self, clock):
+        watch = Stopwatch()
+        watch.start()
+        clock.advance(1.0)
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+        clock.advance(5.0)
+        assert watch.stop() == 0.0  # reset forgot the open interval
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate_independently(self, clock):
+        timer = PhaseTimer()
+        with timer.phase("maps"):
+            clock.advance(1.0)
+        with timer.phase("queries"):
+            clock.advance(0.25)
+        with timer.phase("maps"):
+            clock.advance(0.5)
+        assert timer.totals() == {"maps": 1.5, "queries": 0.25}
+        assert timer.total() == 1.75
+
+    def test_nested_same_phase_counts_once(self, clock):
+        """Regression: a re-entrant phase() on the same name used to
+        count the inner interval twice."""
+        timer = PhaseTimer()
+        with timer.phase("maps"):
+            clock.advance(1.0)
+            with timer.phase("maps"):
+                clock.advance(1.0)
+            clock.advance(1.0)
+        assert timer.totals()["maps"] == 3.0
+
+    def test_exception_still_stops_the_watch(self, clock):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("maps"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        assert timer.totals()["maps"] == 1.0
+
+    def test_tracer_adapter_opens_spans(self, clock):
+        ring = RingBufferExporter()
+        tracer = Tracer([ring])
+        timer = PhaseTimer(
+            tracer=tracer, span_names={"maps": "stage1.maps"}, span_prefix="x."
+        )
+        with tracer.span("root"):
+            with timer.phase("maps"):
+                clock.advance(1.0)
+            with timer.phase("other"):
+                clock.advance(1.0)
+        (trace,) = ring.last(1)
+        names = [child["name"] for child in trace["children"]]
+        assert names == ["stage1.maps", "x.other"]  # mapped, then prefixed
+        assert timer.totals() == {"maps": 1.0, "other": 1.0}
+
+    def test_without_tracer_no_spans_are_involved(self, clock):
+        timer = PhaseTimer()
+        with timer.phase("maps"):
+            clock.advance(1.0)
+        assert timer.total() == 1.0
