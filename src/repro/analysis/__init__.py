@@ -1,0 +1,27 @@
+"""nebula-lint: project-specific static analysis for the reproduction.
+
+The analyzer enforces invariants the test suite cannot see — SQL
+injection shape at execute sites, SAVEPOINT pairing, the paper's
+β-ordering and edge-weight semantics, the canonical span taxonomy, and
+sqlite resource hygiene.  See ``docs/static_analysis.md`` for the rule
+catalog and the baseline workflow.
+
+Run it as ``python -m repro.analysis [paths]`` or ``repro lint``.
+"""
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import AnalysisError, analyze_paths, iter_python_files
+from .findings import Finding
+from .rules import ALL_RULE_IDS, RULE_DOCS
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "AnalysisError",
+    "Finding",
+    "RULE_DOCS",
+    "analyze_paths",
+    "apply_baseline",
+    "iter_python_files",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,137 @@
+"""Command-line front end for nebula-lint.
+
+Invoked as ``python -m repro.analysis [paths ...]`` or via the main CLI
+as ``repro lint``.  Exit codes: 0 — clean (or all findings baselined),
+1 — new findings, 2 — usage/configuration error (unknown rule id,
+unreadable baseline, unparseable source file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import AnalysisError, analyze_paths
+from .findings import Finding
+from .rules import ALL_RULE_IDS, RULE_DOCS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nebula-lint",
+        description=(
+            "Project-specific static analysis for the Nebula reproduction: "
+            "SQL safety, transaction discipline, paper invariants, span "
+            "taxonomy, and resource hygiene."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: the src tree)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON array instead of human-readable lines",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="ignore any baseline: every finding fails the run",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the current findings to FILE as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        help=(
+            "comma-separated rule ids to run (default: all of "
+            + ", ".join(ALL_RULE_IDS)
+            + ")"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _default_paths() -> List[str]:
+    """``src/repro`` relative to the repo the package was imported from."""
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return [package_root]
+
+
+def _emit(findings: Sequence[Finding], as_json: bool, out: TextIO) -> None:
+    if as_json:
+        json.dump([f.to_dict() for f in findings], out, indent=2)
+        out.write("\n")
+    else:
+        for finding in findings:
+            out.write(finding.format() + "\n")
+
+
+def main(
+    argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None
+) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in ALL_RULE_IDS:
+            out.write(f"{rule_id}  {RULE_DOCS[rule_id]}\n")
+        return 0
+
+    rules: Optional[List[str]] = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+
+    paths = list(args.paths) or _default_paths()
+    try:
+        findings = analyze_paths(paths, rules=rules)
+    except (AnalysisError, ValueError) as exc:
+        print(f"nebula-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        out.write(
+            f"nebula-lint: wrote baseline with {len(findings)} finding(s) "
+            f"to {args.write_baseline}\n"
+        )
+        return 0
+
+    reported = list(findings)
+    baselined = 0
+    if args.baseline and not args.strict:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"nebula-lint: error: {exc}", file=sys.stderr)
+            return 2
+        reported = apply_baseline(findings, baseline)
+        baselined = len(findings) - len(reported)
+
+    _emit(reported, args.json, out)
+    if not args.json:
+        summary = f"nebula-lint: {len(reported)} finding(s)"
+        if baselined:
+            summary += f" ({baselined} baselined)"
+        out.write(summary + "\n")
+    return 1 if reported else 0

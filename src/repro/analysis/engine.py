@@ -1,0 +1,163 @@
+"""The nebula-lint analysis engine.
+
+Walks a source tree (or explicit file list), parses each Python module
+once, runs a two-pass analysis — pass one collects cross-module facts
+(``NebulaConfig`` literal defaults for NBL003), pass two runs every
+enabled rule — and filters the raw findings through inline ignores.
+
+Inline suppression::
+
+    cur.execute(sql + tail)  # nebula-lint: ignore[NBL001]
+    risky_line()             # nebula-lint: ignore
+
+The bare form suppresses every rule on that line; the bracketed form
+suppresses only the listed rule ids (comma-separated).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+from .rules import (
+    ALL_RULE_IDS,
+    ModuleContext,
+    SharedState,
+    check_config_invariants,
+    check_edge_weights,
+    check_resource_hygiene,
+    check_savepoint_pairing,
+    check_span_registry,
+    check_sql_safety,
+    collect_config_defaults,
+)
+
+_IGNORE_RE = re.compile(
+    r"#\s*nebula-lint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+)
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset(
+    {".git", "__pycache__", ".mypy_cache", ".ruff_cache", "build", "dist"}
+)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield .py files under each path (files are yielded as-is)."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def _inline_ignores(source: str) -> Dict[int, Optional[Set[str]]]:
+    """line -> suppressed rule ids (``None`` means all rules)."""
+    ignores: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            ignores[lineno] = None
+        else:
+            ignores[lineno] = {r.strip() for r in rules.split(",") if r.strip()}
+    return ignores
+
+
+def _is_suppressed(
+    finding: Finding, ignores: Dict[int, Optional[Set[str]]]
+) -> bool:
+    """True when an inline ignore covers the finding.
+
+    A finding anchored on a multi-line statement (``end_line`` in its
+    details) is suppressed by an ignore comment on *any* line of the
+    statement — the comment naturally lives next to the offending
+    interpolation, which may not be the statement's first line.
+    """
+    end = int(finding.details.get("end_line", finding.line))
+    for lineno in range(finding.line, max(finding.line, end) + 1):
+        if lineno not in ignores:
+            continue
+        suppressed = ignores[lineno]
+        if suppressed is None or finding.rule_id in suppressed:
+            return True
+    return False
+
+
+class AnalysisError(Exception):
+    """A file could not be read or parsed."""
+
+
+def _load(path: str) -> Tuple[str, ast.Module]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise AnalysisError(f"{path}: cannot read: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise AnalysisError(f"{path}: syntax error: {exc}") from exc
+    return source, tree
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run the enabled rules over every Python file under ``paths``.
+
+    Returns findings sorted by (path, line, rule id), already filtered
+    through inline ``# nebula-lint: ignore`` comments.  Unparseable
+    files raise :class:`AnalysisError` — a lint run over a broken tree
+    should fail loudly, not skip silently.
+    """
+    enabled = set(rules) if rules is not None else set(ALL_RULE_IDS)
+    unknown = enabled.difference(ALL_RULE_IDS)
+    if unknown:
+        raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+
+    for path in paths:
+        if not os.path.exists(path):
+            raise AnalysisError(f"{path}: no such file or directory")
+
+    modules: List[Tuple[ModuleContext, Dict[int, Optional[Set[str]]]]] = []
+    state = SharedState()
+    for path in iter_python_files(paths):
+        source, tree = _load(path)
+        ctx = ModuleContext(path, tree, source)
+        modules.append((ctx, _inline_ignores(source)))
+        collect_config_defaults(ctx, state)
+
+    findings: List[Finding] = []
+    for ctx, ignores in modules:
+        raw: List[Finding] = []
+        if "NBL001" in enabled:
+            raw.extend(check_sql_safety(ctx))
+        if "NBL002" in enabled:
+            raw.extend(check_savepoint_pairing(ctx))
+        if "NBL003" in enabled:
+            raw.extend(check_config_invariants(ctx, state))
+        if "NBL004" in enabled:
+            raw.extend(check_edge_weights(ctx))
+        if "NBL005" in enabled:
+            raw.extend(check_span_registry(ctx))
+        if "NBL006" in enabled:
+            raw.extend(check_resource_hygiene(ctx))
+        for finding in raw:
+            if _is_suppressed(finding, ignores):
+                continue
+            findings.append(finding)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return findings

@@ -1,0 +1,58 @@
+"""Structured findings emitted by the nebula-lint rules.
+
+A :class:`Finding` pinpoints one violation: rule id, file, line, a
+human message, and a machine-checkable fix hint.  Findings serialize to
+JSON (``--json``) and to a one-line human format, and carry a stable
+*fingerprint* used by the baseline workflow: the fingerprint hashes the
+rule id, the file path, and the offending source line's text — not its
+line number — so unrelated edits above a suppressed finding do not
+resurrect it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+    fix_hint: str = ""
+    #: The offending source line, stripped (fingerprint input + context).
+    snippet: str = ""
+    #: Extra rule-specific details (offending name, resolved text, ...).
+    details: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-insensitive identity for baseline suppression."""
+        digest = hashlib.sha256(
+            f"{self.rule_id}\x00{self.path}\x00{self.snippet}".encode()
+        )
+        return digest.hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+            "details": dict(self.details),
+        }
+
+    def format(self) -> str:
+        """``path:line: RULE message (hint: ...)``."""
+        text = f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+        if self.fix_hint:
+            text += f"  [fix: {self.fix_hint}]"
+        return text

@@ -1,0 +1,304 @@
+"""Constant propagation for SQL-string expressions.
+
+The SQL-safety and savepoint rules need to answer one question about the
+expression reaching ``execute()``: *what text does it evaluate to, and is
+every dynamic piece provably safe?*  :func:`resolve_str` classifies an
+expression into four safety levels:
+
+``LITERAL``
+    Fully determined at parse time (string constants, concatenation and
+    f-strings of constants, constants propagated through local names).
+``SAFE_DYNAMIC``
+    Dynamic, but every dynamic piece is a registered safe-identifier
+    call (``quote_identifier``/``quote_qualified``), a ``?``-placeholder
+    join, or a branch over safe alternatives.  The resolved text keeps a
+    marker (:data:`SAFE_MARK`) where safe identifiers are spliced.
+``UNSAFE``
+    A string-building expression (f-string, ``%``, ``+``, ``.format``,
+    ``.join``) with at least one piece that is neither constant nor
+    provably safe — the injection shape rule NBL001 exists to catch.
+``UNKNOWN``
+    An opaque value (function parameter, attribute, call result).  Bare
+    unknowns are *not* flagged: cross-function SQL flow (for example
+    ``execute_rows(sql, params)``) is covered by the construction-site
+    rules in the module that built the string, not by the execute site.
+
+The asymmetry is deliberate: an explicit string-building expression at
+the execute site is judged strictly (unknown pieces make it UNSAFE),
+while an opaque variable is trusted (UNKNOWN).  That is exactly the
+reviewer's intuition — ``execute(f"... {x}")`` is a bug on sight, while
+``execute(sql, params)`` needs whole-program knowledge to judge.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+#: Calls whose result may be spliced into SQL text (identifier quoting).
+SAFE_IDENTIFIER_FUNCS = frozenset({"quote_identifier", "quote_qualified"})
+
+#: Stand-in for a safely quoted identifier in resolved SQL text.
+SAFE_MARK = "\x00id\x00"
+
+
+class Safety(enum.IntEnum):
+    """Ordered safety lattice; combining takes the worst (largest)."""
+
+    LITERAL = 0
+    SAFE_DYNAMIC = 1
+    UNKNOWN = 2
+    UNSAFE = 3
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """Outcome of resolving one expression."""
+
+    safety: Safety
+    #: Resolved text for LITERAL / SAFE_DYNAMIC expressions.
+    text: Optional[str] = None
+    #: Source snippet of the piece that made the expression unsafe.
+    cause: str = ""
+
+    @property
+    def is_sql_safe(self) -> bool:
+        return self.safety in (Safety.LITERAL, Safety.SAFE_DYNAMIC)
+
+
+UNKNOWN = Resolution(Safety.UNKNOWN)
+
+#: Environment: local/module variable name -> its resolution.
+Env = Dict[str, Resolution]
+
+
+def _unparse(node: ast.AST, limit: int = 80) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failure on exotic nodes
+        text = ast.dump(node)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _combine(parts: List[Resolution]) -> Resolution:
+    """Concatenate piecewise resolutions, taking the worst safety."""
+    worst = Safety.LITERAL
+    texts = []
+    cause = ""
+    for part in parts:
+        if part.safety > worst:
+            worst = part.safety
+            cause = part.cause
+        texts.append(part.text if part.text is not None else "")
+    text = "".join(texts) if worst <= Safety.SAFE_DYNAMIC else None
+    return Resolution(worst, text, cause)
+
+
+def _is_safe_identifier_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None
+    )
+    return name in SAFE_IDENTIFIER_FUNCS
+
+
+def resolve_str(node: ast.AST, env: Optional[Env] = None) -> Resolution:
+    """Resolve an expression to (safety, text) under ``env``."""
+    env = env or {}
+
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, str):
+            return Resolution(Safety.LITERAL, node.value)
+        if isinstance(node.value, (int, float)):
+            return Resolution(Safety.LITERAL, str(node.value))
+        return UNKNOWN
+
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(Resolution(Safety.LITERAL, str(piece.value)))
+                continue
+            assert isinstance(piece, ast.FormattedValue)
+            inner = piece.value
+            if _is_safe_identifier_call(inner):
+                parts.append(Resolution(Safety.SAFE_DYNAMIC, SAFE_MARK))
+                continue
+            resolved = resolve_str(inner, env)
+            if resolved.is_sql_safe:
+                parts.append(resolved)
+            else:
+                # Interpolating an opaque value is the injection shape:
+                # inside an f-string, UNKNOWN hardens to UNSAFE.
+                parts.append(
+                    Resolution(Safety.UNSAFE, cause=_unparse(inner))
+                )
+        return _combine(parts)
+
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = resolve_str(node.left, env)
+        right = resolve_str(node.right, env)
+        if Safety.UNKNOWN in (left.safety, right.safety):
+            # ``literal + unknown`` is explicit string building — unsafe;
+            # but only when the other side looks like SQL text at all.
+            other = right if left.safety is Safety.UNKNOWN else left
+            if other.safety is Safety.UNKNOWN:
+                return UNKNOWN
+            unknown_node = node.left if left.safety is Safety.UNKNOWN else node.right
+            return Resolution(Safety.UNSAFE, cause=_unparse(unknown_node))
+        return _combine([left, right])
+
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+        # ``"..." % values`` — fine when everything is constant.
+        left = resolve_str(node.left, env)
+        if left.safety is Safety.LITERAL and _all_literal(node.right, env):
+            return Resolution(Safety.LITERAL, None)
+        return Resolution(Safety.UNSAFE, cause=_unparse(node))
+
+    if isinstance(node, ast.IfExp):
+        body = resolve_str(node.body, env)
+        orelse = resolve_str(node.orelse, env)
+        worst = max(body.safety, orelse.safety)
+        if worst <= Safety.SAFE_DYNAMIC:
+            # Branch texts differ; keep the body's for pattern matching
+            # but demote to SAFE_DYNAMIC (the text is no longer exact).
+            return Resolution(Safety.SAFE_DYNAMIC, body.text)
+        return Resolution(worst, cause=body.cause or orelse.cause)
+
+    if isinstance(node, ast.Call):
+        return _resolve_call(node, env)
+
+    if isinstance(node, ast.Name):
+        return env.get(node.id, UNKNOWN)
+
+    return UNKNOWN
+
+
+def _all_literal(node: ast.AST, env: Env) -> bool:
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return all(_all_literal(elt, env) for elt in node.elts)
+    return resolve_str(node, env).safety is Safety.LITERAL
+
+
+def _resolve_call(node: ast.Call, env: Env) -> Resolution:
+    if _is_safe_identifier_call(node):
+        return Resolution(Safety.SAFE_DYNAMIC, SAFE_MARK)
+
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "join" and node.args:
+        # ``sep.join(elements)``: safe when the separator is constant and
+        # every element (or comprehension element) is constant or safe.
+        sep = resolve_str(func.value, env)
+        if not sep.is_sql_safe:
+            return UNKNOWN
+        arg = node.args[0]
+        element: Optional[ast.AST] = None
+        if isinstance(arg, ast.Name):
+            # A clause list tracked by build_env (all-literal elements,
+            # literal appends) joins safely; anything else stays opaque.
+            resolved = env.get(arg.id, UNKNOWN)
+            if resolved.is_sql_safe:
+                return Resolution(Safety.SAFE_DYNAMIC, resolved.text)
+            return UNKNOWN
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            element = arg.elt
+        elif isinstance(arg, (ast.List, ast.Tuple)) and arg.elts:
+            resolved = [resolve_str(e, env) for e in arg.elts]
+            joined = _combine(resolved)
+            if joined.is_sql_safe:
+                sep_text = sep.text or ""
+                texts = [r.text or "" for r in resolved]
+                return Resolution(joined.safety, sep_text.join(texts))
+            return Resolution(Safety.UNSAFE, cause=_unparse(node))
+        if element is not None:
+            if _is_safe_identifier_call(element):
+                return Resolution(Safety.SAFE_DYNAMIC, SAFE_MARK)
+            resolved = resolve_str(element, env)
+            if resolved.is_sql_safe:
+                return Resolution(Safety.SAFE_DYNAMIC, resolved.text)
+            return Resolution(Safety.UNSAFE, cause=_unparse(element))
+        return UNKNOWN
+
+    if isinstance(func, ast.Attribute) and func.attr == "format":
+        base = resolve_str(func.value, env)
+        if base.safety is Safety.LITERAL and all(
+            _all_literal(a, env) for a in node.args
+        ) and all(_all_literal(k.value, env) for k in node.keywords):
+            return Resolution(Safety.LITERAL, None)
+        return Resolution(Safety.UNSAFE, cause=_unparse(node))
+
+    return UNKNOWN
+
+
+def build_env(
+    statements: Sequence[ast.stmt], module_env: Optional[Env] = None
+) -> Env:
+    """Forward pass over ``statements`` resolving simple local constants.
+
+    Handles single-target ``name = expr`` and ``name += expr`` (string
+    accumulation).  Flow-insensitive within branches: assignments inside
+    ``if``/``for``/``try`` bodies are visited in source order, which is
+    exact for the linear string-building patterns this codebase uses.
+    """
+    env: Env = dict(module_env or {})
+
+    def resolve_value(value: ast.expr) -> Resolution:
+        if isinstance(value, (ast.List, ast.Tuple)):
+            # Track clause lists: safe iff every element is safe.  The
+            # resolution carries no text (the separator is unknown until
+            # a ``join``), only the safety verdict.
+            parts = [resolve_str(elt, env) for elt in value.elts]
+            if all(p.is_sql_safe for p in parts):
+                return Resolution(Safety.SAFE_DYNAMIC if parts else Safety.LITERAL)
+            return UNKNOWN
+        return resolve_str(value, env)
+
+    def visit(stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    env[target.id] = resolve_value(stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    env[stmt.target.id] = resolve_value(stmt.value)
+            elif (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Attribute)
+                and stmt.value.func.attr in ("append", "extend")
+                and isinstance(stmt.value.func.value, ast.Name)
+            ):
+                # ``clauses.append(...)`` — an unsafe addition poisons the
+                # tracked list back to opaque.
+                name = stmt.value.func.value.id
+                if name in env and env[name].is_sql_safe:
+                    additions = [
+                        resolve_str(a, env) for a in stmt.value.args
+                    ]
+                    if not all(a.is_sql_safe for a in additions):
+                        env[name] = UNKNOWN
+                    else:
+                        env[name] = Resolution(Safety.SAFE_DYNAMIC)
+            elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.op, ast.Add):
+                if isinstance(stmt.target, ast.Name):
+                    current = env.get(stmt.target.id, UNKNOWN)
+                    addition = resolve_str(stmt.value, env)
+                    env[stmt.target.id] = _combine([current, addition])
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # separate scope
+            for attr in ("body", "orelse", "finalbody"):
+                block = getattr(stmt, attr, None)
+                if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                    visit(block)
+            for handler in getattr(stmt, "handlers", None) or []:
+                visit(handler.body)
+
+    visit(statements)
+    return env

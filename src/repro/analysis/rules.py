@@ -1,0 +1,678 @@
+"""The nebula-lint rule set.
+
+Six AST-based rules over the repo's own source, each encoding an
+invariant the runtime layers depend on:
+
+=========  ==========================================================
+NBL001     SQL safety: no string-built SQL at ``execute`` sites —
+           ``?`` placeholders for values, ``quote_identifier`` for
+           identifiers.  ``repro/search/sqlgen.py`` is the registered
+           SQL-construction layer and is exempt.
+NBL002     Transaction discipline: every executed ``SAVEPOINT`` must
+           have a matching ``RELEASE`` / ``ROLLBACK TO`` in the same
+           function, unless the module is the registered boundary
+           helper (``repro/resilience/boundaries.py``).
+NBL003     Paper invariants (config): ``NebulaConfig`` literal
+           defaults — and literal keyword overrides at construction
+           sites — must satisfy β1 > β2 > β3 > 0, ε ∈ (0, 1],
+           0 ≤ β_lower ≤ β_upper ≤ 1, α ≥ 1.
+NBL004     Paper invariants (edges): ``TRUE_EDGE_WEIGHT`` must be
+           exactly 1.0; literal confidences attached with
+           ``kind=PREDICTED`` (or via ``attach_predicted``) must lie
+           strictly inside (0, 1); True-edge literals must be 1.0.
+NBL005     Trace taxonomy: every literal ``tracer.span("...")`` name
+           and every ``SPAN_NAMES`` mapping value must appear in
+           :data:`repro.observability.stages.CANONICAL_STAGES`.
+NBL006     Resource hygiene: ``sqlite3.connect()`` / ``.cursor()``
+           results bound in non-test code must be closed, managed by
+           ``with``/``closing``, or escape (returned, yielded, stored
+           on ``self``, or handed to another component).
+=========  ==========================================================
+
+Findings can be suppressed inline with ``# nebula-lint: ignore`` or
+``# nebula-lint: ignore[NBL001,NBL004]`` on the flagged line, or via the
+baseline file (see :mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..observability.stages import CANONICAL_STAGES
+from .findings import Finding
+from .resolve import SAFE_MARK, Env, Safety, build_env, resolve_str
+
+#: Methods treated as SQL execution entry points.
+EXECUTE_METHODS = frozenset({"execute", "executemany", "executescript"})
+
+#: Modules allowed to assemble SQL text dynamically (the sqlgen layer).
+SQL_BUILDER_WHITELIST = ("search/sqlgen.py",)
+
+#: Registered transaction-boundary helper modules (NBL002 exemption).
+BOUNDARY_HELPER_MODULES = ("resilience/boundaries.py",)
+
+_SAVEPOINT_RE = re.compile(r"^\s*SAVEPOINT\s+(?P<name>\S+)", re.IGNORECASE)
+_RELEASE_RE = re.compile(
+    r"^\s*RELEASE\s+(?:SAVEPOINT\s+)?(?P<name>\S+)", re.IGNORECASE
+)
+_ROLLBACK_TO_RE = re.compile(
+    r"^\s*ROLLBACK\s+TO\s+(?:SAVEPOINT\s+)?(?P<name>\S+)", re.IGNORECASE
+)
+
+#: β/ε/α field names whose literal defaults NBL003 validates.
+_CONFIG_CLASS = "NebulaConfig"
+
+
+def _is_test_path(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    name = parts[-1]
+    return (
+        "tests" in parts
+        or name.startswith("test_")
+        or name == "conftest.py"
+    )
+
+
+def _matches_any(path: str, suffixes: Sequence[str]) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(normalized.endswith(suffix) for suffix in suffixes)
+
+
+class ModuleContext:
+    """Everything the rules need about one parsed module."""
+
+    def __init__(self, path: str, tree: ast.Module, source: str) -> None:
+        self.path = path
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.module_env: Env = build_env(tree.body)
+
+    def snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class SharedState:
+    """Cross-module facts collected before the rule pass (NBL003)."""
+
+    def __init__(self) -> None:
+        #: Literal NebulaConfig field defaults: name -> (value, path, line).
+        self.config_defaults: Dict[str, Tuple[float, str, int]] = {}
+
+
+# ----------------------------------------------------------------------
+# Function-scope walking helpers
+# ----------------------------------------------------------------------
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _execute_calls(
+    scope_body: Sequence[ast.stmt],
+) -> Iterator[Tuple[ast.Call, str]]:
+    """Yield (call, method_name) for execute-shaped calls in a scope.
+
+    Covers attribute calls (``conn.execute(...)``), bare-name calls
+    (local wrappers named ``execute``), and locally aliased methods
+    (``run = cur.execute; run(...)``) — the alias set is resolved by the
+    caller via :func:`_execute_aliases`.
+    """
+    aliases = _execute_aliases(scope_body)
+    for node in ast.walk(_wrap(scope_body)):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in EXECUTE_METHODS:
+            yield node, func.attr
+        elif isinstance(func, ast.Name) and (
+            func.id in EXECUTE_METHODS or func.id in aliases
+        ):
+            yield node, aliases.get(func.id, func.id)
+
+
+def _execute_aliases(scope_body: Sequence[ast.stmt]) -> Dict[str, str]:
+    """Local names bound to an execute method: ``run = cursor.execute``."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(_wrap(scope_body)):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr in EXECUTE_METHODS
+        ):
+            aliases[node.targets[0].id] = node.value.attr
+    return aliases
+
+
+def _wrap(body: Sequence[ast.stmt]) -> ast.Module:
+    module = ast.Module(body=list(body), type_ignores=[])
+    return module
+
+
+def _sql_argument(call: ast.Call) -> Optional[ast.expr]:
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "sql":
+            return keyword.value
+    return None
+
+
+def _own_statements(func: ast.FunctionDef) -> List[ast.stmt]:
+    """The function's statements excluding nested function/class bodies."""
+    collected: List[ast.stmt] = []
+
+    def visit(stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            collected.append(stmt)
+            for attr in ("body", "orelse", "finalbody"):
+                block = getattr(stmt, attr, None)
+                if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                    visit(block)
+            for handler in getattr(stmt, "handlers", None) or []:
+                visit(handler.body)
+
+    visit(func.body)
+    return collected
+
+
+# ----------------------------------------------------------------------
+# NBL001 — SQL safety
+# ----------------------------------------------------------------------
+
+
+def check_sql_safety(ctx: ModuleContext) -> Iterator[Finding]:
+    if _matches_any(ctx.path, SQL_BUILDER_WHITELIST):
+        return
+    funcs = list(_functions(ctx.tree))
+    env_cache: Dict[int, Env] = {}
+
+    def env_for(lineno: int) -> Env:
+        # Innermost enclosing function scope (largest start line wins).
+        best: Optional[ast.FunctionDef] = None
+        for func in funcs:
+            end = getattr(func, "end_lineno", None) or func.lineno
+            if func.lineno <= lineno <= end:
+                if best is None or func.lineno >= best.lineno:
+                    best = func
+        if best is None:
+            return ctx.module_env
+        if id(best) not in env_cache:
+            env_cache[id(best)] = build_env(best.body, ctx.module_env)
+        return env_cache[id(best)]
+
+    for call, method in _execute_calls(ctx.tree.body):
+        argument = _sql_argument(call)
+        if argument is None:
+            continue
+        resolved = resolve_str(argument, env_for(call.lineno))
+        if resolved.safety is not Safety.UNSAFE:
+            continue
+        yield Finding(
+            rule_id="NBL001",
+            path=ctx.path,
+            line=call.lineno,
+            message=(
+                f"string-built SQL reaches {method}(): "
+                f"unsafe piece {resolved.cause!r}"
+            ),
+            fix_hint=(
+                "bind values with '?' placeholders; interpolate "
+                "identifiers only through quote_identifier()"
+            ),
+            snippet=ctx.snippet(call.lineno),
+            details={
+                "method": method,
+                "cause": resolved.cause,
+                "end_line": getattr(call, "end_lineno", None) or call.lineno,
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# NBL002 — SAVEPOINT pairing
+# ----------------------------------------------------------------------
+
+
+def _savepoint_name(text: str) -> str:
+    """Normalize an extracted savepoint name; safe markers are wildcards."""
+    name = text.strip().strip(';"')
+    if SAFE_MARK in name or not name:
+        return "*"
+    return name.casefold()
+
+
+def check_savepoint_pairing(ctx: ModuleContext) -> Iterator[Finding]:
+    if _matches_any(ctx.path, BOUNDARY_HELPER_MODULES):
+        return
+    for func in _functions(ctx.tree):
+        env = build_env(func.body, ctx.module_env)
+        opened: List[Tuple[str, int]] = []
+        closed: Set[str] = set()
+        for call, _method in _execute_calls(func.body):
+            argument = _sql_argument(call)
+            if argument is None:
+                continue
+            resolved = resolve_str(argument, env)
+            if resolved.text is None:
+                continue
+            match = _SAVEPOINT_RE.match(resolved.text)
+            if match and not _RELEASE_RE.match(resolved.text):
+                opened.append((_savepoint_name(match.group("name")), call.lineno))
+            for pattern in (_RELEASE_RE, _ROLLBACK_TO_RE):
+                ended = pattern.match(resolved.text)
+                if ended:
+                    closed.add(_savepoint_name(ended.group("name")))
+        for name, lineno in opened:
+            if name in closed or "*" in closed or name == "*" and closed:
+                continue
+            yield Finding(
+                rule_id="NBL002",
+                path=ctx.path,
+                line=lineno,
+                message=(
+                    f"SAVEPOINT {name!r} has no matching RELEASE/ROLLBACK TO "
+                    f"in function {_enclosing_name(ctx, lineno)!r}"
+                ),
+                fix_hint=(
+                    "pair the SAVEPOINT in the same function or use the "
+                    "repro.resilience.boundaries.Savepoint helper"
+                ),
+                snippet=ctx.snippet(lineno),
+                details={"savepoint": name},
+            )
+
+
+def _enclosing_name(ctx: ModuleContext, lineno: int) -> str:
+    best = "<module>"
+    for func in _functions(ctx.tree):
+        end = getattr(func, "end_lineno", None) or func.lineno
+        if func.lineno <= lineno <= end:
+            best = func.name
+    return best
+
+
+# ----------------------------------------------------------------------
+# NBL003 — configuration invariants
+# ----------------------------------------------------------------------
+
+
+def collect_config_defaults(ctx: ModuleContext, state: SharedState) -> None:
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.ClassDef) and node.name == _CONFIG_CLASS):
+            continue
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, (int, float))
+                and not isinstance(stmt.value.value, bool)
+            ):
+                state.config_defaults[stmt.target.id] = (
+                    float(stmt.value.value),
+                    ctx.path,
+                    stmt.lineno,
+                )
+
+
+def _config_violations(
+    values: Dict[str, float]
+) -> Iterator[Tuple[str, str]]:
+    """(field, message) pairs for every violated invariant in ``values``."""
+
+    def has(*names: str) -> bool:
+        return all(name in values for name in names)
+
+    if has("beta1", "beta2") and not values["beta1"] > values["beta2"]:
+        yield "beta1", (
+            f"beta1 ({values['beta1']}) must exceed beta2 ({values['beta2']}) "
+            "(Section 4.3 / §5.2.2: Type-1 > Type-2 context rewards)"
+        )
+    if has("beta2", "beta3") and not values["beta2"] > values["beta3"]:
+        yield "beta2", (
+            f"beta2 ({values['beta2']}) must exceed beta3 ({values['beta3']}) "
+            "(Type-2 > Type-3 context rewards)"
+        )
+    if has("beta3") and not values["beta3"] > 0.0:
+        yield "beta3", f"beta3 ({values['beta3']}) must be positive"
+    if has("epsilon") and not 0.0 < values["epsilon"] <= 1.0:
+        yield "epsilon", f"epsilon ({values['epsilon']}) must be in (0, 1]"
+    if has("alpha") and not values["alpha"] >= 1:
+        yield "alpha", f"alpha ({values['alpha']}) must be >= 1"
+    if has("beta_lower", "beta_upper") and not (
+        0.0 <= values["beta_lower"] <= values["beta_upper"] <= 1.0
+    ):
+        yield "beta_lower", (
+            f"verification bands must satisfy 0 <= beta_lower "
+            f"({values['beta_lower']}) <= beta_upper ({values['beta_upper']}) <= 1"
+        )
+
+
+def check_config_invariants(
+    ctx: ModuleContext, state: SharedState
+) -> Iterator[Finding]:
+    # Class-level literal defaults (checked in the defining module only).
+    defaults = {
+        name: value
+        for name, (value, path, _line) in state.config_defaults.items()
+        if path == ctx.path
+    }
+    if defaults:
+        for field, message in _config_violations(
+            {k: v for k, (v, _p, _l) in state.config_defaults.items()}
+        ):
+            _value, path, line = state.config_defaults.get(
+                field, (0.0, ctx.path, 1)
+            )
+            if path != ctx.path:
+                continue
+            yield Finding(
+                rule_id="NBL003",
+                path=ctx.path,
+                line=line,
+                message=message,
+                fix_hint="restore the paper's ordering beta1 > beta2 > beta3 > 0",
+                snippet=ctx.snippet(line),
+                details={"field": field},
+            )
+
+    # Literal keyword overrides at NebulaConfig(...) construction sites,
+    # merged over the known literal defaults.
+    base = {name: value for name, (value, _p, _l) in state.config_defaults.items()}
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name != _CONFIG_CLASS:
+            continue
+        overrides: Dict[str, float] = {}
+        for keyword in node.keywords:
+            if (
+                keyword.arg is not None
+                and isinstance(keyword.value, ast.Constant)
+                and isinstance(keyword.value.value, (int, float))
+                and not isinstance(keyword.value.value, bool)
+            ):
+                overrides[keyword.arg] = float(keyword.value.value)
+        if not overrides:
+            continue
+        merged = dict(base)
+        merged.update(overrides)
+        for field, message in _config_violations(merged):
+            if field not in overrides and not (
+                field in ("beta1", "beta2")
+                and any(k in overrides for k in ("beta1", "beta2", "beta3"))
+            ):
+                continue
+            yield Finding(
+                rule_id="NBL003",
+                path=ctx.path,
+                line=node.lineno,
+                message=f"NebulaConfig(...) override violates a paper invariant: {message}",
+                fix_hint="keep beta1 > beta2 > beta3 > 0 and bands within [0, 1]",
+                snippet=ctx.snippet(node.lineno),
+                details={"field": field, "overrides": overrides},
+            )
+
+
+# ----------------------------------------------------------------------
+# NBL004 — edge-weight invariants
+# ----------------------------------------------------------------------
+
+
+def check_edge_weights(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        # TRUE_EDGE_WEIGHT must be exactly 1.0 wherever it is (re)defined.
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "TRUE_EDGE_WEIGHT"
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, (int, float))
+                and float(node.value.value) != 1.0
+            ):
+                yield Finding(
+                    rule_id="NBL004",
+                    path=ctx.path,
+                    line=node.lineno,
+                    message=(
+                        f"TRUE_EDGE_WEIGHT is {node.value.value!r}; true edges "
+                        "carry weight exactly 1.0 (paper Figure 2)"
+                    ),
+                    fix_hint="set TRUE_EDGE_WEIGHT = 1.0",
+                    snippet=ctx.snippet(node.lineno),
+                )
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        method = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if method not in ("attach_predicted", "attach_true", "attach"):
+            continue
+        confidence: Optional[float] = None
+        line = node.lineno
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "confidence"
+                and isinstance(keyword.value, ast.Constant)
+                and isinstance(keyword.value.value, (int, float))
+            ):
+                confidence = float(keyword.value.value)
+        if confidence is None:
+            continue
+        kind = method
+        if method == "attach":
+            kind_text = ""
+            for keyword in node.keywords:
+                if keyword.arg == "kind":
+                    kind_text = ast.unparse(keyword.value)
+            if "PREDICTED" in kind_text:
+                kind = "attach_predicted"
+            elif "TRUE" in kind_text:
+                kind = "attach_true"
+            else:
+                continue
+        if kind == "attach_predicted" and not 0.0 < confidence < 1.0:
+            yield Finding(
+                rule_id="NBL004",
+                path=ctx.path,
+                line=line,
+                message=(
+                    f"predicted attachment carries confidence {confidence}; "
+                    "predicted-edge weights must lie strictly in (0, 1)"
+                ),
+                fix_hint="use a confidence in (0, 1), or attach a true edge",
+                snippet=ctx.snippet(line),
+            )
+        elif kind == "attach_true" and confidence != 1.0:
+            yield Finding(
+                rule_id="NBL004",
+                path=ctx.path,
+                line=line,
+                message=(
+                    f"true attachment carries confidence {confidence}; "
+                    "true edges carry weight exactly 1.0"
+                ),
+                fix_hint="drop the confidence argument (true edges are weight 1.0)",
+                snippet=ctx.snippet(line),
+            )
+
+
+# ----------------------------------------------------------------------
+# NBL005 — span-name registry
+# ----------------------------------------------------------------------
+
+_TRACER_RECEIVER_RE = re.compile(r"(^|\.)_?tracer$", re.IGNORECASE)
+
+
+def check_span_registry(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "span"
+                and _TRACER_RECEIVER_RE.search(ast.unparse(func.value))
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                name = node.args[0].value
+                if name not in CANONICAL_STAGES:
+                    yield Finding(
+                        rule_id="NBL005",
+                        path=ctx.path,
+                        line=node.lineno,
+                        message=(
+                            f"span name {name!r} is not in the canonical stage "
+                            "registry (repro.observability.stages)"
+                        ),
+                        fix_hint=(
+                            "register the stage in CANONICAL_STAGES or reuse "
+                            "an existing stage name"
+                        ),
+                        snippet=ctx.snippet(node.lineno),
+                        details={"span": name},
+                    )
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "SPAN_NAMES"
+            and isinstance(node.value, ast.Dict)
+        ):
+            for value in node.value.values:
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    if value.value not in CANONICAL_STAGES:
+                        yield Finding(
+                            rule_id="NBL005",
+                            path=ctx.path,
+                            line=value.lineno,
+                            message=(
+                                f"SPAN_NAMES value {value.value!r} is not in "
+                                "the canonical stage registry"
+                            ),
+                            fix_hint="register the stage in CANONICAL_STAGES",
+                            snippet=ctx.snippet(value.lineno),
+                            details={"span": value.value},
+                        )
+
+
+# ----------------------------------------------------------------------
+# NBL006 — resource hygiene
+# ----------------------------------------------------------------------
+
+
+def _is_resource_call(node: ast.expr) -> Optional[str]:
+    """'connect' / 'cursor' when ``node`` opens a SQLite resource."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr == "connect" and isinstance(func.value, ast.Name) and (
+            func.value.id == "sqlite3"
+        ):
+            return "connect"
+        if func.attr == "cursor":
+            return "cursor"
+    return None
+
+
+def check_resource_hygiene(ctx: ModuleContext) -> Iterator[Finding]:
+    if _is_test_path(ctx.path):
+        return
+    for func in _functions(ctx.tree):
+        statements = _own_statements(func)
+        module = _wrap(statements)
+        opened: Dict[str, Tuple[int, str]] = {}
+        for stmt in statements:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                kind = _is_resource_call(stmt.value)
+                if kind is not None:
+                    opened[stmt.targets[0].id] = (stmt.lineno, kind)
+        if not opened:
+            continue
+        escaped: Set[str] = set()
+        for node in ast.walk(module):
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if isinstance(value, ast.Name):
+                    escaped.add(value.id)
+            elif isinstance(node, ast.Assign):
+                if isinstance(node.targets[0], ast.Attribute) and isinstance(
+                    node.value, ast.Name
+                ):
+                    escaped.add(node.value.id)
+            elif isinstance(node, ast.Call):
+                func_node = node.func
+                # x.close() — explicit cleanup.
+                if (
+                    isinstance(func_node, ast.Attribute)
+                    and func_node.attr == "close"
+                    and isinstance(func_node.value, ast.Name)
+                ):
+                    escaped.add(func_node.value.id)
+                    continue
+                # Handed to another component (incl. contextlib.closing).
+                for arg in list(node.args) + [k.value for k in node.keywords]:
+                    if isinstance(arg, ast.Name):
+                        escaped.add(arg.id)
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Name):
+                        escaped.add(expr.id)
+        for name, (lineno, kind) in opened.items():
+            if name in escaped:
+                continue
+            yield Finding(
+                rule_id="NBL006",
+                path=ctx.path,
+                line=lineno,
+                message=(
+                    f"sqlite3 {kind} result {name!r} in {func.name!r} is "
+                    "neither closed, context-managed, nor handed off"
+                ),
+                fix_hint=(
+                    "wrap in `with contextlib.closing(...)` or call "
+                    f"`{name}.close()` on every path"
+                ),
+                snippet=ctx.snippet(lineno),
+                details={"variable": name, "kind": kind},
+            )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+RULE_DOCS: Dict[str, str] = {
+    "NBL001": "string-built SQL at an execute site",
+    "NBL002": "SAVEPOINT without matching RELEASE/ROLLBACK TO",
+    "NBL003": "NebulaConfig defaults violate a paper invariant",
+    "NBL004": "edge-weight constants/literals violate Figure 2 semantics",
+    "NBL005": "tracer span name missing from the canonical stage registry",
+    "NBL006": "sqlite3 connection/cursor opened without cleanup",
+}
+
+ALL_RULE_IDS: Tuple[str, ...] = tuple(sorted(RULE_DOCS))

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Protocol, Sequence, Tuple
 
 from ..errors import CommandError
+from ..utils.sql import quote_identifier
 from ..types import CellRef
 from .engine import AnnotationManager
 
@@ -87,7 +88,7 @@ class CommandProcessor:
         manager: AnnotationManager,
         resolver: Optional[VerificationResolver] = None,
         author: Optional[str] = None,
-    ):
+    ) -> None:
         self.manager = manager
         self.resolver = resolver
         self.author = author
@@ -139,8 +140,11 @@ class CommandProcessor:
             if _looks_unsafe(where or ""):
                 raise CommandError("predicate contains a disallowed token")
             try:
+                # The command language accepts a raw predicate by design;
+                # it is token-screened by _looks_unsafe above.
                 fetched = self.manager.connection.execute(
-                    f"SELECT rowid FROM {canonical} WHERE {where}"
+                    f"SELECT rowid FROM {quote_identifier(canonical)} "
+                    f"WHERE {where}"  # nebula-lint: ignore[NBL001]
                 ).fetchall()
             except Exception as exc:  # sqlite3 errors carry the detail
                 raise CommandError(f"invalid predicate: {exc}") from exc

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import StorageError
 from ..search.index import InvertedValueIndex
+from ..utils.sql import quote_identifier
 from ..types import TupleRef
 from .engine import AnnotationManager
 from .rules import AnnotationRule, RuleEngine
@@ -60,8 +61,9 @@ class DataEditor:
             self.manager.store.validate_column(canonical, name) for name in values
         ]
         placeholders = ", ".join("?" for _ in columns)
+        column_list = ", ".join(quote_identifier(c) for c in columns)
         cursor = self.connection.execute(
-            f"INSERT INTO {canonical} ({', '.join(columns)}) "
+            f"INSERT INTO {quote_identifier(canonical)} ({column_list}) "
             f"VALUES ({placeholders})",
             list(values.values()),
         )
@@ -105,6 +107,7 @@ class DataEditor:
             if self.manager.store.detach(attachment.attachment_id):
                 detached += 1
         self.connection.execute(
-            f"DELETE FROM {canonical} WHERE rowid = ?", (ref.rowid,)
+            f"DELETE FROM {quote_identifier(canonical)} WHERE rowid = ?",
+            (ref.rowid,),
         )
         return detached

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from ..errors import UnknownTupleError
 from ..resilience.retry import RetryPolicy
 from ..types import CellRef, TupleRef
+from ..utils.sql import quote_identifier
 from .store import Annotation, AnnotationStore, Attachment, AttachmentKind
 
 
@@ -24,7 +25,7 @@ class AnnotationManager:
         self,
         connection: sqlite3.Connection,
         retry: Optional[RetryPolicy] = None,
-    ):
+    ) -> None:
         self.connection = connection
         self.store = AnnotationStore(connection, retry=retry)
 
@@ -79,7 +80,8 @@ class AnnotationManager:
     def _require_tuple(self, ref: TupleRef) -> None:
         table = self.store.validate_table(ref.table)
         row = self.connection.execute(
-            f"SELECT 1 FROM {table} WHERE rowid = ?", (ref.rowid,)
+            f"SELECT 1 FROM {quote_identifier(table)} WHERE rowid = ?",
+            (ref.rowid,),
         ).fetchone()
         if row is None:
             raise UnknownTupleError(ref.table, ref.rowid)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..types import TupleRef
+from ..utils.sql import quote_identifier
 from .store import AnnotationStore, Attachment, AttachmentKind
 
 
@@ -54,11 +55,15 @@ def propagate(
     store = AnnotationStore(connection)
     canonical = store.validate_table(table)
     projected = list(columns)
-    select_list = ", ".join(projected)
-    sql = f"SELECT rowid, {select_list} FROM {canonical}"
+    select_list = ", ".join(quote_identifier(c) for c in projected)
+    sql = f"SELECT rowid, {select_list} FROM {quote_identifier(canonical)}"
     if where:
+        # The propagate() API accepts a raw WHERE clause with bound
+        # parameters, mirroring a plain SELECT.
         sql += f" WHERE {where}"
-    answer = connection.execute(sql, parameters).fetchall()
+    answer = connection.execute(  # nebula-lint: ignore[NBL001]
+        sql, parameters
+    ).fetchall()
     if not answer:
         return []
 
@@ -169,12 +174,16 @@ def propagate_join(
     left = store.validate_table(left_table)
     right = store.validate_table(right_table)
     sql = (
-        f"SELECT l.rowid, r.rowid, l.*, r.* FROM {left} l "
-        f"JOIN {right} r ON {on}"
+        f"SELECT l.rowid, r.rowid, l.*, r.* "
+        f"FROM {quote_identifier(left)} l "
+        f"JOIN {quote_identifier(right)} r ON {on}"
     )
     if where:
+        # ``on`` and ``where`` are raw join/filter clauses by design.
         sql += f" WHERE {where}"
-    answer = connection.execute(sql, parameters).fetchall()
+    answer = connection.execute(  # nebula-lint: ignore[NBL001]
+        sql, parameters
+    ).fetchall()
     if not answer:
         return []
 

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..errors import CommandError, StorageError
 from ..types import CellRef, TupleRef
+from ..utils.sql import quote_identifier
 from .engine import AnnotationManager
 from .store import AttachmentKind
 
@@ -58,7 +59,7 @@ class AnnotationRule:
 class RuleEngine:
     """Creates, lists, and applies predicate-based annotation rules."""
 
-    def __init__(self, manager: AnnotationManager):
+    def __init__(self, manager: AnnotationManager) -> None:
         self.manager = manager
         self.connection: sqlite3.Connection = manager.connection
         self.connection.executescript(_RULES_DDL)
@@ -174,14 +175,18 @@ class RuleEngine:
     # ------------------------------------------------------------------
 
     def _matching_rowids(self, table: str, predicate: str) -> List[int]:
+        # Rule predicates are raw SQL by design (the ADD RULE command
+        # language); they are screened at registration time.
         rows = self.connection.execute(
-            f"SELECT rowid FROM {table} WHERE {predicate}"
+            f"SELECT rowid FROM {quote_identifier(table)} "
+            f"WHERE {predicate}"  # nebula-lint: ignore[NBL001]
         ).fetchall()
         return [int(r[0]) for r in rows]
 
     def _matches(self, rule: AnnotationRule, rowid: int) -> bool:
         row = self.connection.execute(
-            f"SELECT 1 FROM {rule.table} WHERE rowid = ? AND ({rule.predicate})",
+            f"SELECT 1 FROM {quote_identifier(rule.table)} "
+            f"WHERE rowid = ? AND ({rule.predicate})",  # nebula-lint: ignore[NBL001]
             (rowid,),
         ).fetchone()
         return row is not None

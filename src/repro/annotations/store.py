@@ -39,6 +39,7 @@ from ..errors import (
     UnknownTableError,
 )
 from ..resilience.retry import RetryPolicy
+from ..utils.sql import quote_identifier
 from ..types import CellRef, TupleRef
 
 _SCHEMA = """
@@ -136,7 +137,7 @@ class AnnotationStore:
         self,
         connection: sqlite3.Connection,
         retry: Optional[RetryPolicy] = None,
-    ):
+    ) -> None:
         self.connection = connection
         #: Retry policy for transient lock/busy errors on writes; None
         #: keeps the historical fail-fast behavior.
@@ -194,7 +195,9 @@ class AnnotationStore:
         cached = self._column_cache.get(key)
         if cached is not None:
             return cached
-        for row in self.connection.execute(f"PRAGMA table_info({canonical_table})"):
+        for row in self.connection.execute(
+            f"PRAGMA table_info({quote_identifier(canonical_table)})"
+        ):
             if row[1].casefold() == column.casefold():
                 self._column_cache[key] = row[1]
                 return row[1]
@@ -439,8 +442,8 @@ class AnnotationStore:
                 pairs.append((int(annotation_id), TupleRef(str(table), int(rowid))))
                 continue
             expanded = self.connection.execute(
-                f"SELECT rowid FROM {table} WHERE rowid BETWEEN ? AND ? "
-                "ORDER BY rowid",
+                f"SELECT rowid FROM {quote_identifier(str(table))} "
+                "WHERE rowid BETWEEN ? AND ? ORDER BY rowid",
                 (int(rowid), int(rowid_hi)),
             ).fetchall()
             pairs.extend(

@@ -28,6 +28,7 @@ import json
 import os
 import sqlite3
 import sys
+from contextlib import closing
 from typing import Optional, Sequence
 
 from .config import NebulaConfig
@@ -114,24 +115,27 @@ def cmd_generate(args: argparse.Namespace) -> int:
         community_size=args.community_size,
         seed=args.seed,
     )
-    connection = sqlite3.connect(args.db)
-    db = generate_bio_database(spec, connection=connection)
-    connection.commit()
-    print(
-        f"generated {args.db}: {len(db.genes)} genes, {len(db.proteins)} "
-        f"proteins, {db.manager.store.count_annotations()} publication-annotations"
-    )
-    if args.workload:
-        workload = generate_workload(db, WorkloadSpec(seed=args.seed))
-        with open(args.workload, "w") as handle:
-            json.dump(workload.to_dict(), handle, indent=2)
-        print(f"workload oracle written to {args.workload} ({len(workload)} annotations)")
+    with closing(sqlite3.connect(args.db)) as connection:
+        db = generate_bio_database(spec, connection=connection)
+        connection.commit()
+        print(
+            f"generated {args.db}: {len(db.genes)} genes, {len(db.proteins)} "
+            f"proteins, {db.manager.store.count_annotations()} publication-annotations"
+        )
+        if args.workload:
+            workload = generate_workload(db, WorkloadSpec(seed=args.seed))
+            with open(args.workload, "w") as handle:
+                json.dump(workload.to_dict(), handle, indent=2)
+            print(
+                f"workload oracle written to {args.workload} "
+                f"({len(workload)} annotations)"
+            )
     return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    connection = sqlite3.connect(args.db)
-    stats = collect_stats(connection)
+    with closing(sqlite3.connect(args.db)) as connection:
+        stats = collect_stats(connection)
     for line in stats.lines():
         print(line)
     metrics_path = _metrics_path(args.db)
@@ -146,26 +150,31 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_annotate(args: argparse.Namespace) -> int:
     nebula = _open_engine(args.db, args.epsilon, trace=args.trace)
-    attach = list(args.attach or [])
-    report = nebula.insert_annotation(args.text, attach_to=attach, author=args.author)
-    nebula.connection.commit()
-    if args.trace:
-        _save_metrics(args.db, nebula.metrics)
-    print(f"annotation {report.annotation_id} inserted ({report.mode} search)")
-    print(f"queries: {[q.keywords for q in report.generation.queries]}")
-    if report.spam_verdict is not None and report.spam_verdict.is_spam:
-        print(f"QUARANTINED as spam ({report.spam_verdict.reason})")
-        return 1
-    for task in report.tasks:
-        print(
-            f"  task {task.task_id}: {task.ref} "
-            f"confidence={task.confidence:.2f} -> {task.decision.value}"
+    try:
+        attach = list(args.attach or [])
+        report = nebula.insert_annotation(
+            args.text, attach_to=attach, author=args.author
         )
-    if args.trace and report.trace is not None:
-        print(f"trace (appended to {_trace_path(args.db)}):")
-        for line in format_trace(report.trace, indent=1):
-            print(line)
-    return 0
+        nebula.connection.commit()
+        if args.trace:
+            _save_metrics(args.db, nebula.metrics)
+        print(f"annotation {report.annotation_id} inserted ({report.mode} search)")
+        print(f"queries: {[q.keywords for q in report.generation.queries]}")
+        if report.spam_verdict is not None and report.spam_verdict.is_spam:
+            print(f"QUARANTINED as spam ({report.spam_verdict.reason})")
+            return 1
+        for task in report.tasks:
+            print(
+                f"  task {task.task_id}: {task.ref} "
+                f"confidence={task.confidence:.2f} -> {task.decision.value}"
+            )
+        if args.trace and report.trace is not None:
+            print(f"trace (appended to {_trace_path(args.db)}):")
+            for line in format_trace(report.trace, indent=1):
+                print(line)
+        return 0
+    finally:
+        nebula.connection.close()
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -193,27 +202,35 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_pending(args: argparse.Namespace) -> int:
     nebula = _open_engine(args.db, args.epsilon)
-    pending = nebula.pending_tasks()
-    if not pending:
-        print("no pending verification tasks")
-        return 0
-    from .core.explain import explain_task
+    try:
+        pending = nebula.pending_tasks()
+        if not pending:
+            print("no pending verification tasks")
+            return 0
+        from .core.explain import explain_task
 
-    for task in pending:
-        explanation = explain_task(nebula.manager, task)
-        for line in explanation.lines():
-            print(line)
-        print()
-    return 0
+        for task in pending:
+            explanation = explain_task(nebula.manager, task)
+            for line in explanation.lines():
+                print(line)
+            print()
+        return 0
+    finally:
+        nebula.connection.close()
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
     nebula = _open_engine(args.db, args.epsilon)
-    statement = ("REJECT" if args.reject else "VERIFY") + f" ATTACHMENT {args.task}"
-    result = nebula.execute_command(statement)
-    nebula.connection.commit()
-    print(result.message)
-    return 0
+    try:
+        statement = (
+            "REJECT" if args.reject else "VERIFY"
+        ) + f" ATTACHMENT {args.task}"
+        result = nebula.execute_command(statement)
+        nebula.connection.commit()
+        print(result.message)
+        return 0
+    finally:
+        nebula.connection.close()
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -232,6 +249,26 @@ def cmd_demo(args: argparse.Namespace) -> int:
     for task in report.tasks:
         print(f"  {task.ref} confidence={task.confidence:.2f} -> {task.decision.value}")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Delegate to nebula-lint, reusing its flag set verbatim."""
+    from .analysis.cli import main as lint_main
+
+    argv: list = list(args.paths)
+    if args.json:
+        argv.append("--json")
+    if args.strict:
+        argv.append("--strict")
+    if args.baseline:
+        argv.extend(["--baseline", args.baseline])
+    if args.write_baseline:
+        argv.extend(["--write-baseline", args.write_baseline])
+    if args.rules:
+        argv.extend(["--rules", args.rules])
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
 
 
 # ----------------------------------------------------------------------
@@ -300,6 +337,19 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="run a tiny in-memory end-to-end demo")
     demo.add_argument("--seed", type=int, default=7)
     demo.set_defaults(func=cmd_demo)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run nebula-lint (project-specific static analysis) over a tree",
+    )
+    lint.add_argument("paths", nargs="*", help="files/dirs (default: repro source)")
+    lint.add_argument("--json", action="store_true")
+    lint.add_argument("--strict", action="store_true")
+    lint.add_argument("--baseline", metavar="FILE")
+    lint.add_argument("--write-baseline", metavar="FILE")
+    lint.add_argument("--rules", metavar="IDS")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..config import NebulaConfig
 from .signature_maps import (
@@ -114,7 +114,9 @@ def _best_match(
     return None, 0
 
 
-def _neighbor_mappings(neighbors: Sequence[MapEntry], shape: str):
+def _neighbor_mappings(
+    neighbors: Sequence[MapEntry], shape: str
+) -> Iterator[Tuple[int, WeightedMapping]]:
     for entry in neighbors:
         for mapping in entry.mappings:
             if mapping.shape == shape:

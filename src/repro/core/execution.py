@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .shared_execution import SharedExecutor
 
 from ..observability.metrics import COUNT_BUCKETS, get_metrics
 from ..search.engine import KeywordQuery, KeywordSearchEngine, SearchResult, SearchScope
@@ -57,7 +60,7 @@ def identify_related_tuples(
     scope: Optional[SearchScope] = None,
     acg: Optional[AnnotationsConnectivityGraph] = None,
     focal: Sequence[TupleRef] = (),
-    executor=None,
+    executor: Optional["SharedExecutor"] = None,
     focal_mode: str = "direct",
     focal_max_hops: int = 4,
 ) -> IdentifiedTuples:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..annotations.engine import AnnotationManager
+from ..utils.sql import quote_identifier
 from ..utils.tokenize import tokenize
 from .verification import VerificationTask
 
@@ -143,9 +144,14 @@ def explain_task(
 def _tuple_values(
     connection: sqlite3.Connection, table: str, rowid: int
 ) -> Dict[str, object]:
-    columns = [row[1] for row in connection.execute(f"PRAGMA table_info({table})")]
+    columns = [
+        row[1]
+        for row in connection.execute(f"PRAGMA table_info({quote_identifier(table)})")
+    ]
+    select_list = ", ".join(quote_identifier(c) for c in columns)
     row = connection.execute(
-        f"SELECT {', '.join(columns)} FROM {table} WHERE rowid = ?", (rowid,)
+        f"SELECT {select_list} FROM {quote_identifier(table)} WHERE rowid = ?",
+        (rowid,),
     ).fetchone()
     if row is None:
         return {}

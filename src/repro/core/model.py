@@ -28,6 +28,11 @@ from ..types import TupleRef
 #: An edge identity: (annotation id, tuple).
 EdgeKey = Tuple[int, TupleRef]
 
+#: Weight of a *true* (solid) edge — the paper's Figure 2 semantics.  The
+#: static analyzer (rule NBL004) pins this to exactly 1.0; predicted-edge
+#: confidences must stay strictly inside (0, 1).
+TRUE_EDGE_WEIGHT = 1.0
+
 
 @dataclass(frozen=True)
 class Edge:
@@ -74,7 +79,7 @@ class AnnotatedDatabaseModel:
     offers the paper's quality metrics against a supplied ideal edge set.
     """
 
-    def __init__(self, manager: AnnotationManager):
+    def __init__(self, manager: AnnotationManager) -> None:
         self.manager = manager
 
     def edges(self, include_predicted: bool = True) -> List[Edge]:

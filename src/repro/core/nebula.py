@@ -26,11 +26,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..annotations.commands import CommandProcessor, CommandResult
 from ..annotations.engine import AnnotationManager
+from ..annotations.store import Annotation
 from ..config import NebulaConfig
 from ..errors import PipelineStageError
 from ..meta.repository import NebulaMeta
 from ..observability import (
     NOOP_TRACER,
+    SpanLike,
     TIME_BUCKETS,
     JsonlExporter,
     MetricsRegistry,
@@ -232,7 +234,7 @@ class Nebula:
         use_spreading: Optional[bool],
         radius: Optional[int],
         shared: Optional[bool],
-        span,
+        span: SpanLike,
     ) -> DiscoveryReport:
         started = time.perf_counter()
         generation = generate_queries(text, self.meta, self.config, tracer=self.tracer)
@@ -403,7 +405,7 @@ class Nebula:
         use_spreading: Optional[bool],
         radius: Optional[int],
         capture_dead_letter: Optional[bool],
-        span,
+        span: SpanLike,
     ) -> DiscoveryReport:
         started = time.perf_counter()
         capture = (
@@ -508,7 +510,7 @@ class Nebula:
     def _abort_insert(
         self,
         savepoint: Savepoint,
-        annotation,
+        annotation: Optional[Annotation],
         profile_snapshot: Tuple[Dict[int, int], int],
     ) -> None:
         """Undo a failed ingestion completely.

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..config import NebulaConfig
 from ..meta.repository import NebulaMeta
 from ..observability.metrics import TIME_BUCKETS, get_metrics
+from ..observability.tracing import TracerLike
 from ..resilience.degradation import (
     CONTEXT_FALLBACK,
     count_degradation,
@@ -88,7 +89,10 @@ class QueryGenerationResult:
 
 
 def generate_queries(
-    text: str, meta: NebulaMeta, config: NebulaConfig, tracer=None
+    text: str,
+    meta: NebulaMeta,
+    config: NebulaConfig,
+    tracer: Optional[TracerLike] = None,
 ) -> QueryGenerationResult:
     """Run QueryGeneration() on one annotation's text.
 

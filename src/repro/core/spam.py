@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from ..types import ScoredTuple
+from ..utils.sql import quote_identifier
 
 
 @dataclass(frozen=True)
@@ -94,6 +95,8 @@ def count_searchable_tuples(
     """Total rows of the searchable tables (the coverage denominator)."""
     total = 0
     for table in dict.fromkeys(tables):
-        row = connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()
+        row = connection.execute(
+            f"SELECT COUNT(*) FROM {quote_identifier(table)}"
+        ).fetchone()
         total += int(row[0])
     return total

@@ -26,6 +26,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 from ..resilience.retry import RetryPolicy
 from ..search.engine import SearchScope
 from ..types import TupleRef
+from ..utils.sql import quote_identifier
 from .acg import AnnotationsConnectivityGraph, HopProfile
 
 _MINI_PREFIX = "_minidb_"
@@ -57,7 +58,7 @@ class MiniDatabase:
         IF EXISTS + CREATE + INSERT), so a retried statement cannot
         duplicate rows.
         """
-        def execute(sql: str, params: Sequence = ()):
+        def execute(sql: str, params: Sequence = ()) -> sqlite3.Cursor:
             if retry is None:
                 return connection.execute(sql, params)
             return retry.run(lambda: connection.execute(sql, params), sql)
@@ -68,17 +69,23 @@ class MiniDatabase:
             buckets.setdefault(ref.table, []).append(ref.rowid)
         for table, rowids in sorted(buckets.items()):
             name = f"{_MINI_PREFIX}{table}"
-            execute(f"DROP TABLE IF EXISTS {name}")
-            columns = [row[1] for row in connection.execute(f"PRAGMA table_info({table})")]
-            column_list = ", ".join(columns)
+            execute(f"DROP TABLE IF EXISTS {quote_identifier(name)}")
+            columns = [
+                row[1]
+                for row in connection.execute(
+                    f"PRAGMA table_info({quote_identifier(table)})"
+                )
+            ]
+            column_list = ", ".join(quote_identifier(c) for c in columns)
             execute(
-                f"CREATE TEMP TABLE {name} AS "
-                f"SELECT rowid AS rowid_copy, {column_list} FROM {table} WHERE 0"
+                f"CREATE TEMP TABLE {quote_identifier(name)} AS "
+                f"SELECT rowid AS rowid_copy, {column_list} "
+                f"FROM {quote_identifier(table)} WHERE 0"
             )
             placeholders = ", ".join("?" for _ in rowids)
             execute(
-                f"INSERT INTO {name} (rowid, rowid_copy, {column_list}) "
-                f"SELECT rowid, rowid, {column_list} FROM {table} "
+                f"INSERT INTO {quote_identifier(name)} (rowid, rowid_copy, {column_list}) "
+                f"SELECT rowid, rowid, {column_list} FROM {quote_identifier(table)} "
                 f"WHERE rowid IN ({placeholders})",
                 rowids,
             )
@@ -93,14 +100,14 @@ class MiniDatabase:
     def drop(self) -> None:
         """Drop the materialized mini tables."""
         for name in self.tables.values():
-            self.connection.execute(f"DROP TABLE IF EXISTS {name}")
+            self.connection.execute(f"DROP TABLE IF EXISTS {quote_identifier(name)}")
         self.tables.clear()
         self.row_counts.clear()
 
     def __enter__(self) -> "MiniDatabase":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.drop()
 
 

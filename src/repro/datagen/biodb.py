@@ -20,6 +20,7 @@ local structure the focal-based techniques exploit.
 
 from __future__ import annotations
 
+import random
 import sqlite3
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -239,7 +240,9 @@ def generate_bio_database(
 # ----------------------------------------------------------------------
 
 
-def _protein_gene(genes: List[GeneRecord], index: int, spec: BioDatabaseSpec, rng) -> GeneRecord:
+def _protein_gene(
+    genes: List[GeneRecord], index: int, spec: BioDatabaseSpec, rng: random.Random
+) -> GeneRecord:
     """Assign protein ``index`` to a gene, keeping community locality."""
     # Spread proteins across communities proportionally, jittered.
     anchor = int(index / max(1, spec.proteins) * len(genes))
@@ -307,7 +310,9 @@ def _build_meta(connection: sqlite3.Connection) -> NebulaMeta:
     return meta
 
 
-def _generate_publications(database: BioDatabase, synthesizer: TextSynthesizer, rng) -> None:
+def _generate_publications(
+    database: BioDatabase, synthesizer: TextSynthesizer, rng: random.Random
+) -> None:
     spec = database.spec
     vocab = synthesizer.vocab
     communities = database.community_count()
@@ -343,7 +348,7 @@ def _generate_publications(database: BioDatabase, synthesizer: TextSynthesizer, 
 
 
 def _pick_citations(
-    database: BioDatabase, community: int, rng
+    database: BioDatabase, community: int, rng: random.Random
 ) -> Tuple[List[GeneRecord], List[ProteinRecord]]:
     """Choose a publication's cited tuples: community members + rare strays."""
     count = _weighted_ref_count(rng)
@@ -364,7 +369,9 @@ def _pick_citations(
     return cited_genes, cited_proteins
 
 
-def _pick_stray(database: BioDatabase, community: int, rng) -> Optional[Tuple[str, object]]:
+def _pick_stray(
+    database: BioDatabase, community: int, rng: random.Random
+) -> Optional[Tuple[str, object]]:
     communities = database.community_count()
     if communities <= 1:
         return None
@@ -380,7 +387,7 @@ def _pick_stray(database: BioDatabase, community: int, rng) -> Optional[Tuple[st
     return rng.choice(pool)
 
 
-def _weighted_ref_count(rng) -> int:
+def _weighted_ref_count(rng: random.Random) -> int:
     total = sum(weight for _, weight in _REF_COUNT_WEIGHTS)
     roll = rng.randrange(total)
     cumulative = 0

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..annotations.engine import AnnotationManager
 from ..core.acg import AnnotationsConnectivityGraph
 from ..core.model import AnnotatedDatabaseModel, false_negative_ratio, false_positive_ratio
+from ..utils.sql import quote_identifier
 
 
 @dataclass
@@ -79,7 +80,11 @@ def collect_stats(
         )
     ]
     table_rows = {
-        table: int(connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0])
+        table: int(
+            connection.execute(
+                f"SELECT COUNT(*) FROM {quote_identifier(table)}"
+            ).fetchone()[0]
+        )
         for table in tables
     }
 

@@ -19,6 +19,7 @@ annotation's byte budget.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from enum import Enum
 from typing import List, Optional, Sequence, Tuple
@@ -50,14 +51,14 @@ class EmbeddedReference:
     style: ReferenceStyle
 
 
-def _gene_keyword(gene: GeneRecord, rng) -> Tuple[str, str]:
+def _gene_keyword(gene: GeneRecord, rng: random.Random) -> Tuple[str, str]:
     """(keyword, column) — references by GID (60%) or by Name (40%)."""
     if rng.random() < 0.6:
         return gene.gid, "GID"
     return gene.name, "Name"
 
 
-def _protein_keyword(protein: ProteinRecord, rng) -> Tuple[str, str]:
+def _protein_keyword(protein: ProteinRecord, rng: random.Random) -> Tuple[str, str]:
     """(keyword, column) — references by PID (50%) or by PName (50%)."""
     if rng.random() < 0.5:
         return protein.pid, "PID"
@@ -67,7 +68,7 @@ def _protein_keyword(protein: ProteinRecord, rng) -> Tuple[str, str]:
 class TextSynthesizer:
     """Render annotations with a controlled set of embedded references."""
 
-    def __init__(self, vocab: VocabularyBuilder, rng) -> None:
+    def __init__(self, vocab: VocabularyBuilder, rng: random.Random) -> None:
         self.vocab = vocab
         self.rng = rng
 

@@ -19,6 +19,7 @@ All drawing is deterministic under a seeded RNG.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import List, Sequence, Set, Tuple
 
@@ -104,7 +105,7 @@ class ProteinRecord:
 class VocabularyBuilder:
     """Deterministic factory for identifiers, names, and filler text."""
 
-    def __init__(self, rng) -> None:
+    def __init__(self, rng: random.Random) -> None:
         self.rng = rng
         self._used_gene_names: Set[str] = set()
         self._filler_normalized = frozenset(normalize_word(w) for w in FILLER_WORDS)

@@ -28,7 +28,7 @@ class TransientStorageError(StorageError):
     exhausted its attempts; ``attempts`` records how many were made.
     """
 
-    def __init__(self, message: str, attempts: int = 1):
+    def __init__(self, message: str, attempts: int = 1) -> None:
         super().__init__(f"storage still failing after {attempts} attempt(s): {message}")
         self.attempts = attempts
 
@@ -36,7 +36,7 @@ class TransientStorageError(StorageError):
 class UnknownTableError(StorageError):
     """Raised when an operation references a table absent from the schema."""
 
-    def __init__(self, table: str):
+    def __init__(self, table: str) -> None:
         super().__init__(f"unknown table: {table!r}")
         self.table = table
 
@@ -44,7 +44,7 @@ class UnknownTableError(StorageError):
 class UnknownColumnError(StorageError):
     """Raised when an operation references a column absent from a table."""
 
-    def __init__(self, table: str, column: str):
+    def __init__(self, table: str, column: str) -> None:
         super().__init__(f"unknown column: {table!r}.{column!r}")
         self.table = table
         self.column = column
@@ -53,7 +53,7 @@ class UnknownColumnError(StorageError):
 class UnknownAnnotationError(StorageError):
     """Raised when an annotation id does not exist in the store."""
 
-    def __init__(self, annotation_id: int):
+    def __init__(self, annotation_id: int) -> None:
         super().__init__(f"unknown annotation id: {annotation_id}")
         self.annotation_id = annotation_id
 
@@ -61,7 +61,7 @@ class UnknownAnnotationError(StorageError):
 class UnknownTupleError(StorageError):
     """Raised when a tuple reference does not resolve to a stored row."""
 
-    def __init__(self, table: str, rowid: int):
+    def __init__(self, table: str, rowid: int) -> None:
         super().__init__(f"unknown tuple: {table!r} rowid {rowid}")
         self.table = table
         self.rowid = rowid
@@ -74,7 +74,7 @@ class MetadataError(NebulaError):
 class UnknownConceptError(MetadataError):
     """Raised when a concept name is absent from the ConceptRefs table."""
 
-    def __init__(self, concept: str):
+    def __init__(self, concept: str) -> None:
         super().__init__(f"unknown concept: {concept!r}")
         self.concept = concept
 
@@ -98,7 +98,7 @@ class VerificationError(NebulaError):
 class UnknownVerificationTaskError(VerificationError):
     """Raised when a verification task id is unknown or already resolved."""
 
-    def __init__(self, task_id: int):
+    def __init__(self, task_id: int) -> None:
         super().__init__(f"unknown or resolved verification task: {task_id}")
         self.task_id = task_id
 
@@ -116,7 +116,7 @@ class PipelineStageError(NebulaError):
     (when set) points at the captured dead-letter row.
     """
 
-    def __init__(self, stage: str, original: BaseException):
+    def __init__(self, stage: str, original: BaseException) -> None:
         super().__init__(f"pipeline stage {stage!r} failed: {original}")
         self.stage = stage
         self.original = original
@@ -126,6 +126,6 @@ class PipelineStageError(NebulaError):
 class DeadLetterError(NebulaError):
     """Raised for invalid dead-letter-queue operations."""
 
-    def __init__(self, letter_id: int, reason: str = "unknown dead letter"):
+    def __init__(self, letter_id: int, reason: str = "unknown dead letter") -> None:
         super().__init__(f"{reason}: {letter_id}")
         self.letter_id = letter_id

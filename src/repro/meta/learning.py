@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..annotations.engine import AnnotationManager
+from ..utils.sql import quote_identifier
 from ..utils.tokenize import is_stopword, normalize_word, tokenize
 from .concepts import ConceptRef
 from .repository import NebulaMeta
@@ -122,10 +123,14 @@ class ConceptLearner:
     def _row_values(self, table: str, rowid: int) -> List[Tuple[str, object]]:
         columns = [
             row[1]
-            for row in self.connection.execute(f"PRAGMA table_info({table})")
+            for row in self.connection.execute(
+                f"PRAGMA table_info({quote_identifier(table)})"
+            )
         ]
+        select_list = ", ".join(quote_identifier(c) for c in columns)
         row = self.connection.execute(
-            f"SELECT {', '.join(columns)} FROM {table} WHERE rowid = ?", (rowid,)
+            f"SELECT {select_list} FROM {quote_identifier(table)} WHERE rowid = ?",
+            (rowid,),
         ).fetchone()
         if row is None:
             return []

@@ -23,12 +23,14 @@ It exposes the two probability estimators the signature maps are built on:
 
 from __future__ import annotations
 
+import random
 import sqlite3
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import MetadataError, UnknownConceptError
 from ..utils.rng import make_rng
+from ..utils.sql import quote_identifier
 from ..utils.tokenize import is_stopword, normalize_word
 from .concepts import ConceptRef, ReferencingColumn
 from .lexicon import DEFAULT_LEXICON, Lexicon
@@ -185,10 +187,12 @@ class NebulaMeta:
         column: ReferencingColumn,
         sample_size: int,
         infer_patterns: bool,
-        rng,
+        rng: random.Random,
     ) -> None:
         key = (normalize_word(column.table), normalize_word(column.column))
-        cursor = connection.execute(f"PRAGMA table_info({column.table})")
+        cursor = connection.execute(
+            f"PRAGMA table_info({quote_identifier(column.table)})"
+        )
         declared = {row[1].casefold(): (row[2] or "TEXT") for row in cursor.fetchall()}
         if column.column.casefold() not in declared:
             raise MetadataError(
@@ -196,8 +200,9 @@ class NebulaMeta:
             )
         self._column_types[key] = declared[column.column.casefold()]
         rows = connection.execute(
-            f"SELECT DISTINCT {column.column} FROM {column.table} "
-            f"WHERE {column.column} IS NOT NULL LIMIT 5000"
+            f"SELECT DISTINCT {quote_identifier(column.column)} "
+            f"FROM {quote_identifier(column.table)} "
+            f"WHERE {quote_identifier(column.column)} IS NOT NULL LIMIT 5000"
         ).fetchall()
         population = [str(r[0]) for r in rows]
         sample = ColumnSample.draw(

@@ -30,8 +30,11 @@ from .metrics import (
     set_metrics,
 )
 from .profiling import SqlProfiler, StatementProfile
+from .stages import CANONICAL_STAGES, is_canonical_stage
 from .tracing import (
     NOOP_TRACER,
+    SpanLike,
+    TracerLike,
     JsonlExporter,
     NoopTracer,
     RingBufferExporter,
@@ -44,11 +47,16 @@ from .tracing import (
 )
 
 __all__ = [
+    # stages
+    "CANONICAL_STAGES",
+    "is_canonical_stage",
     # tracing
     "Tracer",
     "NoopTracer",
     "NOOP_TRACER",
     "Span",
+    "SpanLike",
+    "TracerLike",
     "RingBufferExporter",
     "JsonlExporter",
     "format_trace",

@@ -33,7 +33,8 @@ import logging
 import os
 import time
 from collections import deque
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from types import TracebackType
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Type, Union
 
 logger = logging.getLogger("repro.observability")
 
@@ -142,7 +143,12 @@ class _SpanContext:
         self._span = self._tracer._open(self._name)
         return self._span
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         if self._span is not None:
             if exc is not None:
                 self._span.attributes["error"] = repr(exc)
@@ -161,7 +167,12 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
 
@@ -181,6 +192,10 @@ class NoopTracer:
 
 #: Process-wide disabled tracer; the default for every pipeline component.
 NOOP_TRACER = NoopTracer()
+
+#: Either kind of tracer / span — the pipeline treats them structurally.
+TracerLike = Union[Tracer, NoopTracer]
+SpanLike = Union[Span, _NoopSpan]
 
 
 # ----------------------------------------------------------------------

@@ -20,10 +20,15 @@ from __future__ import annotations
 import itertools
 import sqlite3
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from types import TracebackType
+from typing import TYPE_CHECKING, Iterator, Optional, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .faults import FaultInjector
 
 from ..errors import PipelineStageError
 from ..observability.metrics import get_metrics
+from ..utils.sql import quote_identifier
 
 #: Process-wide counter making savepoint names unique even when nested.
 _SAVEPOINT_IDS = itertools.count(1)
@@ -44,27 +49,34 @@ class Savepoint:
         return self._active
 
     def begin(self) -> "Savepoint":
-        self.connection.execute(f"SAVEPOINT {self.name}")
+        self.connection.execute(f"SAVEPOINT {quote_identifier(self.name)}")
         self._active = True
         return self
 
     def release(self) -> None:
         """Commit the savepoint's writes into the enclosing transaction."""
         if self._active:
-            self.connection.execute(f"RELEASE SAVEPOINT {self.name}")
+            self.connection.execute(f"RELEASE SAVEPOINT {quote_identifier(self.name)}")
             self._active = False
 
     def rollback(self) -> None:
         """Undo every write since ``begin()`` and discard the savepoint."""
         if self._active:
-            self.connection.execute(f"ROLLBACK TO SAVEPOINT {self.name}")
-            self.connection.execute(f"RELEASE SAVEPOINT {self.name}")
+            self.connection.execute(
+                f"ROLLBACK TO SAVEPOINT {quote_identifier(self.name)}"
+            )
+            self.connection.execute(f"RELEASE SAVEPOINT {quote_identifier(self.name)}")
             self._active = False
 
     def __enter__(self) -> "Savepoint":
         return self.begin()
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         if exc_type is None:
             self.release()
         else:
@@ -72,7 +84,9 @@ class Savepoint:
 
 
 @contextmanager
-def pipeline_stage(stage: str, faults=None) -> Iterator[None]:
+def pipeline_stage(
+    stage: str, faults: Optional["FaultInjector"] = None
+) -> Iterator[None]:
     """Mark a pipeline stage; tag escaping failures with the stage name.
 
     ``faults`` is an optional :class:`repro.resilience.FaultInjector`

@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 import sqlite3
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import DeadLetterError
 from ..observability.metrics import get_metrics
@@ -74,7 +74,7 @@ class DeadLetterQueue:
 
     # ------------------------------------------------------------------
 
-    def _execute(self, sql: str, params: Tuple = ()):
+    def _execute(self, sql: str, params: Tuple = ()) -> sqlite3.Cursor:
         if self._retry is not None:
             return self._retry.run(lambda: self.connection.execute(sql, params), sql)
         return self.connection.execute(sql, params)
@@ -178,7 +178,7 @@ class DeadLetterQueue:
         self._commit()
 
 
-def _row_to_letter(row) -> DeadLetter:
+def _row_to_letter(row: Sequence[object]) -> DeadLetter:
     focal = tuple(
         TupleRef(str(table), int(rowid)) for table, rowid in json.loads(row[3])
     )

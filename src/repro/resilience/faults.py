@@ -26,7 +26,7 @@ FAULT_POINTS: Tuple[str, ...] = (
 class InjectedFault(RuntimeError):
     """Default exception raised at an armed fault point."""
 
-    def __init__(self, point: str):
+    def __init__(self, point: str) -> None:
         super().__init__(f"injected fault at {point!r}")
         self.point = point
 

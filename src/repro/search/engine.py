@@ -18,16 +18,30 @@ from __future__ import annotations
 import sqlite3
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping as TMapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..meta.lexicon import Lexicon
 
 from ..errors import EmptyQueryError
 from ..observability.metrics import MetricsRegistry, TIME_BUCKETS, get_metrics
 from ..observability.profiling import SqlProfiler
 from ..resilience.retry import RetryPolicy
 from ..types import ScoredTuple, TupleRef
+from ..utils.sql import quote_identifier
 from .configurations import enumerate_configurations
 from .index import InvertedValueIndex
-from .mapper import KeywordMapper
+from .mapper import KeywordMapper, Mapping
 from .metadata import SchemaGraph
 from .sqlgen import GeneratedSQL, generate_sql
 
@@ -88,7 +102,9 @@ class SearchScope:
         for table, rowids in self.rowids.items():
             mini = self.physical.get(table)
             if mini:
-                fragments[table] = f"rowid IN (SELECT rowid FROM {mini})"
+                fragments[table] = (
+                    f"rowid IN (SELECT rowid FROM {quote_identifier(mini)})"
+                )
             elif rowids:
                 body = ", ".join(str(r) for r in sorted(rowids))
                 fragments[table] = f"rowid IN ({body})"
@@ -123,7 +139,7 @@ class KeywordSearchEngine:
         searchable_columns: Sequence[Tuple[str, str]],
         schema: Optional[SchemaGraph] = None,
         aliases: Optional[TMapping[str, Tuple[str, Optional[str]]]] = None,
-        lexicon=None,
+        lexicon: Optional["Lexicon"] = None,
         max_configurations: int = 24,
         retry: Optional[RetryPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
@@ -181,9 +197,11 @@ class KeywordSearchEngine:
         self._m_generated.inc(len(generated))
         return generated
 
-    def _prune_to_scope(self, keyword_mappings, scope: SearchScope):
+    def _prune_to_scope(
+        self, keyword_mappings: Dict[str, List[Mapping]], scope: SearchScope
+    ) -> Dict[str, List[Mapping]]:
         """Drop VALUE mappings whose postings all fall outside the scope."""
-        pruned = {}
+        pruned: Dict[str, List[Mapping]] = {}
         for keyword, mappings in keyword_mappings.items():
             kept = []
             for mapping in mappings:

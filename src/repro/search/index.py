@@ -18,6 +18,7 @@ import sqlite3
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..utils.sql import quote_identifier
 from ..utils.tokenize import normalize_word
 
 
@@ -50,7 +51,9 @@ class InvertedValueIndex:
         self._columns.add(key)
         count = 0
         cursor = connection.execute(
-            f"SELECT rowid, {column} FROM {table} WHERE {column} IS NOT NULL"
+            f"SELECT rowid, {quote_identifier(column)} "
+            f"FROM {quote_identifier(table)} "
+            f"WHERE {quote_identifier(column)} IS NOT NULL"
         )
         for rowid, value in cursor:
             token = normalize_word(str(value))

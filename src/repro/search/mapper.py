@@ -17,7 +17,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping as TMapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..meta.lexicon import Lexicon
 
 from ..utils.tokenize import is_stopword, normalize_word
 from .index import InvertedValueIndex
@@ -65,7 +77,7 @@ class KeywordMapper:
         schema: SchemaGraph,
         index: InvertedValueIndex,
         aliases: Optional[TMapping[str, Tuple[str, Optional[str]]]] = None,
-        lexicon=None,
+        lexicon: Optional["Lexicon"] = None,
         max_mappings_per_keyword: int = 4,
     ) -> None:
         self.schema = schema

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import UnknownTableError
+from ..utils.sql import quote_identifier
 
 
 @dataclass(frozen=True)
@@ -97,7 +98,7 @@ class SchemaGraph:
         columns: List[ColumnInfo] = []
         foreign_keys: List[ForeignKey] = []
         for table in names:
-            for row in connection.execute(f"PRAGMA table_info({table})"):
+            for row in connection.execute(f"PRAGMA table_info({quote_identifier(table)})"):
                 columns.append(
                     ColumnInfo(
                         table=table,
@@ -106,7 +107,9 @@ class SchemaGraph:
                         is_primary_key=bool(row[5]),
                     )
                 )
-            for row in connection.execute(f"PRAGMA foreign_key_list({table})"):
+            for row in connection.execute(
+                f"PRAGMA foreign_key_list({quote_identifier(table)})"
+            ):
                 # PRAGMA columns: id, seq, table, from, to, ...
                 foreign_keys.append(
                     ForeignKey(

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..types import ScoredTuple, TupleRef
+from ..utils.sql import quote_identifier
 from ..utils.tokenize import is_stopword, tokenize
 from .metadata import SchemaGraph
 
@@ -115,9 +116,15 @@ class NaiveSearch:
         floods the answer); short ones only exactly.
         """
         if len(keyword) >= _MIN_SUBSTRING_LENGTH:
-            sql = f"SELECT rowid FROM {table} WHERE {column} LIKE ?"
+            sql = (
+                f"SELECT rowid FROM {quote_identifier(table)} "
+                f"WHERE {quote_identifier(column)} LIKE ?"
+            )
             params: Tuple[str, ...] = (f"%{keyword}%",)
         else:
-            sql = f"SELECT rowid FROM {table} WHERE {column} = ? COLLATE NOCASE"
+            sql = (
+                f"SELECT rowid FROM {quote_identifier(table)} "
+                f"WHERE {quote_identifier(column)} = ? COLLATE NOCASE"
+            )
             params = (keyword,)
         return [int(r[0]) for r in self.connection.execute(sql, params).fetchall()]

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..observability.metrics import get_metrics
 from .configurations import Configuration
 from .mapper import Mapping
-from .metadata import SchemaGraph
+from .metadata import JoinStep, SchemaGraph
 
 #: Bucket bounds for the per-statement condition-count histogram.
 _CONDITION_BUCKETS = (1, 2, 3, 4, 6, 8, 12)
@@ -183,7 +183,7 @@ def _build_query(
     )
 
 
-def _oriented_join(step, previous_alias: str, alias: str) -> str:
+def _oriented_join(step: JoinStep, previous_alias: str, alias: str) -> str:
     """Render the FK join condition with aliases oriented along the path."""
     fk = step.fk
     if step.source == fk.child_table and step.target == fk.parent_table:

@@ -3,8 +3,11 @@
 from .tokenize import Token, tokenize, normalize_word, is_stopword, STOPWORDS
 from .timer import Stopwatch, PhaseTimer
 from .rng import make_rng
+from .sql import quote_identifier, quote_qualified
 
 __all__ = [
+    "quote_identifier",
+    "quote_qualified",
     "Token",
     "tokenize",
     "normalize_word",

@@ -1,0 +1,51 @@
+"""Safe construction of dynamic SQL fragments.
+
+SQLite cannot bind *identifiers* (table and column names) as ``?``
+parameters, so any statement over a user-named table must interpolate the
+name into the SQL text.  Every such interpolation in this codebase goes
+through :func:`quote_identifier`: it validates the name and renders it as
+a double-quoted SQLite identifier with embedded quotes escaped, which
+neutralizes injection through crafted schema names.
+
+The project's static analyzer (``repro.analysis``, rule NBL001) enforces
+this contract: an f-string reaching ``execute()`` is accepted only when
+every interpolated expression is a :func:`quote_identifier` call (or a
+registered equivalent) — anything else must use ``?`` placeholders.
+"""
+
+from __future__ import annotations
+
+from ..errors import StorageError
+
+#: Hard cap on identifier length; SQLite itself has no practical limit,
+#: but a multi-kilobyte "table name" is an attack, not a schema.
+MAX_IDENTIFIER_LENGTH = 512
+
+
+def quote_identifier(name: str) -> str:
+    """Render ``name`` as a safely quoted SQLite identifier.
+
+    >>> quote_identifier("Gene")
+    '"Gene"'
+    >>> quote_identifier('weird"name')
+    '"weird""name"'
+
+    Raises :class:`~repro.errors.StorageError` for values no legitimate
+    schema object can have: empty strings, NUL bytes, or absurd lengths.
+    """
+    if not isinstance(name, str):
+        raise StorageError(f"SQL identifier must be a string, got {type(name).__name__}")
+    if not name:
+        raise StorageError("SQL identifier must be non-empty")
+    if "\x00" in name:
+        raise StorageError("SQL identifier contains a NUL byte")
+    if len(name) > MAX_IDENTIFIER_LENGTH:
+        raise StorageError(
+            f"SQL identifier longer than {MAX_IDENTIFIER_LENGTH} characters"
+        )
+    return '"' + name.replace('"', '""') + '"'
+
+
+def quote_qualified(table: str, column: str) -> str:
+    """Render a ``table.column`` pair with both parts safely quoted."""
+    return f"{quote_identifier(table)}.{quote_identifier(column)}"

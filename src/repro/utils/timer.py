@@ -17,7 +17,10 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..observability.tracing import TracerLike
 
 
 @dataclass
@@ -74,7 +77,7 @@ class PhaseTimer:
 
     def __init__(
         self,
-        tracer=None,
+        tracer: Optional["TracerLike"] = None,
         span_prefix: str = "",
         span_names: Optional[Mapping[str, str]] = None,
     ) -> None:

@@ -1,0 +1,512 @@
+"""Unit tests for the nebula-lint rules against fixture snippets."""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import AnalysisError
+from repro.analysis.resolve import Safety, build_env, resolve_str
+
+
+def lint(tmp_path, source, name="snippet.py", rules=None):
+    path = tmp_path / name
+    path.write_text(source)
+    return analyze_paths([str(path)], rules=rules)
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# ----------------------------------------------------------------------
+# NBL001 — SQL safety
+# ----------------------------------------------------------------------
+
+
+class TestSqlSafety:
+    def test_fstring_interpolation_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, name):\n"
+            "    conn.execute(f\"SELECT * FROM t WHERE name = '{name}'\")\n",
+        )
+        assert rule_ids(findings) == ["NBL001"]
+        assert findings[0].line == 2
+        assert "name" in findings[0].message
+
+    def test_percent_formatting_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, v):\n"
+            '    conn.execute("SELECT * FROM t WHERE x = %s" % v)\n',
+        )
+        assert rule_ids(findings) == ["NBL001"]
+
+    def test_concatenation_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, tail):\n"
+            '    conn.execute("SELECT * FROM t WHERE " + tail)\n',
+        )
+        assert rule_ids(findings) == ["NBL001"]
+
+    def test_placeholders_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, name):\n"
+            '    conn.execute("SELECT * FROM t WHERE name = ?", (name,))\n',
+        )
+        assert findings == []
+
+    def test_triple_quoted_fstring_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, name):\n"
+            '    conn.execute(f"""\n'
+            "        SELECT *\n"
+            "        FROM t\n"
+            "        WHERE name = '{name}'\n"
+            '    """)\n',
+        )
+        assert rule_ids(findings) == ["NBL001"]
+
+    def test_aliased_cursor_method_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(cur, name):\n"
+            "    run = cur.execute\n"
+            "    run(f\"SELECT * FROM t WHERE name = '{name}'\")\n",
+        )
+        assert rule_ids(findings) == ["NBL001"]
+
+    def test_quote_identifier_interpolation_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "from repro.utils.sql import quote_identifier\n"
+            "def f(conn, table):\n"
+            '    conn.execute(f"SELECT rowid FROM {quote_identifier(table)}")\n',
+        )
+        assert findings == []
+
+    def test_constant_propagated_through_locals_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, flag):\n"
+            '    sql = "SELECT * FROM t WHERE 1=1"\n'
+            "    if flag:\n"
+            '        sql += " AND active = 1"\n'
+            '    conn.execute(sql + " ORDER BY rowid")\n',
+        )
+        assert findings == []
+
+    def test_unsafe_accumulation_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, tail):\n"
+            '    sql = "SELECT * FROM t"\n'
+            '    sql += f" WHERE {tail}"\n'
+            "    conn.execute(sql)\n",
+        )
+        assert rule_ids(findings) == ["NBL001"]
+
+    def test_safe_clause_list_join_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, rowid, column):\n"
+            '    clauses = ["target_table = ?"]\n'
+            "    if rowid is not None:\n"
+            '        clauses.append("target_rowid = ?")\n'
+            "    conn.execute(\n"
+            "        \"SELECT * FROM t WHERE \" + \" AND \".join(clauses),\n"
+            "        [rowid],\n"
+            "    )\n",
+        )
+        assert findings == []
+
+    def test_unsafe_clause_list_join_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, predicate):\n"
+            '    clauses = ["x = ?"]\n'
+            "    clauses.append(predicate)\n"
+            "    conn.execute(\"SELECT * FROM t WHERE \" + \" AND \".join(clauses))\n",
+        )
+        assert rule_ids(findings) == ["NBL001"]
+
+    def test_opaque_variable_trusted(self, tmp_path):
+        # Cross-function SQL flow is judged at the construction site, not
+        # the execute site: a bare opaque name is not flagged.
+        findings = lint(
+            tmp_path,
+            "def f(conn, sql, params):\n"
+            "    conn.execute(sql, params)\n",
+        )
+        assert findings == []
+
+    def test_executescript_and_executemany_covered(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, t):\n"
+            '    conn.executescript(f"DROP TABLE {t}")\n'
+            '    conn.executemany(f"INSERT INTO {t} VALUES (?)", [(1,)])\n',
+        )
+        assert rule_ids(findings) == ["NBL001", "NBL001"]
+
+    def test_inline_ignore_suppresses(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, w):\n"
+            '    conn.execute(f"SELECT 1 WHERE {w}")  # nebula-lint: ignore[NBL001]\n',
+        )
+        assert findings == []
+
+    def test_inline_ignore_on_continuation_line(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, w):\n"
+            "    conn.execute(\n"
+            '        f"SELECT 1 WHERE {w}"  # nebula-lint: ignore[NBL001]\n'
+            "    )\n",
+        )
+        assert findings == []
+
+    def test_inline_ignore_wrong_rule_does_not_suppress(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, w):\n"
+            '    conn.execute(f"SELECT 1 WHERE {w}")  # nebula-lint: ignore[NBL006]\n',
+        )
+        assert rule_ids(findings) == ["NBL001"]
+
+
+# ----------------------------------------------------------------------
+# NBL002 — SAVEPOINT pairing
+# ----------------------------------------------------------------------
+
+
+class TestSavepointPairing:
+    def test_unreleased_savepoint_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn):\n"
+            '    conn.execute("SAVEPOINT sp1")\n'
+            '    conn.execute("INSERT INTO t VALUES (1)")\n',
+        )
+        assert rule_ids(findings) == ["NBL002"]
+
+    def test_released_savepoint_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn):\n"
+            '    conn.execute("SAVEPOINT sp1")\n'
+            '    conn.execute("RELEASE SAVEPOINT sp1")\n',
+        )
+        assert findings == []
+
+    def test_rollback_to_counts_as_closure(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn):\n"
+            '    conn.execute("SAVEPOINT sp1")\n'
+            '    conn.execute("ROLLBACK TO sp1")\n',
+        )
+        assert findings == []
+
+    def test_savepoint_name_from_constant(self, tmp_path):
+        # The name flows through a module constant on both sides.
+        findings = lint(
+            tmp_path,
+            'NAME = "sp_bulk"\n'
+            "def f(conn):\n"
+            '    conn.execute(f"SAVEPOINT {NAME}")\n'
+            '    conn.execute(f"RELEASE SAVEPOINT {NAME}")\n',
+        )
+        assert findings == []
+
+    def test_mismatched_names_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn):\n"
+            '    conn.execute("SAVEPOINT sp_a")\n'
+            '    conn.execute("RELEASE SAVEPOINT sp_b")\n',
+        )
+        assert rule_ids(findings) == ["NBL002"]
+
+
+# ----------------------------------------------------------------------
+# NBL003 / NBL004 — paper invariants
+# ----------------------------------------------------------------------
+
+
+class TestPaperInvariants:
+    def test_beta_ordering_violation_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "class NebulaConfig:\n"
+            "    beta1: float = 0.30\n"
+            "    beta2: float = 0.50\n"
+            "    beta3: float = 0.15\n",
+        )
+        assert rule_ids(findings) == ["NBL003"]
+        assert findings[0].line == 2
+
+    def test_valid_defaults_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "class NebulaConfig:\n"
+            "    beta1: float = 0.50\n"
+            "    beta2: float = 0.30\n"
+            "    beta3: float = 0.15\n"
+            "    epsilon: float = 0.05\n",
+        )
+        assert findings == []
+
+    def test_construction_site_override_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "class NebulaConfig:\n"
+            "    beta1: float = 0.50\n"
+            "    beta2: float = 0.30\n"
+            "    beta3: float = 0.15\n"
+            "def f():\n"
+            "    return NebulaConfig(beta2=0.9)\n",
+        )
+        assert rule_ids(findings) == ["NBL003"]
+        assert findings[0].line == 6
+
+    def test_epsilon_out_of_range_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "class NebulaConfig:\n"
+            "    epsilon: float = 1.5\n",
+        )
+        assert rule_ids(findings) == ["NBL003"]
+
+    def test_true_edge_weight_pinned(self, tmp_path):
+        findings = lint(tmp_path, "TRUE_EDGE_WEIGHT = 0.9\n")
+        assert rule_ids(findings) == ["NBL004"]
+
+    def test_true_edge_weight_exact_clean(self, tmp_path):
+        findings = lint(tmp_path, "TRUE_EDGE_WEIGHT = 1.0\n")
+        assert findings == []
+
+    def test_predicted_confidence_bounds(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(m, ann, ref):\n"
+            "    m.attach_predicted(ann, ref, confidence=1.0)\n"
+            "    m.attach_predicted(ann, ref, confidence=0.7)\n",
+        )
+        assert rule_ids(findings) == ["NBL004"]
+        assert findings[0].line == 2
+
+
+# ----------------------------------------------------------------------
+# NBL005 — span taxonomy
+# ----------------------------------------------------------------------
+
+
+class TestSpanRegistry:
+    def test_unknown_span_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(tracer):\n"
+            '    with tracer.span("stage9.mystery"):\n'
+            "        pass\n",
+        )
+        assert rule_ids(findings) == ["NBL005"]
+
+    def test_canonical_span_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(tracer):\n"
+            '    with tracer.span("analyze"):\n'
+            "        pass\n",
+        )
+        assert findings == []
+
+    def test_self_tracer_receiver_matched(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "class C:\n"
+            "    def f(self):\n"
+            '        with self._tracer.span("nope.unknown"):\n'
+            "            pass\n",
+        )
+        assert rule_ids(findings) == ["NBL005"]
+
+    def test_span_names_mapping_values_checked(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            'SPAN_NAMES = {"maps": "stage1.maps", "rogue": "stageX.rogue"}\n',
+        )
+        assert rule_ids(findings) == ["NBL005"]
+
+    def test_non_tracer_receiver_not_matched(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(bridge):\n"
+            '    bridge.span("whatever")\n',
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# NBL006 — resource hygiene
+# ----------------------------------------------------------------------
+
+
+class TestResourceHygiene:
+    def test_leaked_connection_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "import sqlite3\n"
+            "def f():\n"
+            '    conn = sqlite3.connect("x.db")\n'
+            '    conn.execute("SELECT 1")\n',
+        )
+        assert rule_ids(findings) == ["NBL006"]
+
+    def test_closed_connection_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "import sqlite3\n"
+            "def f():\n"
+            '    conn = sqlite3.connect("x.db")\n'
+            "    try:\n"
+            '        conn.execute("SELECT 1")\n'
+            "    finally:\n"
+            "        conn.close()\n",
+        )
+        assert findings == []
+
+    def test_with_closing_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "import sqlite3\n"
+            "from contextlib import closing\n"
+            "def f():\n"
+            '    conn = sqlite3.connect("x.db")\n'
+            "    with closing(conn):\n"
+            '        conn.execute("SELECT 1")\n',
+        )
+        assert findings == []
+
+    def test_returned_connection_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "import sqlite3\n"
+            "def f():\n"
+            '    conn = sqlite3.connect("x.db")\n'
+            "    return conn\n",
+        )
+        assert findings == []
+
+    def test_test_files_exempt(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "import sqlite3\n"
+            "def f():\n"
+            '    conn = sqlite3.connect("x.db")\n'
+            '    conn.execute("SELECT 1")\n',
+            name="test_fixture.py",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Engine behaviors
+# ----------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_unknown_rule_id_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            lint(tmp_path, "x = 1\n", rules=["NBL999"])
+
+    def test_rule_filter_restricts(self, tmp_path):
+        source = (
+            "import sqlite3\n"
+            "def f(conn, w):\n"
+            '    conn.execute(f"SELECT {w}")\n'
+            "def g():\n"
+            '    c = sqlite3.connect("x.db")\n'
+            '    c.execute("SELECT 1")\n'
+        )
+        only_sql = lint(tmp_path, source, rules=["NBL001"])
+        assert rule_ids(only_sql) == ["NBL001"]
+
+    def test_syntax_error_raises(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        with pytest.raises(AnalysisError):
+            analyze_paths([str(path)])
+
+    def test_findings_sorted_and_serializable(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, a, b):\n"
+            '    conn.execute(f"SELECT {b}")\n'
+            '    conn.execute(f"SELECT {a}")\n',
+        )
+        assert [f.line for f in findings] == [2, 3]
+        payload = json.dumps([f.to_dict() for f in findings])
+        assert "NBL001" in payload
+
+
+# ----------------------------------------------------------------------
+# Baseline workflow
+# ----------------------------------------------------------------------
+
+
+class TestBaseline:
+    SOURCE = (
+        "def f(conn, w):\n"
+        '    conn.execute(f"SELECT * FROM t WHERE {w}")\n'
+    )
+
+    def test_baseline_round_trip(self, tmp_path):
+        findings = lint(tmp_path, self.SOURCE)
+        assert len(findings) == 1
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), findings)
+        baseline = load_baseline(str(baseline_path))
+        assert apply_baseline(findings, baseline) == []
+
+    def test_fingerprint_survives_line_shift(self, tmp_path):
+        findings = lint(tmp_path, self.SOURCE)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), findings)
+        shifted = lint(tmp_path, "# a new comment above\n\n" + self.SOURCE)
+        assert shifted[0].line != findings[0].line
+        baseline = load_baseline(str(baseline_path))
+        assert apply_baseline(shifted, baseline) == []
+
+    def test_new_finding_not_absorbed(self, tmp_path):
+        findings = lint(tmp_path, self.SOURCE)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), findings)
+        grown = lint(
+            tmp_path,
+            self.SOURCE + '    conn.execute(f"DELETE FROM t WHERE {w}")\n',
+        )
+        baseline = load_baseline(str(baseline_path))
+        fresh = apply_baseline(grown, baseline)
+        assert len(fresh) == 1
+        assert "DELETE" in fresh[0].snippet
+
+    def test_cli_baseline_flow(self, tmp_path, capsys):
+        source_path = tmp_path / "mod.py"
+        source_path.write_text(self.SOURCE)
+        baseline_path = tmp_path / "b.json"
+        assert lint_main(
+            [str(source_path), "--write-baseline", str(baseline_path)]
+        ) == 0
+        assert lint_main([str(source_path), "--baseline", str(baseline_path)]) == 0
+        # --strict ignores the baseline.
+        assert lint_main(
+            [str(source_path), "--baseline", str(baseline_path), "--strict"]
+        ) == 1

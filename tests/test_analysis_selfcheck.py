@@ -1,0 +1,101 @@
+"""Self-check: the live source tree lints clean, and planted bugs don't.
+
+These are the acceptance criteria for the analyzer itself: running it over
+``src/`` must exit 0, while a tree with a planted f-string execute or an
+inverted β-ordering must exit non-zero with the right rule id and line.
+"""
+
+import io
+import json
+import os
+
+import repro
+from repro.analysis import analyze_paths
+from repro.analysis.cli import main as lint_main
+
+SRC_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+PACKAGE_ROOT = os.path.join(SRC_ROOT, "repro")
+
+
+class TestLiveTree:
+    def test_src_tree_is_clean(self):
+        findings = analyze_paths([PACKAGE_ROOT])
+        assert findings == [], "\n".join(
+            f"{f.rule_id} {f.path}:{f.line} {f.message}" for f in findings
+        )
+
+    def test_cli_exit_zero_on_src(self):
+        out = io.StringIO()
+        assert lint_main([PACKAGE_ROOT], out=out) == 0
+
+    def test_cli_strict_exit_zero_on_src(self):
+        out = io.StringIO()
+        assert lint_main([PACKAGE_ROOT, "--strict"], out=out) == 0
+
+
+class TestPlantedViolations:
+    def test_planted_fstring_execute_fails(self, tmp_path):
+        planted = tmp_path / "planted.py"
+        planted.write_text(
+            "def fetch(conn, user):\n"
+            "    return conn.execute(\n"
+            "        f\"SELECT * FROM users WHERE name = '{user}'\"\n"
+            "    ).fetchall()\n"
+        )
+        out = io.StringIO()
+        assert lint_main([str(planted), "--json"], out=out) == 1
+        findings = json.loads(out.getvalue())
+        assert len(findings) == 1
+        assert findings[0]["rule_id"] == "NBL001"
+        assert findings[0]["line"] == 2  # the execute call site
+
+    def test_planted_beta_inversion_fails(self, tmp_path):
+        planted = tmp_path / "badconfig.py"
+        planted.write_text(
+            "class NebulaConfig:\n"
+            "    beta1: float = 0.2\n"
+            "    beta2: float = 0.6\n"
+            "    beta3: float = 0.1\n"
+        )
+        out = io.StringIO()
+        assert lint_main([str(planted), "--json"], out=out) == 1
+        findings = json.loads(out.getvalue())
+        assert [f["rule_id"] for f in findings] == ["NBL003"]
+        assert findings[0]["line"] == 2
+        assert "beta" in findings[0]["message"]
+
+    def test_planted_violation_in_copy_of_tree(self, tmp_path):
+        # Planting a bug next to clean files still surfaces exactly that bug.
+        clean = tmp_path / "fine.py"
+        clean.write_text(
+            "def f(conn, name):\n"
+            '    conn.execute("SELECT 1 WHERE name = ?", (name,))\n'
+        )
+        planted = tmp_path / "bad.py"
+        planted.write_text(
+            "def g(conn, where):\n"
+            '    conn.execute("SELECT 1 WHERE " + where)\n'
+        )
+        findings = analyze_paths([str(tmp_path)])
+        assert [(f.rule_id, os.path.basename(f.path), f.line) for f in findings] == [
+            ("NBL001", "bad.py", 2)
+        ]
+
+
+class TestCliSurface:
+    def test_list_rules_covers_all_six(self):
+        out = io.StringIO()
+        assert lint_main(["--list-rules"], out=out) == 0
+        text = out.getvalue()
+        for rule_id in ("NBL001", "NBL002", "NBL003", "NBL004", "NBL005", "NBL006"):
+            assert rule_id in text
+
+    def test_unknown_rule_exits_usage_error(self, tmp_path):
+        target = tmp_path / "x.py"
+        target.write_text("x = 1\n")
+        out = io.StringIO()
+        assert lint_main([str(target), "--rules", "NBL999"], out=out) == 2
+
+    def test_missing_path_exits_usage_error(self, tmp_path):
+        out = io.StringIO()
+        assert lint_main([str(tmp_path / "nope.py")], out=out) == 2

@@ -81,7 +81,7 @@ class TestSpreadingScope:
         scope, mini = spreading_scope(
             connection, chain_acg, [TupleRef("Gene", 1)], k=1
         )
-        assert "SELECT rowid FROM _minidb_Gene" in scope.sql_filters()["gene"]
+        assert 'SELECT rowid FROM "_minidb_Gene"' in scope.sql_filters()["gene"]
         mini.drop()
 
     def test_no_materialization_mode(self, connection, chain_acg):

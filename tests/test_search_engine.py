@@ -149,7 +149,7 @@ class TestSearchScope:
         scope = SearchScope.from_refs(
             [TupleRef("Gene", 1)], physical={"gene": "_minidb_Gene"}
         )
-        assert scope.sql_filters()["gene"] == "rowid IN (SELECT rowid FROM _minidb_Gene)"
+        assert scope.sql_filters()["gene"] == 'rowid IN (SELECT rowid FROM "_minidb_Gene")'
 
     def test_size(self):
         scope = SearchScope.from_refs([TupleRef("Gene", 1), TupleRef("Gene", 2)])

@@ -1,0 +1,58 @@
+"""Unit tests for SQL identifier quoting (repro.utils.sql)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.utils.sql import MAX_IDENTIFIER_LENGTH, quote_identifier, quote_qualified
+
+
+class TestQuoteIdentifier:
+    def test_plain_name(self):
+        assert quote_identifier("Gene") == '"Gene"'
+
+    def test_embedded_quote_doubled(self):
+        assert quote_identifier('weird"name') == '"weird""name"'
+
+    def test_multiple_quotes(self):
+        assert quote_identifier('a"b"c') == '"a""b""c"'
+
+    def test_spaces_and_keywords_survive(self):
+        assert quote_identifier("order by") == '"order by"'
+        assert quote_identifier("select") == '"select"'
+
+    def test_rejects_empty(self):
+        with pytest.raises(StorageError):
+            quote_identifier("")
+
+    def test_rejects_nul_byte(self):
+        with pytest.raises(StorageError):
+            quote_identifier("bad\x00name")
+
+    def test_rejects_over_length(self):
+        with pytest.raises(StorageError):
+            quote_identifier("x" * (MAX_IDENTIFIER_LENGTH + 1))
+
+    def test_rejects_non_string(self):
+        with pytest.raises(StorageError):
+            quote_identifier(42)  # type: ignore[arg-type]
+
+    def test_sqlite_round_trip(self):
+        import sqlite3
+
+        connection = sqlite3.connect(":memory:")
+        nasty = 'tab"le with spaces'
+        connection.execute(f"CREATE TABLE {quote_identifier(nasty)} (x INTEGER)")
+        connection.execute(f"INSERT INTO {quote_identifier(nasty)} VALUES (7)")
+        rows = connection.execute(
+            f"SELECT x FROM {quote_identifier(nasty)}"
+        ).fetchall()
+        assert rows == [(7,)]
+        connection.close()
+
+
+class TestQuoteQualified:
+    def test_qualified(self):
+        assert quote_qualified("Gene", "GID") == '"Gene"."GID"'
+
+    def test_qualified_quotes_both_parts(self):
+        assert quote_qualified('t"1', 'c"2') == '"t""1"."c""2"'
