@@ -5,16 +5,37 @@ inserted annotation (Stages 0-3 with persistence) under the execution
 strategies — full search, full search with shared execution, and the
 focal-based spreading search.  This is the number a deployment would care
 about; it aggregates everything the individual figure benchmarks measure.
+
+``test_batched_ingestion_speedup`` additionally measures the batched
+ingestion API (``insert_annotations``) against per-annotation loops on
+identically generated worlds — the sustained-traffic regime where
+cross-annotation sharing pays — and exports the machine-readable summary CI tracks to
+``benchmarks/results/BENCH_throughput.json``.  Set ``BENCH_SMOKE=1`` to
+run it on a small world with a relaxed threshold (the CI smoke job).
 """
 
+import gc
+import json
+import os
 import time
 
 import pytest
 
-from repro import Nebula, NebulaConfig
+from repro import BioDatabaseSpec, Nebula, NebulaConfig, generate_bio_database
 from repro.datagen.workload import WorkloadSpec, generate_workload
+from repro.perf import AnnotationRequest
 
-from conftest import report, table
+from conftest import RESULTS_DIR, report, table
+
+#: Smoke mode: small world, relaxed speedup bar — used by CI's bench-smoke
+#: job where the point is "the fast path works and is not a regression",
+#: not a stable absolute number.
+BENCH_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+SMOKE_SPEC = BioDatabaseSpec(genes=150, proteins=90, publications=700, seed=7)
+FULL_SPEC = BioDatabaseSpec(
+    genes=1000, proteins=600, publications=3000, community_size=8
+)
 
 
 @pytest.mark.benchmark(group="throughput")
@@ -74,3 +95,145 @@ def test_insert_throughput(benchmark, dataset_mid):
         nebula.insert_annotation(annotation.text, attach_to=annotation.focal(1))
 
     benchmark(insert_one)
+
+
+# ----------------------------------------------------------------------
+# Batched ingestion (sustained-traffic regime)
+# ----------------------------------------------------------------------
+
+
+def _fresh_ingestion_world(**config_updates):
+    """A fresh database + engine + request list, deterministic per mode.
+
+    Full mode replays eight workload seeds (480 annotations) over the
+    benchmark suite's D_small-scale world — sustained traffic, where the
+    cross-annotation vocabulary saturates and batching pays; smoke mode
+    keeps one seed on a small world.
+    """
+    spec = SMOKE_SPEC if BENCH_SMOKE else FULL_SPEC
+    seeds = (61,) if BENCH_SMOKE else tuple(range(61, 69))
+    db = generate_bio_database(spec)
+    nebula = Nebula(
+        db.connection,
+        db.meta,
+        NebulaConfig(epsilon=0.6).with_updates(**config_updates),
+        aliases=db.aliases,
+    )
+    requests = []
+    for seed in seeds:
+        workload = generate_workload(db, WorkloadSpec(seed=seed))
+        requests.extend(
+            AnnotationRequest.build(a.text, a.focal(1))
+            for a in workload.annotations
+        )
+    return nebula, requests
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_batched_ingestion_speedup(benchmark):
+    """Batched vs per-annotation ingestion on identical fresh worlds.
+
+    Four strategies over the same workload: the pre-optimization pipeline
+    (an ``insert_annotation`` loop with all memoization disabled — every
+    call re-resolves its keyword mappings, exactly the baseline this
+    ISSUE set out to beat), the same loop with the analysis caches, the
+    cached loop with per-annotation shared execution (Fig. 13), and one
+    ``insert_annotations`` batch (cross-annotation sharing).
+    Results are proven identical by the equivalence test suite; here only
+    the rates and sharing ratios are measured.
+    """
+    rows = []
+    rates = {}
+    hit_ratios = {}
+
+    def timed(label, run, hit_ratio=None):
+        # Collector pauses land arbitrarily across strategies (the heap is
+        # already warm from earlier benchmarks); keep them out of the
+        # timed sections so the rates compare ingestion work only.
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            run()
+            elapsed = time.perf_counter() - started
+        finally:
+            gc.enable()
+        count = len(requests)
+        rates[label] = count / elapsed
+        if hit_ratio is not None:
+            hit_ratios[label] = hit_ratio()
+        rows.append([label, count, elapsed * 1e3 / count, rates[label],
+                     hit_ratios.get(label, "")])
+
+    # The per-annotation baseline of the speedup claim: the pipeline as
+    # it stood before this optimization pass — no keyword-analysis memo,
+    # no estimator memo, isolated Stage-2 SQL.
+    nebula, requests = _fresh_ingestion_world(analysis_cache_size=0)
+    nebula.meta.configure_cache(0)
+    timed("per-annotation", lambda: [
+        nebula.insert_annotation(r.text, attach_to=r.focal, use_spreading=False)
+        for r in requests
+    ])
+
+    nebula, requests = _fresh_ingestion_world()
+    timed("per-annotation+cache", lambda: [
+        nebula.insert_annotation(r.text, attach_to=r.focal, use_spreading=False)
+        for r in requests
+    ])
+
+    nebula, requests = _fresh_ingestion_world(shared_execution=True)
+    ratios = []
+
+    def shared_loop():
+        for r in requests:
+            nebula.insert_annotation(
+                r.text, attach_to=r.focal, use_spreading=False
+            )
+            ratios.append(nebula.executor.last_stats.hit_ratio)
+
+    timed("per-annotation+cache+shared", shared_loop,
+          hit_ratio=lambda: sum(ratios) / len(ratios))
+
+    nebula, requests = _fresh_ingestion_world()
+    timed(
+        "batched",
+        lambda: nebula.insert_annotations(requests, use_spreading=False),
+        hit_ratio=lambda: nebula.executor.last_stats.hit_ratio,
+    )
+
+    speedup = rates["batched"] / rates["per-annotation"]
+    report(
+        "batched_throughput",
+        table(
+            ["strategy", "annotations", "ms_per_annotation",
+             "annotations_per_sec", "hit_ratio"],
+            rows,
+        ) + [f"speedup (batched / per-annotation): {speedup:.2f}x"],
+    )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_throughput.json"), "w") as handle:
+        json.dump(
+            {
+                "mode": "smoke" if BENCH_SMOKE else "full",
+                "annotations": len(requests),
+                "annotations_per_sec": rates,
+                "hit_ratio": hit_ratios,
+                "speedup": speedup,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+
+    # Pooling every annotation's SQL shares strictly more than the
+    # per-annotation pass can (batch-wide vs within-annotation Fig. 13).
+    assert hit_ratios["batched"] > hit_ratios["per-annotation+cache+shared"]
+    assert speedup >= (1.2 if BENCH_SMOKE else 2.0)
+
+    nebula, requests = _fresh_ingestion_world()
+    chunks = iter([requests[i:i + 10] for i in range(0, len(requests), 10)] * 50)
+
+    def insert_chunk():
+        nebula.insert_annotations(next(chunks), use_spreading=False)
+
+    benchmark(insert_chunk)

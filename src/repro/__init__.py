@@ -59,6 +59,7 @@ from .resilience import (
     RetryPolicy,
     Savepoint,
 )
+from .perf import AnalysisCache, AnnotationRequest, ParallelSqlExecutor
 from .types import CellRef, ScoredTuple, TupleRef
 from .annotations import (
     AnnotationManager,
@@ -163,6 +164,10 @@ __all__ = [
     "InjectedFault",
     "DeadLetter",
     "DeadLetterQueue",
+    # performance layer
+    "AnalysisCache",
+    "AnnotationRequest",
+    "ParallelSqlExecutor",
     # shared types
     "TupleRef",
     "CellRef",

@@ -52,6 +52,33 @@ class AnnotationManager:
             self.store.attach(annotation.annotation_id, target, kind=AttachmentKind.TRUE)
         return annotation
 
+    def bulk_add_annotations(
+        self,
+        items: Sequence[Tuple[str, Sequence[CellRef], Optional[str]]],
+        verify_targets: bool = True,
+    ) -> List[Annotation]:
+        """Insert many ``(content, attach_to, author)`` annotations at once.
+
+        Stage-0 bulk path of the batched ingestion API: one ``executemany``
+        for the annotation rows and one for all the true attachment edges,
+        instead of 1 + sum(len(attach_to)) round trips.  Target validation
+        (and existence checks, with ``verify_targets``) runs for the whole
+        batch before anything is written.
+        """
+        for _content, attach_to, _author in items:
+            for target in attach_to:
+                self.store.validate_table(target.table)
+                if verify_targets and target.rowid is not None:
+                    self._require_tuple(target.tuple_ref)
+        annotations = self.store.bulk_insert_annotations(
+            [(content, author) for content, _attach_to, author in items]
+        )
+        edges: List[Tuple[int, CellRef]] = []
+        for annotation, (_content, attach_to, _author) in zip(annotations, items):
+            edges.extend((annotation.annotation_id, target) for target in attach_to)
+        self.store.bulk_attach_true(edges)
+        return annotations
+
     def attach_true(self, annotation_id: int, target: CellRef) -> Attachment:
         """Manually attach an existing annotation (true edge)."""
         return self.store.attach(annotation_id, target, kind=AttachmentKind.TRUE)

@@ -160,6 +160,12 @@ class AnnotationStore:
             return self.connection.execute(sql, params)
         return self.retry.run(lambda: self.connection.execute(sql, params), sql)
 
+    def _write_many(self, sql: str, rows: Sequence[Sequence]) -> sqlite3.Cursor:
+        """``executemany`` with the same retry policy as :meth:`_write`."""
+        if self.retry is None:
+            return self.connection.executemany(sql, rows)
+        return self.retry.run(lambda: self.connection.executemany(sql, rows), sql)
+
     # ------------------------------------------------------------------
     # Schema validation helpers
     # ------------------------------------------------------------------
@@ -223,6 +229,67 @@ class AnnotationStore:
             author=author,
             created_seq=created_seq,
         )
+
+    def bulk_insert_annotations(
+        self, items: Sequence[Tuple[str, Optional[str]]]
+    ) -> List[Annotation]:
+        """Persist many ``(content, author)`` pairs with one statement.
+
+        Validation (non-empty content) runs over the whole batch before
+        the first write, so a bad item fails the call without touching the
+        database.  Sequence numbers are assigned contiguously in item
+        order — iteration order is indistinguishable from the equivalent
+        sequence of :meth:`insert_annotation` calls.
+        """
+        for content, _author in items:
+            if not content or not content.strip():
+                raise StorageError("annotation content must be non-empty")
+        if not items:
+            return []
+        first_seq = self._next_seq
+        self._next_seq += len(items)
+        self._write_many(
+            "INSERT INTO _nebula_annotations (content, author, created_seq) VALUES (?, ?, ?)",
+            [
+                (content, author, first_seq + position)
+                for position, (content, author) in enumerate(items)
+            ],
+        )
+        rows = self.connection.execute(
+            "SELECT annotation_id, content, author, created_seq "
+            "FROM _nebula_annotations WHERE created_seq BETWEEN ? AND ? "
+            "ORDER BY created_seq",
+            (first_seq, first_seq + len(items) - 1),
+        ).fetchall()
+        return [Annotation(*row) for row in rows]
+
+    def bulk_attach_true(self, edges: Sequence[Tuple[int, CellRef]]) -> int:
+        """Insert many *true* attachment edges with one statement.
+
+        Intended for the focal edges of freshly inserted annotations (no
+        pre-existing edges to collide with); duplicates *within* the batch
+        are dropped in Python because the UNIQUE constraint treats NULL
+        target columns as distinct.  Returns the number of edges written.
+        """
+        seen: set = set()
+        rows: List[Tuple[int, str, Optional[int], Optional[str]]] = []
+        for annotation_id, target in edges:
+            table = self.validate_table(target.table)
+            column = self.validate_column(table, target.column) if target.column else None
+            dedupe_key = (annotation_id, table, target.rowid, column)
+            if dedupe_key in seen:
+                continue
+            seen.add(dedupe_key)
+            rows.append((annotation_id, table, target.rowid, column))
+        if not rows:
+            return 0
+        self._write_many(
+            "INSERT INTO _nebula_attachments "
+            "(annotation_id, target_table, target_rowid, target_column, confidence, kind) "
+            "VALUES (?, ?, ?, ?, 1.0, 'true')",
+            rows,
+        )
+        return len(rows)
 
     def get_annotation(self, annotation_id: int) -> Annotation:
         row = self.connection.execute(

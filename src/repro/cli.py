@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro stats --db curated.db
     python -m repro annotate --db curated.db --text "gene JW0014 matters" \\
         --attach Gene:3 --trace
+    python -m repro annotate-batch --db curated.db --file notes.txt --workers 4
     python -m repro trace --db curated.db --last 2
     python -m repro pending --db curated.db
     python -m repro verify --db curated.db --task 7
@@ -36,6 +37,7 @@ from .core.nebula import Nebula
 from .datagen.biodb import BioDatabaseSpec, generate_bio_database, _build_meta
 from .datagen.stats import collect_stats
 from .datagen.workload import WorkloadSpec, generate_workload
+from .perf import AnnotationRequest
 from .observability import (
     MetricsRegistry,
     format_trace,
@@ -70,7 +72,9 @@ def _save_metrics(db: str, registry: MetricsRegistry) -> None:
         json.dump(registry.snapshot(), handle, indent=2)
 
 
-def _open_engine(path: str, epsilon: float, trace: bool = False) -> Nebula:
+def _open_engine(
+    path: str, epsilon: float, trace: bool = False, workers: int = 0
+) -> Nebula:
     connection = sqlite3.connect(path)
     meta = _build_meta(connection)
     aliases = {
@@ -83,6 +87,7 @@ def _open_engine(path: str, epsilon: float, trace: bool = False) -> Nebula:
         epsilon=epsilon,
         tracing=trace,
         trace_path=_trace_path(path) if trace else None,
+        executor_workers=workers,
     )
     metrics = None
     if trace:
@@ -172,6 +177,66 @@ def cmd_annotate(args: argparse.Namespace) -> int:
             print(f"trace (appended to {_trace_path(args.db)}):")
             for line in format_trace(report.trace, indent=1):
                 print(line)
+        return 0
+    finally:
+        nebula.connection.close()
+
+
+def _parse_batch_line(line: str) -> AnnotationRequest:
+    """One batch-file line: ``text`` or ``TABLE:ROWID<TAB>text``."""
+    focal, tab, rest = line.partition("\t")
+    if tab and ":" in focal and focal.partition(":")[2].isdigit():
+        return AnnotationRequest.build(rest.strip(), [_parse_ref(focal.strip())])
+    return AnnotationRequest.build(line.strip())
+
+
+def cmd_annotate_batch(args: argparse.Namespace) -> int:
+    import dataclasses
+    import time
+
+    with open(args.file) as handle:
+        lines = [line.rstrip("\n") for line in handle]
+    requests = [_parse_batch_line(line) for line in lines if line.strip()]
+    if args.author:
+        requests = [
+            dataclasses.replace(request, author=args.author)
+            for request in requests
+        ]
+    if not requests:
+        print(f"no annotations in {args.file}", file=sys.stderr)
+        return 2
+    nebula = _open_engine(args.db, args.epsilon, workers=args.workers)
+    try:
+        started = time.perf_counter()
+        reports = nebula.insert_annotations(requests)
+        elapsed = time.perf_counter() - started
+        nebula.connection.commit()
+        tasks = sum(len(report.tasks) for report in reports)
+        spam = sum(
+            1
+            for report in reports
+            if report.spam_verdict is not None and report.spam_verdict.is_spam
+        )
+        rate = len(reports) / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"inserted {len(reports)} annotations in {elapsed * 1e3:.1f}ms "
+            f"({rate:.1f}/s): {tasks} verification tasks, {spam} quarantined"
+        )
+        stats = nebula.executor.last_stats
+        if stats is not None and stats.total_sql:
+            print(
+                f"shared execution: {stats.executed_statements}/"
+                f"{stats.total_sql} statements executed "
+                f"(hit ratio {stats.hit_ratio:.2f})"
+            )
+        if nebula.parallel is not None:
+            print(f"parallel Stage-2: {args.workers} workers")
+        if args.verbose:
+            for report in reports:
+                print(
+                    f"  annotation {report.annotation_id}: "
+                    f"{len(report.tasks)} tasks"
+                )
         return 0
     finally:
         nebula.connection.close()
@@ -310,6 +375,28 @@ def build_parser() -> argparse.ArgumentParser:
         "accumulates metrics in <db>.metrics.json",
     )
     annotate.set_defaults(func=cmd_annotate)
+
+    annotate_batch = sub.add_parser(
+        "annotate-batch",
+        help="insert a file of annotations through the batched fast path",
+    )
+    annotate_batch.add_argument("--db", required=True)
+    annotate_batch.add_argument(
+        "--file", required=True,
+        help="one annotation per line: TEXT, or TABLE:ROWID<TAB>TEXT "
+        "to attach manually",
+    )
+    annotate_batch.add_argument("--author", help="author recorded for every line")
+    annotate_batch.add_argument("--epsilon", type=float, default=0.6)
+    annotate_batch.add_argument(
+        "--workers", type=int, default=0,
+        help="parallel Stage-2 worker threads (0 = sequential; needs a "
+        "file-backed database)",
+    )
+    annotate_batch.add_argument(
+        "--verbose", action="store_true", help="also print one line per annotation"
+    )
+    annotate_batch.set_defaults(func=cmd_annotate_batch)
 
     trace = sub.add_parser("trace", help="pretty-print recorded pipeline traces")
     trace.add_argument("--db", help="database whose <db>.trace.jsonl to read")

@@ -72,6 +72,12 @@ class NebulaConfig:
     focal_max_hops: int = 4
     #: Enable shared execution of the generated SQL queries (§6, Fig. 13).
     shared_execution: bool = False
+    #: Worker threads for parallel Stage-2 statement execution; 0 or 1
+    #: keeps the sequential path.  Only effective on file-backed databases
+    #: (read-only worker connections cannot see an in-memory database).
+    executor_workers: int = 0
+    #: LRU capacity of the keyword-analysis memo cache; 0 disables it.
+    analysis_cache_size: int = 2048
     #: Enable the backward concept search special case (§5.2.3, lines 8-12).
     backward_concept_search: bool = True
     #: Enable the context-based weight adjustment (§5.2.2) — ablation knob.
@@ -130,6 +136,8 @@ class NebulaConfig:
             "retry delays must satisfy 0 <= retry_base_delay <= retry_max_delay",
         )
         _require(self.trace_buffer_size >= 1, "trace_buffer_size must be >= 1")
+        _require(self.executor_workers >= 0, "executor_workers must be >= 0")
+        _require(self.analysis_cache_size >= 0, "analysis_cache_size must be >= 0")
 
     def with_updates(self, **changes: object) -> "NebulaConfig":
         """Return a copy of this config with ``changes`` applied.

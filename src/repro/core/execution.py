@@ -63,12 +63,22 @@ def identify_related_tuples(
     executor: Optional["SharedExecutor"] = None,
     focal_mode: str = "direct",
     focal_max_hops: int = 4,
+    precomputed: Optional[Dict[str, SearchResult]] = None,
 ) -> IdentifiedTuples:
-    """Run the full IdentifyRelatedTuples() algorithm."""
+    """Run the full IdentifyRelatedTuples() algorithm.
+
+    ``precomputed`` supplies per-query results executed elsewhere (the
+    batched cross-annotation shared execution of
+    :meth:`repro.core.nebula.Nebula.insert_annotations`); Steps 2-3 —
+    grouping, focal adjustment, normalization — still run here, so the
+    ACG-dependent parts see the caller's current graph state.
+    """
     started = time.perf_counter()
 
     # Step 1: execute the queries and weight their answers.
-    if executor is not None:
+    if precomputed is not None:
+        per_query = precomputed
+    elif executor is not None:
         per_query = executor.search_all(queries, scope=scope)
     else:
         per_query = {q.describe(): engine.search(q, scope=scope) for q in queries}

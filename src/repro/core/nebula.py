@@ -40,6 +40,13 @@ from ..observability import (
     Tracer,
     get_metrics,
 )
+from ..perf import (
+    AnalysisCache,
+    AnnotationRequest,
+    ParallelSqlExecutor,
+    RequestLike,
+    coerce_request,
+)
 from ..resilience import (
     EXECUTOR_FALLBACK,
     MINI_DROP_LEAK,
@@ -51,7 +58,7 @@ from ..resilience import (
     pipeline_stage,
 )
 from ..resilience.degradation import logger as _resilience_logger
-from ..search.engine import KeywordSearchEngine, SearchScope
+from ..search.engine import KeywordSearchEngine, SearchResult, SearchScope
 from ..types import CellRef, ScoredTuple, TupleRef
 from .acg import AnnotationsConnectivityGraph, HopProfile, StabilityTracker
 from .execution import IdentifiedTuples, identify_related_tuples
@@ -160,6 +167,11 @@ class Nebula:
         self._m_acg_edges = self.metrics.gauge("nebula_acg_edges")
         self.manager = AnnotationManager(connection, retry=self.retry)
         self.dead_letters = DeadLetterQueue(connection, retry=self.retry)
+        #: Generation-versioned memo table for keyword analysis; size 0
+        #: disables it (every lookup misses).
+        self.analysis_cache = AnalysisCache(
+            self.config.analysis_cache_size, metrics=self.metrics
+        )
         self.engine = KeywordSearchEngine(
             connection,
             searchable_columns=self._searchable_columns(),
@@ -167,6 +179,7 @@ class Nebula:
             lexicon=meta.lexicon,
             retry=self.retry,
             metrics=self.metrics,
+            analysis_cache=self.analysis_cache,
         )
         self.acg = (
             AnnotationsConnectivityGraph.build_from_manager(self.manager)
@@ -179,7 +192,19 @@ class Nebula:
         )
         self.queue = VerificationQueue(self.manager, acg=self.acg, profile=self.profile)
         self.commands = CommandProcessor(self.manager, resolver=self.queue)
-        self.executor = SharedExecutor(self.engine)
+        #: Parallel Stage-2 worker pool; stays None when the config asks
+        #: for <= 1 worker or the database is in-memory (worker
+        #: connections could not see it).
+        self.parallel: Optional[ParallelSqlExecutor] = None
+        if self.config.executor_workers > 1:
+            candidate = ParallelSqlExecutor(
+                connection, self.config.executor_workers, retry=self.retry
+            )
+            if candidate.available:
+                self.parallel = candidate
+            else:
+                candidate.close()
+        self.executor = SharedExecutor(self.engine, parallel=self.parallel)
         self.spam_guard = SpamGuard()
         self._searchable_tuple_count = count_searchable_tuples(
             connection, [table for table, _ in self._searchable_columns()]
@@ -527,6 +552,314 @@ class Nebula:
         buckets, unreachable = profile_snapshot
         self.profile.buckets = dict(buckets)
         self.profile.unreachable = unreachable
+
+    # ------------------------------------------------------------------
+    # Batched ingestion (Stages 0-3 for many annotations, one transaction)
+    # ------------------------------------------------------------------
+
+    def insert_annotations(
+        self,
+        batch: Sequence[RequestLike],
+        use_spreading: Optional[bool] = None,
+        radius: Optional[int] = None,
+        capture_dead_letter: Optional[bool] = None,
+    ) -> List[DiscoveryReport]:
+        """Ingest a batch of annotations with cross-annotation sharing.
+
+        Produces, per request, exactly the report and database state
+        :meth:`insert_annotation` would — in batch order — but much
+        faster for non-trivial batches:
+
+        * **Stage 0** bulk-writes every annotation row and focal edge with
+          two ``executemany`` statements;
+        * **Stage 2** pools the SQL of *all* full-search members through
+          one shared dedup/batch pass (``SharedExecutor.execute_groups``),
+          so annotations mentioning the same values probe the database
+          once — sharing the single-annotation path cannot reach;
+        * the ACG-dependent steps (focal edges, confidence adjustment,
+          spam screen, triage) still run per annotation in order, which is
+          what makes the per-request results identical to sequential
+          ingestion.
+
+        Differences from a loop over :meth:`insert_annotation`, by design:
+
+        * the spreading decision is **pinned** at batch start (a mid-batch
+          stability flip cannot change execution strategy); members with a
+          focal then use the per-annotation spreading path, without
+          cross-annotation sharing;
+        * the whole batch is one SAVEPOINT: any member's hard failure
+          rolls back every member, captures one dead letter *per request*
+          (so :meth:`reprocess_dead_letters` replays the batch), and
+          raises :class:`~repro.errors.PipelineStageError`;
+        * batch ingestion always uses shared execution for its pooled
+          members, regardless of ``config.shared_execution`` (answers are
+          unaffected; that flag keeps its meaning for the single path).
+        """
+        requests = [coerce_request(item) for item in batch]
+        if not requests:
+            return []
+        with self.tracer.span("insert_annotations") as span:
+            reports = self._insert_annotations(
+                requests, use_spreading, radius, capture_dead_letter, span
+            )
+        self._m_acg_edges.set(self.acg.edge_count)
+        for report in reports:
+            self._attach_trace(report)
+        return reports
+
+    def _insert_annotations(
+        self,
+        requests: Sequence["AnnotationRequest"],
+        use_spreading: Optional[bool],
+        radius: Optional[int],
+        capture_dead_letter: Optional[bool],
+        span: SpanLike,
+    ) -> List[DiscoveryReport]:
+        started = time.perf_counter()
+        capture = (
+            self.config.dead_letters
+            if capture_dead_letter is None
+            else capture_dead_letter
+        )
+        profile_snapshot = (dict(self.profile.buckets), self.profile.unreachable)
+        # Pin the spreading decision for the whole batch; per member it
+        # still requires a non-empty focal, exactly as in analyze().
+        pinned = use_spreading if use_spreading is not None else self.stability.stable
+        spreading_flags = [pinned and bool(r.focal) for r in requests]
+        savepoint = Savepoint(self.connection, "nebula_batch").begin()
+        inserted: List[Annotation] = []
+        reports: List[DiscoveryReport] = []
+        #: Per member: (attachments, new_edges, quarantined) — stability
+        #: and counter updates are deferred until the batch commits, so a
+        #: rollback leaves the tracker and metrics untouched.
+        outcomes: List[Tuple[int, int, bool]] = []
+        decision_totals: Dict[str, int] = {}
+        try:
+            # Stage 0 — bulk-persist annotations + focal edges.
+            with self.tracer.span("stage0.bulk_store") as store_span:
+                with pipeline_stage("store.add", self._faults):
+                    inserted = self.manager.bulk_add_annotations(
+                        [
+                            (
+                                request.text,
+                                [CellRef(ref.table, ref.rowid) for ref in request.focal],
+                                request.author,
+                            )
+                            for request in requests
+                        ]
+                    )
+                store_span.set_attribute("batch_size", len(inserted))
+
+            # Stage 1 for the pooled (full-search) members.  Query
+            # generation depends only on the text, the meta-repository,
+            # and the config — never on the ACG — so it can run up front.
+            generations: Dict[int, QueryGenerationResult] = {}
+            for position, request in enumerate(requests):
+                if not spreading_flags[position]:
+                    generations[position] = generate_queries(
+                        request.text, self.meta, self.config, tracer=self.tracer
+                    )
+
+            # Stage 2 — one shared pass over every pooled member's SQL.
+            # The statements read only user data tables (Stage 0 touched
+            # only ``_nebula_*`` tables), so executing them before any
+            # ACG mutation cannot change any member's answer set.
+            shared_failed = False
+            group_results: Dict[int, Dict[str, SearchResult]] = {}
+            positions = sorted(generations)
+            if positions:
+                with self.tracer.span("stage2.batch_execute") as execute_span:
+                    try:
+                        if self._faults is not None:
+                            self._faults.check("executor.run")
+                        grouped = self.executor.execute_groups(
+                            [generations[p].queries for p in positions]
+                        )
+                        group_results = dict(zip(positions, grouped))
+                    except Exception as error:
+                        # Degradation ladder: cross-annotation sharing is
+                        # an optimization — fall back to per-member
+                        # sequential execution below.
+                        _resilience_logger.warning(
+                            "batched shared execution failed, "
+                            "executing members sequentially: %s",
+                            error,
+                        )
+                        shared_failed = True
+                        count_degradation(EXECUTOR_FALLBACK)
+                    execute_span.set_attribute("groups", len(positions))
+                    execute_span.set_attribute(
+                        "hit_ratio", self.executor.last_stats.hit_ratio
+                    )
+
+            # Stages 2'-3, per member in batch order: ACG focal edges,
+            # grouping + focal adjustment, spam screen, triage.
+            for position, (request, annotation) in enumerate(zip(requests, inserted)):
+                report, outcome = self._finish_batch_member(
+                    request,
+                    annotation,
+                    generations.get(position),
+                    group_results.get(position),
+                    spreading=spreading_flags[position],
+                    shared_failed=shared_failed,
+                    radius=radius,
+                    decision_totals=decision_totals,
+                )
+                reports.append(report)
+                outcomes.append(outcome)
+        except Exception as error:
+            self._abort_batch(savepoint, inserted, profile_snapshot)
+            failure = (
+                error
+                if isinstance(error, PipelineStageError)
+                else PipelineStageError("pipeline", error)
+            )
+            if capture:
+                # One letter per request: the failed member is not
+                # isolatable after a whole-batch rollback, and replaying
+                # every letter reconstructs the batch exactly.
+                for request in requests:
+                    letter = self.dead_letters.capture(
+                        request.text,
+                        request.focal,
+                        request.author,
+                        failure.stage,
+                        repr(failure.original),
+                    )
+                    if failure.dead_letter_id is None:
+                        failure.dead_letter_id = letter.letter_id
+            if failure is not error:
+                raise failure from error
+            raise
+        savepoint.release()
+        for attachments, new_edges, quarantined in outcomes:
+            self.stability.record_annotation(
+                attachments=attachments, new_edges=new_edges
+            )
+            if quarantined:
+                self._m_quarantined.inc()
+            else:
+                self._m_ingested.inc()
+        for decision, count in decision_totals.items():
+            self.metrics.counter(
+                "nebula_triage_decisions_total", {"decision": decision}
+            ).inc(count)
+        elapsed = time.perf_counter() - started
+        self._m_insert_seconds.observe(elapsed)
+        span.set_attribute("batch_size", len(requests))
+        span.set_attribute("quarantined", sum(1 for o in outcomes if o[2]))
+        span.set_attribute("elapsed", elapsed)
+        return reports
+
+    def _finish_batch_member(
+        self,
+        request: "AnnotationRequest",
+        annotation: Annotation,
+        generation: Optional[QueryGenerationResult],
+        per_query: Optional[Dict[str, SearchResult]],
+        spreading: bool,
+        shared_failed: bool,
+        radius: Optional[int],
+        decision_totals: Dict[str, int],
+    ) -> Tuple[DiscoveryReport, Tuple[int, int, bool]]:
+        """Run the ACG-order-dependent tail of the pipeline for one member."""
+        member_started = time.perf_counter()
+        focal = request.focal
+        edges_before = self.acg.edge_count
+        focal_new_edges = 0
+        for ref in focal:
+            focal_new_edges += self.acg.add_attachment(annotation.annotation_id, ref)
+
+        if spreading:
+            # Spreading members search their K-hop mini database — scoped
+            # per member, so nothing to share across the batch.
+            with pipeline_stage("pipeline.analyze"):
+                report = self.analyze(
+                    request.text, focal=focal, use_spreading=True, radius=radius
+                )
+        else:
+            assert generation is not None
+            degradations = list(generation.degradations)
+            if shared_failed or per_query is None:
+                if shared_failed:
+                    degradations.append(EXECUTOR_FALLBACK)
+                identified = identify_related_tuples(
+                    generation.queries,
+                    self.engine,
+                    acg=self.acg if self.config.focal_adjustment else None,
+                    focal=focal,
+                    focal_mode=self.config.focal_mode,
+                    focal_max_hops=self.config.focal_max_hops,
+                )
+            else:
+                identified = identify_related_tuples(
+                    generation.queries,
+                    self.engine,
+                    acg=self.acg if self.config.focal_adjustment else None,
+                    focal=focal,
+                    focal_mode=self.config.focal_mode,
+                    focal_max_hops=self.config.focal_max_hops,
+                    precomputed=per_query,
+                )
+            report = DiscoveryReport(
+                text=request.text,
+                focal=focal,
+                generation=generation,
+                identified=identified,
+                mode="full",
+                degradations=degradations,
+            )
+        report.annotation_id = annotation.annotation_id
+
+        verdict = self.spam_guard.screen(
+            report.candidates, self._searchable_tuple_count
+        )
+        if verdict.is_spam:
+            report.spam_verdict = verdict
+            report.elapsed = time.perf_counter() - member_started
+            return report, (len(focal), focal_new_edges, True)
+
+        with self.tracer.span("stage3.curate") as curate_span:
+            with pipeline_stage("queue.triage", self._faults):
+                report.tasks = self.queue.triage(
+                    annotation.annotation_id,
+                    report.candidates,
+                    self.config.beta_lower,
+                    self.config.beta_upper,
+                    focal=focal,
+                )
+            curate_span.set_attribute("tasks", len(report.tasks))
+            for decision, count in _decision_counts(report.tasks).items():
+                curate_span.set_attribute(decision, count)
+        accepted = sum(1 for t in report.tasks if t.decision.is_accepted)
+        for decision, count in _decision_counts(report.tasks).items():
+            decision_totals[decision] = decision_totals.get(decision, 0) + count
+        report.elapsed = time.perf_counter() - member_started
+        return report, (
+            len(focal) + accepted,
+            self.acg.edge_count - edges_before,
+            False,
+        )
+
+    def _abort_batch(
+        self,
+        savepoint: Savepoint,
+        inserted: Sequence[Annotation],
+        profile_snapshot: Tuple[Dict[int, int], int],
+    ) -> None:
+        """Undo a failed batch completely (mirror of :meth:`_abort_insert`)."""
+        savepoint.rollback()
+        for annotation in inserted:
+            self.acg.remove_annotation(annotation.annotation_id)
+            self.queue.forget(annotation.annotation_id)
+        buckets, unreachable = profile_snapshot
+        self.profile.buckets = dict(buckets)
+        self.profile.unreachable = unreachable
+
+    def close(self) -> None:
+        """Release the parallel Stage-2 worker pool (no-op without one)."""
+        if self.parallel is not None:
+            self.parallel.close()
 
     def reprocess_dead_letters(
         self, limit: Optional[int] = None

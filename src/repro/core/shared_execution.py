@@ -13,17 +13,34 @@ instead of in isolation, exploiting two kinds of sharing:
 Both preserve exactly the per-query answer sets of isolated execution —
 the paper reports "around 40% to 50% speedup ... while producing the same
 number of output tuples" (Figure 13).
+
+:meth:`SharedExecutor.execute_groups` extends the same sharing **across
+annotations**: a batch of annotations contributes one query group each,
+every group's SQL is pooled into a single dedup/batch pass, and each
+group's results are assembled from the pooled answers — so ten
+annotations mentioning the same gene probe the database once, not ten
+times (the sustained-ingestion regime behind the paper's scaling
+claims, where Figure 13's per-annotation savings compound).
+
+When a :class:`~repro.perf.parallel.ParallelSqlExecutor` is attached and
+usable (file-backed database, no scope restriction), the planned
+statements run concurrently on read-only worker connections; any failure
+falls back to sequential execution on the main connection.  Parallelism
+never changes answers: the plan is fixed before execution and results are
+consumed in plan order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..observability.metrics import get_metrics
+from ..perf.parallel import ParallelSqlExecutor
 from ..search.engine import KeywordQuery, KeywordSearchEngine, SearchResult, SearchScope
 from ..search.sqlgen import GeneratedSQL
 from ..types import ScoredTuple, TupleRef
+from ..utils.sql import quote_identifier
 
 
 @dataclass
@@ -33,6 +50,7 @@ class SharedExecutionStats:
     total_sql: int = 0
     executed_statements: int = 0
     batched_statements: int = 0
+    parallel_statements: int = 0
 
     @property
     def saved_statements(self) -> int:
@@ -45,10 +63,15 @@ class SharedExecutionStats:
 
 
 class SharedExecutor:
-    """Executes a group of keyword queries with cross-query sharing."""
+    """Executes groups of keyword queries with cross-query sharing."""
 
-    def __init__(self, engine: KeywordSearchEngine) -> None:
+    def __init__(
+        self,
+        engine: KeywordSearchEngine,
+        parallel: Optional[ParallelSqlExecutor] = None,
+    ) -> None:
         self.engine = engine
+        self.parallel = parallel
         self.last_stats = SharedExecutionStats()
 
     # ------------------------------------------------------------------
@@ -59,14 +82,46 @@ class SharedExecutor:
         scope: Optional[SearchScope] = None,
     ) -> Dict[str, SearchResult]:
         """Per-query results identical to isolated ``engine.search`` calls."""
-        generated: Dict[str, Tuple[KeywordQuery, List[GeneratedSQL]]] = {}
-        for query in queries:
-            generated[query.describe()] = (query, self.engine.generate(query, scope))
+        return self.execute_groups([queries], scope)[0]
+
+    def execute_groups(
+        self,
+        groups: Sequence[Sequence[KeywordQuery]],
+        scope: Optional[SearchScope] = None,
+    ) -> List[Dict[str, SearchResult]]:
+        """One result dict per group, with sharing across ALL groups.
+
+        Each group is one annotation's generated queries.  Generation runs
+        per group exactly as in isolation; the flattened SQL of every
+        group then goes through a single dedup + batch + execute pass, and
+        each group's answers are assembled from the shared answer cache —
+        per-group results are byte-identical to running the groups one at
+        a time.
+        """
+        prepared: List[Dict[str, Tuple[KeywordQuery, List[GeneratedSQL]]]] = []
+        for queries in groups:
+            generated: Dict[str, Tuple[KeywordQuery, List[GeneratedSQL]]] = {}
+            for query in queries:
+                generated[query.describe()] = (query, self.engine.generate(query, scope))
+            prepared.append(generated)
 
         cache = self._execute_shared(
-            [sql for _, sqls in generated.values() for sql in sqls], scope
+            [
+                sql
+                for generated in prepared
+                for _, sqls in generated.values()
+                for sql in sqls
+            ],
+            scope,
         )
 
+        return [self._assemble(generated, cache) for generated in prepared]
+
+    def _assemble(
+        self,
+        generated: Dict[str, Tuple[KeywordQuery, List[GeneratedSQL]]],
+        cache: Dict[Tuple, List[int]],
+    ) -> Dict[str, SearchResult]:
         results: Dict[str, SearchResult] = {}
         for label, (query, sqls) in generated.items():
             best: Dict[TupleRef, float] = {}
@@ -92,27 +147,48 @@ class SharedExecutor:
         for sql_query in sqls:
             unique.setdefault(sql_query.signature, sql_query)
 
-        cache: Dict[Tuple, List[int]] = {}
+        # Plan: partition into direct statements and IN-list batches.
+        direct: List[GeneratedSQL] = []
         batches: Dict[Tuple[str, str], List[GeneratedSQL]] = {}
-        for signature, sql_query in unique.items():
+        for sql_query in unique.values():
             if sql_query.is_single_local_condition:
                 condition = sql_query.conditions[0]
                 key = (condition.table.casefold(), condition.column.casefold())
                 batches.setdefault(key, []).append(sql_query)
             else:
-                cache[signature] = self.engine.execute_sql(sql_query)
-                stats.executed_statements += 1
-
-        for (table_key, column_key), members in batches.items():
+                direct.append(sql_query)
+        merged: List[List[GeneratedSQL]] = []
+        for members in batches.values():
             if len(members) == 1:
-                member = members[0]
-                cache[member.signature] = self.engine.execute_sql(member)
-                stats.executed_statements += 1
-                continue
-            self._execute_batch(members, scope, cache)
-            stats.executed_statements += 1
-            stats.batched_statements += 1
+                direct.append(members[0])
+            else:
+                merged.append(members)
 
+        statements: List[Tuple[str, Sequence[str]]] = [
+            (sql_query.sql, tuple(sql_query.params)) for sql_query in direct
+        ]
+        for members in merged:
+            statements.append(self._batch_statement(members, scope))
+
+        # Execute the fixed plan (parallel when possible), then distribute.
+        rows_per_statement = self._run_statements(statements, scope, stats)
+
+        cache: Dict[Tuple, List[int]] = {}
+        for position, sql_query in enumerate(direct):
+            cache[sql_query.signature] = [
+                int(row[0]) for row in rows_per_statement[position]
+            ]
+        for offset, members in enumerate(merged):
+            rows = rows_per_statement[len(direct) + offset]
+            by_value: Dict[str, List[int]] = {}
+            for rowid, value in rows:
+                by_value.setdefault(str(value).casefold(), []).append(int(rowid))
+            for member in members:
+                wanted = member.conditions[0].value.casefold()
+                cache[member.signature] = list(by_value.get(wanted, ()))
+
+        stats.executed_statements = len(statements)
+        stats.batched_statements = len(merged)
         self.last_stats = stats
         metrics = get_metrics()
         metrics.counter("nebula_shared_sql_total").inc(stats.total_sql)
@@ -123,15 +199,53 @@ class SharedExecutor:
             stats.batched_statements
         )
         metrics.counter("nebula_shared_sql_saved_total").inc(stats.saved_statements)
+        metrics.counter("nebula_shared_sql_parallel_total").inc(
+            stats.parallel_statements
+        )
         metrics.gauge("nebula_shared_hit_ratio").set(stats.hit_ratio)
         return cache
 
-    def _execute_batch(
+    def _run_statements(
+        self,
+        statements: Sequence[Tuple[str, Sequence[str]]],
+        scope: Optional[SearchScope],
+        stats: SharedExecutionStats,
+    ) -> List[List[Tuple]]:
+        """Rows per planned statement, in plan order.
+
+        The parallel path requires ``scope is None``: a scope means the
+        statements reference uncommitted mini-database tables (or inline
+        rowid filters over them) that the read-only worker connections
+        cannot see.  Any parallel failure falls back to sequential
+        execution on the main connection — answers are unaffected either
+        way, only timing.
+        """
+        use_parallel = (
+            self.parallel is not None
+            and self.parallel.available
+            and scope is None
+            and len(statements) >= 2
+        )
+        if use_parallel:
+            assert self.parallel is not None
+            try:
+                outcomes = self.parallel.run(statements)
+            except Exception:
+                get_metrics().counter("nebula_parallel_fallbacks_total").inc()
+            else:
+                # Profiling and metric handles are not thread-safe, so
+                # worker timings are recorded here on the main thread.
+                for (sql, _params), (rows, elapsed) in zip(statements, outcomes):
+                    self.engine.record_execution(sql, elapsed, len(rows))
+                stats.parallel_statements = len(statements)
+                return [rows for rows, _elapsed in outcomes]
+        return [self.engine.execute_rows(sql, params) for sql, params in statements]
+
+    def _batch_statement(
         self,
         members: Sequence[GeneratedSQL],
         scope: Optional[SearchScope],
-        cache: Dict[Tuple, List[int]],
-    ) -> None:
+    ) -> Tuple[str, Sequence[str]]:
         """One IN-list statement answering every member probe."""
         condition = members[0].conditions[0]
         table, column = condition.table, condition.column
@@ -141,16 +255,12 @@ class SharedExecutor:
         if scope is not None:
             physical = scope.physical.get(table.casefold(), table)
         sql = (
-            f"SELECT rowid, {column} FROM {physical} "
-            f"WHERE {column} COLLATE NOCASE IN ({placeholders})"
+            f"SELECT rowid, {quote_identifier(column)} "
+            f"FROM {quote_identifier(physical)} "
+            f"WHERE {quote_identifier(column)} COLLATE NOCASE IN ({placeholders})"
         )
         if scope is not None and physical == table:
             fragment = scope.sql_filters().get(table.casefold())
             if fragment:
                 sql += f" AND {fragment}"
-        by_value: Dict[str, List[int]] = {}
-        for rowid, value in self.engine.execute_rows(sql, values):
-            by_value.setdefault(str(value).casefold(), []).append(int(rowid))
-        for member in members:
-            wanted = member.conditions[0].value.casefold()
-            cache[member.signature] = list(by_value.get(wanted, ()))
+        return sql, tuple(values)

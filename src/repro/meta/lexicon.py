@@ -80,16 +80,23 @@ class Lexicon:
         self._synsets: List[FrozenSet[str]] = []
         self._membership: Dict[str, Set[int]] = {}
         self._hyponyms: Dict[str, FrozenSet[str]] = {}
+        #: Bumped on every mutation; versions externally cached results.
+        self._generation = 0
         for synset in synsets:
             self.add_synset(synset)
         for hypernym, words in dict(hyponyms).items():
             self.add_hyponyms(hypernym, words)
+
+    @property
+    def generation(self) -> int:
+        return self._generation
 
     def add_synset(self, words: Iterable[str]) -> None:
         """Register a set of mutually synonymous words."""
         normalized = frozenset(normalize_word(w) for w in words)
         if len(normalized) < 2:
             return
+        self._generation += 1
         index = len(self._synsets)
         self._synsets.append(normalized)
         for word in normalized:
@@ -98,6 +105,7 @@ class Lexicon:
     def add_hyponyms(self, hypernym: str, words: Iterable[str]) -> None:
         """Register ``words`` as hyponyms (specializations) of ``hypernym``."""
         key = normalize_word(hypernym)
+        self._generation += 1
         existing = set(self._hyponyms.get(key, frozenset()))
         existing.update(normalize_word(w) for w in words)
         self._hyponyms[key] = frozenset(existing)

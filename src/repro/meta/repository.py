@@ -26,9 +26,10 @@ from __future__ import annotations
 import random
 import sqlite3
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, cast
 
 from ..errors import MetadataError, UnknownConceptError
+from ..perf.cache import MISS, AnalysisCache
 from ..utils.rng import make_rng
 from ..utils.sql import quote_identifier
 from ..utils.tokenize import is_stopword, normalize_word
@@ -105,6 +106,27 @@ class NebulaMeta:
         self._ontologies: Dict[Tuple[str, str], Ontology] = {}
         self._patterns: Dict[Tuple[str, str], ValuePattern] = {}
         self._samples: Dict[Tuple[str, str], ColumnSample] = {}
+        #: Bumped on every registration; versions the estimator memo table.
+        self._generation = 0
+        # Private per-repository memo table for concept_mappings /
+        # value_mappings — a repository may be shared across engines, so
+        # the cache must live with (and be invalidated by) the repository
+        # itself.  Mutations MUST go through the registration methods
+        # above for the generation stamp to stay honest.
+        self._cache = AnalysisCache()
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def configure_cache(self, max_entries: int) -> None:
+        """Resize the estimator memo table (0 disables memoization).
+
+        Swapping in a fresh cache is always safe — entries are pure
+        derivations of repository state.  Mainly an ablation knob: the
+        benchmarks use it to measure the un-memoized pipeline.
+        """
+        self._cache = AnalysisCache(max_entries)
 
     # ------------------------------------------------------------------
     # Registration
@@ -112,6 +134,7 @@ class NebulaMeta:
 
     def add_concept(self, concept: ConceptRef) -> None:
         """Register a ConceptRefs row."""
+        self._generation += 1
         self._concepts[normalize_word(concept.concept)] = concept
 
     def get_concept(self, name: str) -> ConceptRef:
@@ -126,25 +149,31 @@ class NebulaMeta:
 
     def add_table_equivalents(self, table: str, names: Iterable[str]) -> None:
         """Expert aliases for a table name (e.g. 'genes' for 'Gene')."""
+        self._generation += 1
         bucket = self._table_equivalents.setdefault(normalize_word(table), set())
         bucket.update(normalize_word(n) for n in names)
 
     def add_column_equivalents(self, table: str, column: str, names: Iterable[str]) -> None:
         """Expert aliases for a column name (e.g. 'gene id' for 'GID')."""
+        self._generation += 1
         key = (normalize_word(table), normalize_word(column))
         bucket = self._column_equivalents.setdefault(key, set())
         bucket.update(normalize_word(n) for n in names)
 
     def set_column_type(self, table: str, column: str, declared_type: str) -> None:
+        self._generation += 1
         self._column_types[(normalize_word(table), normalize_word(column))] = declared_type
 
     def attach_ontology(self, table: str, column: str, ontology: Ontology) -> None:
+        self._generation += 1
         self._ontologies[(normalize_word(table), normalize_word(column))] = ontology
 
     def attach_pattern(self, table: str, column: str, pattern: ValuePattern) -> None:
+        self._generation += 1
         self._patterns[(normalize_word(table), normalize_word(column))] = pattern
 
     def attach_sample(self, sample: ColumnSample) -> None:
+        self._generation += 1
         self._samples[(normalize_word(sample.table), normalize_word(sample.column))] = sample
 
     def ontology_for(self, table: str, column: str) -> Optional[Ontology]:
@@ -223,7 +252,22 @@ class NebulaMeta:
 
         Matching tiers (paper §5.2.1 Step 1): exact name > equivalent name >
         lexicon synonym.  Stopwords never map.
+
+        Memoized per exact word string, versioned on the repository and
+        lexicon generations.
         """
+        stamp = self._stamp()
+        cached = self._cache.get("meta.concepts", word, stamp)
+        if cached is not MISS:
+            return list(cast(Tuple[ConceptMapping, ...], cached))
+        computed = self._concept_mappings(word)
+        self._cache.put("meta.concepts", word, stamp, tuple(computed))
+        return computed
+
+    def _stamp(self) -> Tuple[int, int]:
+        return (self._generation, self.lexicon.generation)
+
+    def _concept_mappings(self, word: str) -> List[ConceptMapping]:
         key = normalize_word(word)
         if not key or is_stopword(key):
             return []
@@ -287,7 +331,19 @@ class NebulaMeta:
         prerequisite; ontology membership and pattern conformance add strong
         evidence; the drawn sample contributes only when the column has
         neither an ontology nor a pattern.
+
+        Memoized per exact word string — pattern matching is surface- and
+        case-sensitive, so the key must not be normalized.
         """
+        stamp = self._stamp()
+        cached = self._cache.get("meta.values", word, stamp)
+        if cached is not MISS:
+            return list(cast(Tuple[ValueMapping, ...], cached))
+        computed = self._value_mappings(word)
+        self._cache.put("meta.values", word, stamp, tuple(computed))
+        return computed
+
+    def _value_mappings(self, word: str) -> List[ValueMapping]:
         surface = word.strip()
         key = normalize_word(word)
         if not surface or not key or is_stopword(key):

@@ -33,6 +33,12 @@ CANONICAL_STAGES: FrozenSet[str] = frozenset(
         "stage2.execute",
         # Stage 3: triage of candidates into auto-accept / verify / reject.
         "stage3.curate",
+        # Root span of one batch's pass through the pipeline.
+        "insert_annotations",
+        # Stage 0 bulk path: executemany over annotations + focal edges.
+        "stage0.bulk_store",
+        # Cross-annotation shared execution of the whole batch's SQL.
+        "stage2.batch_execute",
     }
 )
 

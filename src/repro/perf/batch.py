@@ -1,0 +1,44 @@
+"""Input types of the batched ingestion API.
+
+An :class:`AnnotationRequest` is one item of a
+:meth:`repro.core.nebula.Nebula.insert_annotations` batch — exactly the
+arguments one :meth:`insert_annotation` call would take, captured as a
+value so batches can be built up front, serialized, and replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+from ..types import TupleRef
+
+
+@dataclass(frozen=True)
+class AnnotationRequest:
+    """One annotation to ingest: text, manual attachments, author."""
+
+    text: str
+    focal: Tuple[TupleRef, ...] = ()
+    author: Optional[str] = None
+
+    @classmethod
+    def build(
+        cls,
+        text: str,
+        attach_to: Sequence[TupleRef] = (),
+        author: Optional[str] = None,
+    ) -> "AnnotationRequest":
+        return cls(text=text, focal=tuple(attach_to), author=author)
+
+
+#: What callers may hand to ``insert_annotations``: prepared requests or
+#: bare strings (no attachments, no author).
+RequestLike = Union[AnnotationRequest, str]
+
+
+def coerce_request(item: RequestLike) -> AnnotationRequest:
+    """Normalize one batch item into an :class:`AnnotationRequest`."""
+    if isinstance(item, AnnotationRequest):
+        return item
+    return AnnotationRequest(text=item)

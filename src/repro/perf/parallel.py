@@ -1,0 +1,138 @@
+"""Parallel Stage-2 SQL execution over per-thread read-only connections.
+
+SQLite serializes access *per connection*, but multiple connections can
+read the same database file concurrently.  :class:`ParallelSqlExecutor`
+exploits that: a small thread pool where each worker lazily opens its own
+``mode=ro`` connection to the engine's database file, so the independent
+statements of one shared-execution plan run concurrently while the main
+connection's write transaction stays untouched.
+
+Constraints, by construction:
+
+* only available for **file-backed** databases (an in-memory database is
+  private to its connection; ``available`` is False and callers stay
+  sequential);
+* read-only workers never see the main connection's *uncommitted* writes
+  — safe for Stage 2, which only reads the user data tables that the
+  annotation pipeline never modifies, but the reason spreading-search
+  mini databases (uncommitted ``_minidb_*`` tables) must not be executed
+  here;
+* results are returned **in submission order**, so the answer assembly is
+  deterministic regardless of thread scheduling.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from ..resilience.retry import RetryPolicy
+
+#: One executed statement's outcome: (rows, wall-clock seconds).
+StatementResult = Tuple[List[Tuple[object, ...]], float]
+
+
+def database_path(connection: sqlite3.Connection) -> Optional[str]:
+    """Filesystem path of ``connection``'s main database, or None for
+    in-memory / temporary databases."""
+    for _seq, name, path in connection.execute("PRAGMA database_list"):
+        if name == "main":
+            return str(path) if path else None
+    return None
+
+
+class ParallelSqlExecutor:
+    """Runs batches of read-only statements across a thread pool."""
+
+    def __init__(
+        self,
+        connection: sqlite3.Connection,
+        workers: int,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.workers = max(int(workers), 0)
+        self.retry = retry
+        self._path = database_path(connection)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._local = threading.local()
+        self._connections: List[sqlite3.Connection] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def available(self) -> bool:
+        """Whether parallel execution can run at all (>= 2 workers and a
+        file-backed database)."""
+        return self.workers > 1 and self._path is not None and not self._closed
+
+    # ------------------------------------------------------------------
+
+    def run(self, statements: Sequence[Tuple[str, Sequence[str]]]) -> List[StatementResult]:
+        """Execute every ``(sql, params)`` pair, returning per-statement
+        ``(rows, elapsed)`` in submission order.
+
+        Raises when unavailable or when any statement fails — callers are
+        expected to fall back to sequential execution on error.
+        """
+        if not self.available:
+            raise RuntimeError(
+                "parallel execution unavailable (in-memory database, "
+                "single worker, or executor closed)"
+            )
+        pool = self._ensure_pool()
+        futures = [pool.submit(self._execute, sql, params) for sql, params in statements]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the pool down and close every worker connection."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        with self._lock:
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            connection.close()
+
+    def __enter__(self) -> "ParallelSqlExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="nebula-sql"
+            )
+        return self._pool
+
+    def _execute(self, sql: str, params: Sequence[str]) -> StatementResult:
+        connection = self._thread_connection()
+
+        def run() -> List[Tuple[object, ...]]:
+            return connection.execute(sql, params).fetchall()
+
+        started = time.perf_counter()
+        rows = self.retry.run(run, sql) if self.retry is not None else run()
+        return rows, time.perf_counter() - started
+
+    def _thread_connection(self) -> sqlite3.Connection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            assert self._path is not None
+            uri = Path(self._path).resolve().as_uri() + "?mode=ro"
+            # check_same_thread=False so close() can run from the main
+            # thread after the pool has drained; each connection is still
+            # only *used* by the single worker thread that opened it.
+            connection = sqlite3.connect(uri, uri=True, check_same_thread=False)
+            self._local.connection = connection
+            with self._lock:
+                self._connections.append(connection)
+        return connection

@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 from ..errors import EmptyQueryError
 from ..observability.metrics import MetricsRegistry, TIME_BUCKETS, get_metrics
 from ..observability.profiling import SqlProfiler
+from ..perf.cache import AnalysisCache
 from ..resilience.retry import RetryPolicy
 from ..types import ScoredTuple, TupleRef
 from ..utils.sql import quote_identifier
@@ -144,14 +145,18 @@ class KeywordSearchEngine:
         retry: Optional[RetryPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
         profiler: Optional[SqlProfiler] = None,
+        analysis_cache: Optional[AnalysisCache] = None,
     ) -> None:
         self.connection = connection
         #: Retry policy for transient lock errors during SQL execution.
         self.retry = retry
         self.schema = schema or SchemaGraph.from_connection(connection)
         self.index = InvertedValueIndex.build(connection, searchable_columns)
+        #: Generation-versioned keyword-analysis memo table (optional).
+        self.analysis_cache = analysis_cache
         self.mapper = KeywordMapper(
-            self.schema, self.index, aliases=aliases, lexicon=lexicon
+            self.schema, self.index, aliases=aliases, lexicon=lexicon,
+            cache=analysis_cache,
         )
         self.max_configurations = max_configurations
         #: Per-statement timing/row-count aggregation (``repro stats``).
@@ -231,12 +236,20 @@ class KeywordSearchEngine:
 
         started = time.perf_counter()
         rows = self.retry.run(run, sql) if self.retry is not None else run()
-        elapsed = time.perf_counter() - started
-        self.profiler.record(sql, elapsed, len(rows))
-        self._m_statements.inc()
-        self._m_rows.inc(len(rows))
-        self._m_seconds.observe(elapsed)
+        self.record_execution(sql, time.perf_counter() - started, len(rows))
         return rows
+
+    def record_execution(self, sql: str, elapsed: float, rowcount: int) -> None:
+        """Account one executed statement (profiler + metrics).
+
+        Split out of :meth:`execute_rows` so statements executed elsewhere
+        (the parallel Stage-2 worker pool) can be recorded on the main
+        thread — the profiler and metric handles are not thread-safe.
+        """
+        self.profiler.record(sql, elapsed, rowcount)
+        self._m_statements.inc()
+        self._m_rows.inc(rowcount)
+        self._m_seconds.observe(elapsed)
 
     def search(
         self, query: KeywordQuery, scope: Optional[SearchScope] = None

@@ -10,16 +10,35 @@ Only the columns registered as searchable are indexed — Nebula registers
 the referencing columns of the ConceptRefs table, mirroring the paper's
 restriction of the Value-Map to "columns included in the ConceptRefs
 auxiliary table".
+
+Lookups are hot-path: selectivity probes and scope restriction run once
+per (keyword, column) pair of every annotation, so alongside the token →
+postings map the index maintains derived structures kept in sync on every
+mutation:
+
+* per-``(token, table)`` and per-``(token, table, column)`` posting
+  buckets, making :meth:`lookup_in` proportional to the *restricted*
+  result instead of the token's full posting list;
+* per-``(token, table, column)`` counts, making :meth:`selectivity` and
+  :meth:`column_counts` O(1);
+* cached immutable posting views, so :meth:`lookup` stops allocating a
+  fresh tuple per call;
+* a :attr:`generation` counter, bumped on every mutation — the version
+  key of :class:`repro.perf.cache.AnalysisCache` entries derived from
+  this index.
 """
 
 from __future__ import annotations
 
 import sqlite3
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..utils.sql import quote_identifier
 from ..utils.tokenize import normalize_word
+
+#: Shared empty result so absent tokens never allocate.
+_EMPTY: Tuple["Posting", ...] = ()
 
 
 @dataclass(frozen=True)
@@ -36,8 +55,26 @@ class InvertedValueIndex:
 
     def __init__(self) -> None:
         self._postings: Dict[str, List[Posting]] = {}
-        self._columns: Set[Tuple[str, str]] = set()
+        self._columns: set = set()
         self._value_counts: Dict[Tuple[str, str], int] = {}
+        #: Cached immutable views of ``_postings``, built lazily per token
+        #: and dropped when that token's posting list mutates.
+        self._views: Dict[str, Tuple[Posting, ...]] = {}
+        #: (token, table_key) -> postings restricted to that table.
+        self._by_table: Dict[Tuple[str, str], List[Posting]] = {}
+        #: (token, table_key, column_key) -> postings of that column.
+        self._by_column: Dict[Tuple[str, str, str], List[Posting]] = {}
+        #: (token, table_key, column_key) -> posting count (selectivity).
+        self._counts: Dict[Tuple[str, str, str], int] = {}
+        #: token -> {(table, column) original-case: count} in first-seen
+        #: posting order (what the mapper's value weighting iterates).
+        self._surface_counts: Dict[str, Dict[Tuple[str, str], int]] = {}
+        #: Bumped on every mutation; versions externally cached results.
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        return self._generation
 
     # ------------------------------------------------------------------
     # Construction
@@ -49,6 +86,7 @@ class InvertedValueIndex:
         if key in self._columns:
             return 0
         self._columns.add(key)
+        self._generation += 1
         count = 0
         cursor = connection.execute(
             f"SELECT rowid, {quote_identifier(column)} "
@@ -59,9 +97,7 @@ class InvertedValueIndex:
             token = normalize_word(str(value))
             if not token:
                 continue
-            self._postings.setdefault(token, []).append(
-                Posting(table=table, column=column, rowid=int(rowid))
-            )
+            self._insert(token, Posting(table=table, column=column, rowid=int(rowid)))
             count += 1
         self._value_counts[key] = self._value_counts.get(key, 0) + count
         return count
@@ -85,33 +121,70 @@ class InvertedValueIndex:
         token = normalize_word(str(value))
         if not token:
             return
-        self._postings.setdefault(token, []).append(Posting(table, column, rowid))
+        self._generation += 1
+        self._insert(token, Posting(table, column, rowid))
         self._value_counts[key] = self._value_counts.get(key, 0) + 1
+
+    def _insert(self, token: str, posting: Posting) -> None:
+        """Append one posting, keeping every derived structure in sync."""
+        self._postings.setdefault(token, []).append(posting)
+        self._views.pop(token, None)
+        table_key = posting.table.casefold()
+        column_key = posting.column.casefold()
+        self._by_table.setdefault((token, table_key), []).append(posting)
+        self._by_column.setdefault((token, table_key, column_key), []).append(posting)
+        counted = (token, table_key, column_key)
+        self._counts[counted] = self._counts.get(counted, 0) + 1
+        surface = self._surface_counts.setdefault(token, {})
+        surface_key = (posting.table, posting.column)
+        surface[surface_key] = surface.get(surface_key, 0) + 1
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
 
     def lookup(self, word: str) -> Tuple[Posting, ...]:
-        """Exact (normalized) postings of ``word``."""
-        return tuple(self._postings.get(normalize_word(word), ()))
+        """Exact (normalized) postings of ``word`` — a cached immutable
+        view, not a fresh copy per call."""
+        token = normalize_word(word)
+        view = self._views.get(token)
+        if view is not None:
+            return view
+        postings = self._postings.get(token)
+        if postings is None:
+            return _EMPTY
+        view = tuple(postings)
+        self._views[token] = view
+        return view
 
     def lookup_in(
         self, word: str, table: str, column: Optional[str] = None
     ) -> Tuple[Posting, ...]:
         """Postings of ``word`` restricted to a table (and column)."""
+        token = normalize_word(word)
         table_key = table.casefold()
-        column_key = column.casefold() if column else None
-        return tuple(
-            p
-            for p in self.lookup(word)
-            if p.table.casefold() == table_key
-            and (column_key is None or p.column.casefold() == column_key)
-        )
+        if column is None:
+            bucket = self._by_table.get((token, table_key))
+        else:
+            bucket = self._by_column.get((token, table_key, column.casefold()))
+        return tuple(bucket) if bucket else _EMPTY
 
     def document_frequency(self, word: str) -> int:
         """Number of rows holding ``word`` across all indexed columns."""
-        return len(self.lookup(word))
+        postings = self._postings.get(normalize_word(word))
+        return len(postings) if postings is not None else 0
+
+    def match_count(self, word: str, table: str, column: str) -> int:
+        """Rows of ``table.column`` holding ``word`` — O(1)."""
+        return self._counts.get(
+            (normalize_word(word), table.casefold(), column.casefold()), 0
+        )
+
+    def column_counts(self, word: str) -> Dict[Tuple[str, str], int]:
+        """Per-(table, column) match counts of ``word``, in first-seen
+        posting order (the mapper's value-evidence aggregation) — O(1)
+        per column instead of a pass over the posting list."""
+        return dict(self._surface_counts.get(normalize_word(word), {}))
 
     def selectivity(self, word: str, table: str, column: str) -> float:
         """1 / (matching rows in the column); 0.0 when absent.
@@ -119,7 +192,7 @@ class InvertedValueIndex:
         Rare values are more credible embedded references than values
         occurring in thousands of rows, so mapping weight scales with this.
         """
-        matches = len(self.lookup_in(word, table, column))
+        matches = self.match_count(word, table, column)
         if matches == 0:
             return 0.0
         return 1.0 / matches

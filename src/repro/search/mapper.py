@@ -20,17 +20,18 @@ from enum import Enum
 from typing import (
     TYPE_CHECKING,
     Dict,
-    Iterable,
     List,
     Mapping as TMapping,
     Optional,
     Sequence,
     Tuple,
+    cast,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..meta.lexicon import Lexicon
 
+from ..perf.cache import MISS, AnalysisCache
 from ..utils.tokenize import is_stopword, normalize_word
 from .index import InvertedValueIndex
 from .metadata import SchemaGraph
@@ -79,17 +80,35 @@ class KeywordMapper:
         aliases: Optional[TMapping[str, Tuple[str, Optional[str]]]] = None,
         lexicon: Optional["Lexicon"] = None,
         max_mappings_per_keyword: int = 4,
+        cache: Optional[AnalysisCache] = None,
     ) -> None:
         self.schema = schema
         self.index = index
         self.aliases = {normalize_word(k): v for k, v in (aliases or {}).items()}
         self.lexicon = lexicon
         self.max_mappings_per_keyword = max_mappings_per_keyword
+        self.cache = cache
 
     # ------------------------------------------------------------------
 
     def map_keyword(self, keyword: str) -> List[Mapping]:
-        """All candidate mappings of one keyword, best first."""
+        """All candidate mappings of one keyword, best first.
+
+        Memoized per exact keyword string when a cache is attached; the
+        entry is versioned on the index and lexicon generations, so an
+        ``add_row`` or ``add_synset`` lazily invalidates it.
+        """
+        if self.cache is not None:
+            generation = self._generation()
+            cached = self.cache.get("mapper.keyword", keyword, generation)
+            if cached is not MISS:
+                return list(cast(Tuple[Mapping, ...], cached))
+            computed = self._map_keyword(keyword)
+            self.cache.put("mapper.keyword", keyword, generation, tuple(computed))
+            return computed
+        return self._map_keyword(keyword)
+
+    def _map_keyword(self, keyword: str) -> List[Mapping]:
         key = normalize_word(keyword)
         if not key or is_stopword(key):
             return []
@@ -98,25 +117,38 @@ class KeywordMapper:
         return mappings[: self.max_mappings_per_keyword]
 
     def map_query(self, keywords: Sequence[str]) -> Dict[str, List[Mapping]]:
-        """Mappings for every keyword of a query (stopwords map to [])."""
-        return {kw: self.map_keyword(kw) for kw in keywords}
+        """Mappings for every keyword of a query (stopwords map to []).
+
+        Duplicate keywords are mapped once — repeated words in annotation
+        text previously recomputed the identical mapping per occurrence.
+        """
+        mapped: Dict[str, List[Mapping]] = {}
+        for keyword in keywords:
+            if keyword not in mapped:
+                mapped[keyword] = self.map_keyword(keyword)
+        return mapped
+
+    def _generation(self) -> Tuple[int, int]:
+        """Version stamp of everything ``map_keyword`` reads besides the
+        immutable schema graph and construction-time aliases."""
+        lexicon_generation = self.lexicon.generation if self.lexicon is not None else 0
+        return (self.index.generation, lexicon_generation)
 
     # ------------------------------------------------------------------
 
     def _schema_mappings(self, keyword: str, key: str) -> List[Mapping]:
         found: List[Mapping] = []
-        for table in self.schema.tables:
-            table_key = normalize_word(table)
+        for table, table_key, columns in self.schema.normalized_names():
             weight = self._name_weight(key, table_key)
             if weight > 0.0:
                 found.append(
                     Mapping(keyword, MappingKind.TABLE, table, None, weight)
                 )
-            for info in self.schema.columns_of(table):
-                weight = self._name_weight(key, normalize_word(info.name))
+            for column, column_key in columns:
+                weight = self._name_weight(key, column_key)
                 if weight > 0.0:
                     found.append(
-                        Mapping(keyword, MappingKind.COLUMN, table, info.name, weight)
+                        Mapping(keyword, MappingKind.COLUMN, table, column, weight)
                     )
         alias_target = self.aliases.get(key)
         if alias_target is not None:
@@ -133,14 +165,11 @@ class KeywordMapper:
         return 0.0
 
     def _value_mappings(self, keyword: str) -> List[Mapping]:
-        postings = self.index.lookup(keyword)
-        if not postings:
+        # Precomputed per-column counts; same (table, column) insertion
+        # order as a pass over the posting list would produce.
+        per_column = self.index.column_counts(keyword)
+        if not per_column:
             return []
-        per_column: Dict[Tuple[str, str], int] = {}
-        for posting in postings:
-            per_column[(posting.table, posting.column)] = (
-                per_column.get((posting.table, posting.column), 0) + 1
-            )
         found: List[Mapping] = []
         for (table, column), count in per_column.items():
             weight = self._value_weight(count)

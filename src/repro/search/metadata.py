@@ -81,6 +81,11 @@ class SchemaGraph:
         for fk in self._foreign_keys:
             self._adjacency.setdefault(fk.child_table, []).append((fk.parent_table, fk))
             self._adjacency.setdefault(fk.parent_table, []).append((fk.child_table, fk))
+        # Lazily built by normalized_names(); safe to cache because the
+        # graph is immutable after construction.
+        self._normalized: Optional[
+            Tuple[Tuple[str, str, Tuple[Tuple[str, str], ...]], ...]
+        ] = None
 
     # ------------------------------------------------------------------
 
@@ -154,6 +159,32 @@ class SchemaGraph:
             if info.name.casefold() == name.casefold():
                 return info
         return None
+
+    def normalized_names(
+        self,
+    ) -> Tuple[Tuple[str, str, Tuple[Tuple[str, str], ...]], ...]:
+        """``(table, normalized_table, ((column, normalized_column), ...))``
+        per table, in :attr:`tables` order.
+
+        Schema-name matching normalizes every table and column name once
+        per *keyword* otherwise; this precomputes the normalized forms
+        once per graph so the mapper's schema pass is pure dict work.
+        """
+        if self._normalized is None:
+            from ..utils.tokenize import normalize_word
+
+            self._normalized = tuple(
+                (
+                    table,
+                    normalize_word(table),
+                    tuple(
+                        (info.name, normalize_word(info.name))
+                        for info in self._columns[table]
+                    ),
+                )
+                for table in self.tables
+            )
+        return self._normalized
 
     def text_columns(self) -> Tuple[ColumnInfo, ...]:
         """Every TEXT-typed column in the schema (naive baseline scans these)."""
