@@ -21,11 +21,11 @@ import time
 
 import pytest
 
-from repro import BioDatabaseSpec, Nebula, NebulaConfig, generate_bio_database
+from repro import BioDatabaseSpec, Nebula, NebulaConfig
 from repro.datagen.workload import WorkloadSpec, generate_workload
 from repro.perf import AnnotationRequest
 
-from conftest import RESULTS_DIR, report, table
+from conftest import RESULTS_DIR, build_database, report, table
 
 #: Smoke mode: small world, relaxed speedup bar — used by CI's bench-smoke
 #: job where the point is "the fast path works and is not a regression",
@@ -112,7 +112,7 @@ def _fresh_ingestion_world(**config_updates):
     """
     spec = SMOKE_SPEC if BENCH_SMOKE else FULL_SPEC
     seeds = (61,) if BENCH_SMOKE else tuple(range(61, 69))
-    db = generate_bio_database(spec)
+    db = build_database(spec)
     nebula = Nebula(
         db.connection,
         db.meta,

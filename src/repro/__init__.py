@@ -5,7 +5,6 @@ Annotation Management in Relational Databases*, SIGMOD 2015.
 
 Quickstart::
 
-    import sqlite3
     from repro import (
         BioDatabaseSpec, Nebula, NebulaConfig, generate_bio_database,
     )
@@ -34,11 +33,23 @@ from .errors import (
     MetadataError,
     NebulaError,
     PipelineStageError,
+    PoolExhaustedError,
     SearchError,
     StorageError,
     TransientStorageError,
     VerificationError,
     WorkloadError,
+)
+from .storage import (
+    SQLITE_DIALECT,
+    ConnectionPool,
+    Dialect,
+    SqliteFileBackend,
+    SqliteMemoryBackend,
+    StorageBackend,
+    get_backend,
+    register_backend,
+    wrap_connection,
 )
 from .observability import (
     JsonlExporter,
@@ -146,7 +157,18 @@ __all__ = [
     "VerificationError",
     "CommandError",
     "PipelineStageError",
+    "PoolExhaustedError",
     "DeadLetterError",
+    # storage layer
+    "StorageBackend",
+    "ConnectionPool",
+    "Dialect",
+    "SQLITE_DIALECT",
+    "SqliteFileBackend",
+    "SqliteMemoryBackend",
+    "get_backend",
+    "register_backend",
+    "wrap_connection",
     # observability layer
     "Tracer",
     "NoopTracer",

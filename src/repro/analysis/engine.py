@@ -27,6 +27,7 @@ from .rules import (
     ModuleContext,
     SharedState,
     check_config_invariants,
+    check_driver_imports,
     check_edge_weights,
     check_resource_hygiene,
     check_savepoint_pairing,
@@ -154,6 +155,8 @@ def analyze_paths(
             raw.extend(check_span_registry(ctx))
         if "NBL006" in enabled:
             raw.extend(check_resource_hygiene(ctx))
+        if "NBL007" in enabled:
+            raw.extend(check_driver_imports(ctx))
         for finding in raw:
             if _is_suppressed(finding, ignores):
                 continue

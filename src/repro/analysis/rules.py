@@ -1,6 +1,6 @@
 """The nebula-lint rule set.
 
-Six AST-based rules over the repo's own source, each encoding an
+Seven AST-based rules over the repo's own source, each encoding an
 invariant the runtime layers depend on:
 
 =========  ==========================================================
@@ -15,7 +15,7 @@ NBL002     Transaction discipline: every executed ``SAVEPOINT`` must
 NBL003     Paper invariants (config): ``NebulaConfig`` literal
            defaults — and literal keyword overrides at construction
            sites — must satisfy β1 > β2 > β3 > 0, ε ∈ (0, 1],
-           0 ≤ β_lower ≤ β_upper ≤ 1, α ≥ 1.
+           0 ≤ β_lower ≤ β_upper ≤ 1, α ≥ 1, pool_size ≥ 1.
 NBL004     Paper invariants (edges): ``TRUE_EDGE_WEIGHT`` must be
            exactly 1.0; literal confidences attached with
            ``kind=PREDICTED`` (or via ``attach_predicted``) must lie
@@ -23,10 +23,16 @@ NBL004     Paper invariants (edges): ``TRUE_EDGE_WEIGHT`` must be
 NBL005     Trace taxonomy: every literal ``tracer.span("...")`` name
            and every ``SPAN_NAMES`` mapping value must appear in
            :data:`repro.observability.stages.CANONICAL_STAGES`.
-NBL006     Resource hygiene: ``sqlite3.connect()`` / ``.cursor()``
-           results bound in non-test code must be closed, managed by
+NBL006     Resource hygiene: driver ``connect()`` (``sqlite3`` or the
+           ``repro.storage.compat`` adapter), ``.cursor()``, and
+           pool/backend ``.acquire()`` / ``.open_reader()`` results
+           bound in non-test code must be closed/released, managed by
            ``with``/``closing``, or escape (returned, yielded, stored
            on ``self``, or handed to another component).
+NBL007     Driver isolation: ``repro/storage/`` is the only package
+           allowed to import :mod:`sqlite3`; every other module goes
+           through ``repro.storage.compat`` (or a backend handle), so
+           swapping the engine stays a one-package change.
 =========  ==========================================================
 
 Findings can be suppressed inline with ``# nebula-lint: ignore`` or
@@ -357,6 +363,11 @@ def _config_violations(
             f"verification bands must satisfy 0 <= beta_lower "
             f"({values['beta_lower']}) <= beta_upper ({values['beta_upper']}) <= 1"
         )
+    if has("pool_size") and not values["pool_size"] >= 1:
+        yield "pool_size", (
+            f"pool_size ({values['pool_size']}) must be >= 1 — the storage "
+            "backend needs at least one pooled connection"
+        )
 
 
 def check_config_invariants(
@@ -579,18 +590,35 @@ def check_span_registry(ctx: ModuleContext) -> Iterator[Finding]:
 # ----------------------------------------------------------------------
 
 
+#: Receivers whose ``.acquire()`` / ``.open_reader()`` results are leased
+#: storage handles (as opposed to, say, a threading lock's acquire).
+_POOLISH_RECEIVER_RE = re.compile(r"(pool|backend|storage)", re.IGNORECASE)
+
+
 def _is_resource_call(node: ast.expr) -> Optional[str]:
-    """'connect' / 'cursor' when ``node`` opens a SQLite resource."""
+    """The resource kind when ``node`` opens a storage handle.
+
+    Recognized shapes: driver connects (``sqlite3.connect(...)`` and the
+    compatibility adapter's ``compat.connect(...)`` /
+    ``open_memory_connection()``), ``.cursor()``, and the backend layer's
+    leases — ``<pool-ish>.acquire(...)`` / ``<pool-ish>.open_reader()``.
+    """
     if not isinstance(node, ast.Call):
         return None
     func = node.func
     if isinstance(func, ast.Attribute):
         if func.attr == "connect" and isinstance(func.value, ast.Name) and (
-            func.value.id == "sqlite3"
+            func.value.id in ("sqlite3", "compat")
         ):
             return "connect"
         if func.attr == "cursor":
             return "cursor"
+        if func.attr in ("acquire", "open_reader") and _POOLISH_RECEIVER_RE.search(
+            ast.unparse(func.value)
+        ):
+            return "lease" if func.attr == "acquire" else "reader"
+    elif isinstance(func, ast.Name) and func.id == "open_memory_connection":
+        return "connect"
     return None
 
 
@@ -625,10 +653,11 @@ def check_resource_hygiene(ctx: ModuleContext) -> Iterator[Finding]:
                     escaped.add(node.value.id)
             elif isinstance(node, ast.Call):
                 func_node = node.func
-                # x.close() — explicit cleanup.
+                # x.close() / x.release() — explicit cleanup (release is
+                # how a pool lease returns its connection).
                 if (
                     isinstance(func_node, ast.Attribute)
-                    and func_node.attr == "close"
+                    and func_node.attr in ("close", "release")
                     and isinstance(func_node.value, ast.Name)
                 ):
                     escaped.add(func_node.value.id)
@@ -650,16 +679,64 @@ def check_resource_hygiene(ctx: ModuleContext) -> Iterator[Finding]:
                 path=ctx.path,
                 line=lineno,
                 message=(
-                    f"sqlite3 {kind} result {name!r} in {func.name!r} is "
-                    "neither closed, context-managed, nor handed off"
+                    f"storage {kind} result {name!r} in {func.name!r} is "
+                    "neither closed/released, context-managed, nor handed off"
                 ),
                 fix_hint=(
-                    "wrap in `with contextlib.closing(...)` or call "
-                    f"`{name}.close()` on every path"
+                    "wrap in `with contextlib.closing(...)` (or use the "
+                    f"lease as a context manager) or call `{name}.close()` "
+                    "on every path"
                 ),
                 snippet=ctx.snippet(lineno),
                 details={"variable": name, "kind": kind},
             )
+
+
+# ----------------------------------------------------------------------
+# NBL007 — driver-import isolation
+# ----------------------------------------------------------------------
+
+#: The only package allowed to import the sqlite3 driver directly.
+STORAGE_PACKAGE_MARKER = "repro/storage/"
+
+
+def check_driver_imports(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag direct ``sqlite3`` imports (plain or ``from``-style) outside
+    the storage package (tests are exempt)."""
+    if _is_test_path(ctx.path):
+        return
+    normalized = ctx.path.replace("\\", "/")
+    if STORAGE_PACKAGE_MARKER in normalized:
+        return
+    for node in ast.walk(ctx.tree):
+        imported: Optional[str] = None
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "sqlite3" or alias.name.startswith("sqlite3."):
+                    imported = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and (
+                module == "sqlite3" or module.startswith("sqlite3.")
+            ):
+                imported = module
+        if imported is None:
+            continue
+        yield Finding(
+            rule_id="NBL007",
+            path=ctx.path,
+            line=node.lineno,
+            message=(
+                f"direct {imported!r} import outside repro/storage/ — the "
+                "driver is reachable only through the storage backend layer"
+            ),
+            fix_hint=(
+                "import Connection/Cursor/connect from repro.storage.compat "
+                "(or take a StorageBackend handle) instead of sqlite3"
+            ),
+            snippet=ctx.snippet(node.lineno),
+            details={"module": imported},
+        )
 
 
 # ----------------------------------------------------------------------
@@ -672,7 +749,8 @@ RULE_DOCS: Dict[str, str] = {
     "NBL003": "NebulaConfig defaults violate a paper invariant",
     "NBL004": "edge-weight constants/literals violate Figure 2 semantics",
     "NBL005": "tracer span name missing from the canonical stage registry",
-    "NBL006": "sqlite3 connection/cursor opened without cleanup",
+    "NBL006": "storage connection/cursor/lease opened without cleanup",
+    "NBL007": "direct sqlite3 import outside the storage backend package",
 }
 
 ALL_RULE_IDS: Tuple[str, ...] = tuple(sorted(RULE_DOCS))

@@ -16,12 +16,12 @@ on it (the expert should resolve them first).
 
 from __future__ import annotations
 
-import sqlite3
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import StorageError
 from ..search.index import InvertedValueIndex
+from ..storage.compat import Connection
 from ..utils.sql import quote_identifier
 from ..types import TupleRef
 from .engine import AnnotationManager
@@ -48,7 +48,7 @@ class DataEditor:
         rules: Optional[RuleEngine] = None,
     ) -> None:
         self.manager = manager
-        self.connection: sqlite3.Connection = manager.connection
+        self.connection: Connection = manager.connection
         self.index = index
         self.rules = rules if rules is not None else RuleEngine(manager)
 

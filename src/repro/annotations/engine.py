@@ -8,11 +8,11 @@ the raw material from which Nebula builds the ACG.
 
 from __future__ import annotations
 
-import sqlite3
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import UnknownTupleError
 from ..resilience.retry import RetryPolicy
+from ..storage.compat import Connection
 from ..types import CellRef, TupleRef
 from ..utils.sql import quote_identifier
 from .store import Annotation, AnnotationStore, Attachment, AttachmentKind
@@ -23,7 +23,7 @@ class AnnotationManager:
 
     def __init__(
         self,
-        connection: sqlite3.Connection,
+        connection: Connection,
         retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.connection = connection

@@ -12,10 +12,10 @@ side table and groups the applicable annotations per row.
 
 from __future__ import annotations
 
-import sqlite3
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..storage.compat import Connection
 from ..types import TupleRef
 from ..utils.sql import quote_identifier
 from .store import AnnotationStore, Attachment, AttachmentKind
@@ -32,7 +32,7 @@ class AnnotatedRow:
 
 
 def propagate(
-    connection: sqlite3.Connection,
+    connection: Connection,
     table: str,
     columns: Sequence[str] = ("*",),
     where: Optional[str] = None,
@@ -91,7 +91,7 @@ def propagate(
 
 
 def _collect_attachments(
-    connection: sqlite3.Connection,
+    connection: Connection,
     table: str,
     rowids: Sequence[int],
     include_predicted: bool,
@@ -129,7 +129,7 @@ def _collect_attachments(
 
 
 def _annotation_contents(
-    connection: sqlite3.Connection, attachments: Sequence[Attachment]
+    connection: Connection, attachments: Sequence[Attachment]
 ) -> Dict[int, str]:
     ids = sorted({a.annotation_id for a in attachments})
     if not ids:
@@ -154,7 +154,7 @@ class AnnotatedJoinRow:
 
 
 def propagate_join(
-    connection: sqlite3.Connection,
+    connection: Connection,
     left_table: str,
     right_table: str,
     on: str,
@@ -222,7 +222,7 @@ def propagate_join(
 
 
 def _resolve_projection(
-    connection: sqlite3.Connection, table: str, projected: Sequence[str]
+    connection: Connection, table: str, projected: Sequence[str]
 ) -> Optional[frozenset]:
     """Casefolded projected column names, or None when projecting ``*``."""
     if any(c.strip() == "*" for c in projected):

@@ -18,11 +18,11 @@ bulk via :meth:`RuleEngine.sweep`).
 from __future__ import annotations
 
 import re
-import sqlite3
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import CommandError, StorageError
+from ..storage.compat import Connection, Error
 from ..types import CellRef, TupleRef
 from ..utils.sql import quote_identifier
 from .engine import AnnotationManager
@@ -61,7 +61,7 @@ class RuleEngine:
 
     def __init__(self, manager: AnnotationManager) -> None:
         self.manager = manager
-        self.connection: sqlite3.Connection = manager.connection
+        self.connection: Connection = manager.connection
         self.connection.executescript(_RULES_DDL)
 
     # ------------------------------------------------------------------
@@ -89,7 +89,7 @@ class RuleEngine:
             raise CommandError("rule predicate contains a disallowed token")
         try:
             matching = self._matching_rowids(canonical, predicate)
-        except sqlite3.Error as exc:
+        except Error as exc:
             raise CommandError(f"invalid rule predicate: {exc}") from exc
         cursor = self.connection.execute(
             "INSERT INTO _nebula_annotation_rules "

@@ -27,7 +27,6 @@ the same annotation, matching the paper's many-to-many edge model.
 
 from __future__ import annotations
 
-import sqlite3
 from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, List, Optional, Sequence, Tuple
@@ -39,6 +38,7 @@ from ..errors import (
     UnknownTableError,
 )
 from ..resilience.retry import RetryPolicy
+from ..storage.compat import Connection, Cursor
 from ..utils.sql import quote_identifier
 from ..types import CellRef, TupleRef
 
@@ -135,7 +135,7 @@ class AnnotationStore:
 
     def __init__(
         self,
-        connection: sqlite3.Connection,
+        connection: Connection,
         retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.connection = connection
@@ -154,13 +154,13 @@ class AnnotationStore:
         ).fetchone()
         self._next_seq = int(row[0]) + 1
 
-    def _write(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+    def _write(self, sql: str, params: Sequence = ()) -> Cursor:
         """Execute a mutating statement, retrying transient lock errors."""
         if self.retry is None:
             return self.connection.execute(sql, params)
         return self.retry.run(lambda: self.connection.execute(sql, params), sql)
 
-    def _write_many(self, sql: str, rows: Sequence[Sequence]) -> sqlite3.Cursor:
+    def _write_many(self, sql: str, rows: Sequence[Sequence]) -> Cursor:
         """``executemany`` with the same retry policy as :meth:`_write`."""
         if self.retry is None:
             return self.connection.executemany(sql, rows)

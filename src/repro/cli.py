@@ -27,9 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import sqlite3
 import sys
-from contextlib import closing
 from typing import Optional, Sequence
 
 from .config import NebulaConfig
@@ -45,6 +43,7 @@ from .observability import (
     set_metrics,
     validate_trace_file,
 )
+from .storage import get_backend
 from .types import TupleRef
 
 
@@ -75,27 +74,42 @@ def _save_metrics(db: str, registry: MetricsRegistry) -> None:
 def _open_engine(
     path: str, epsilon: float, trace: bool = False, workers: int = 0
 ) -> Nebula:
-    connection = sqlite3.connect(path)
-    meta = _build_meta(connection)
-    aliases = {
-        "genes": ("Gene", None),
-        "proteins": ("Protein", None),
-        "id": ("Gene", "GID"),
-        "accession": ("Protein", "PID"),
-    }
+    # The CLI always operates on a database file, so the engine choice is
+    # pinned to the file backend; the backend is surfaced on the returned
+    # engine (``nebula.backend``) and closing it releases every handle —
+    # the connection opened here can no longer leak past the command.
     config = NebulaConfig(
         epsilon=epsilon,
         tracing=trace,
         trace_path=_trace_path(path) if trace else None,
         executor_workers=workers,
     )
+    backend = get_backend(
+        config.storage_backend, path=path, pool_size=config.pool_size
+    )
+    meta = _build_meta(backend.primary)
+    aliases = {
+        "genes": ("Gene", None),
+        "proteins": ("Protein", None),
+        "id": ("Gene", "GID"),
+        "accession": ("Protein", "PID"),
+    }
     metrics = None
     if trace:
         # Route the resilience layer's module-level counters into the
         # same restored registry the engine will snapshot.
         metrics = _load_metrics(path)
         set_metrics(metrics)
-    return Nebula(connection, meta, config, aliases=aliases, metrics=metrics)
+    return Nebula(
+        backend.primary, meta, config, aliases=aliases, metrics=metrics,
+        backend=backend,
+    )
+
+
+def _close_engine(nebula: Nebula) -> None:
+    """Release the engine plus its storage backend (every connection)."""
+    nebula.close()
+    nebula.backend.close()
 
 
 def _parse_ref(text: str) -> TupleRef:
@@ -120,7 +134,8 @@ def cmd_generate(args: argparse.Namespace) -> int:
         community_size=args.community_size,
         seed=args.seed,
     )
-    with closing(sqlite3.connect(args.db)) as connection:
+    with get_backend("sqlite-file", path=args.db) as backend:
+        connection = backend.primary
         db = generate_bio_database(spec, connection=connection)
         connection.commit()
         print(
@@ -139,8 +154,8 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    with closing(sqlite3.connect(args.db)) as connection:
-        stats = collect_stats(connection)
+    with get_backend("sqlite-file", path=args.db) as backend:
+        stats = collect_stats(backend.primary)
     for line in stats.lines():
         print(line)
     metrics_path = _metrics_path(args.db)
@@ -179,7 +194,7 @@ def cmd_annotate(args: argparse.Namespace) -> int:
                 print(line)
         return 0
     finally:
-        nebula.connection.close()
+        _close_engine(nebula)
 
 
 def _parse_batch_line(line: str) -> AnnotationRequest:
@@ -239,7 +254,7 @@ def cmd_annotate_batch(args: argparse.Namespace) -> int:
                 )
         return 0
     finally:
-        nebula.connection.close()
+        _close_engine(nebula)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -281,7 +296,7 @@ def cmd_pending(args: argparse.Namespace) -> int:
             print()
         return 0
     finally:
-        nebula.connection.close()
+        _close_engine(nebula)
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -295,7 +310,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         print(result.message)
         return 0
     finally:
-        nebula.connection.close()
+        _close_engine(nebula)
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -313,6 +328,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     )
     for task in report.tasks:
         print(f"  {task.ref} confidence={task.confidence:.2f} -> {task.decision.value}")
+    nebula.close()
     return 0
 
 

@@ -73,9 +73,17 @@ class NebulaConfig:
     #: Enable shared execution of the generated SQL queries (§6, Fig. 13).
     shared_execution: bool = False
     #: Worker threads for parallel Stage-2 statement execution; 0 or 1
-    #: keeps the sequential path.  Only effective on file-backed databases
-    #: (read-only worker connections cannot see an in-memory database).
+    #: keeps the sequential path.  Only effective when the storage backend
+    #: can hand out concurrent reader connections (file-backed databases
+    #: and the shared-cache memory backend).
     executor_workers: int = 0
+    #: Name of the storage backend to construct when the engine opens its
+    #: own database (see :mod:`repro.storage.registry`): ``"sqlite-file"``
+    #: or ``"sqlite-memory"``, plus anything registered at runtime.
+    storage_backend: str = "sqlite-file"
+    #: Connection-pool size of the storage backend (auxiliary handles
+    #: leased by tools and readers; the primary is not pooled).
+    pool_size: int = 4
     #: LRU capacity of the keyword-analysis memo cache; 0 disables it.
     analysis_cache_size: int = 2048
     #: Enable the backward concept search special case (§5.2.3, lines 8-12).
@@ -138,6 +146,8 @@ class NebulaConfig:
         _require(self.trace_buffer_size >= 1, "trace_buffer_size must be >= 1")
         _require(self.executor_workers >= 0, "executor_workers must be >= 0")
         _require(self.analysis_cache_size >= 0, "analysis_cache_size must be >= 0")
+        _require(bool(self.storage_backend), "storage_backend must be non-empty")
+        _require(self.pool_size >= 1, "pool_size must be >= 1")
 
     def with_updates(self, **changes: object) -> "NebulaConfig":
         """Return a copy of this config with ``changes`` applied.

@@ -16,11 +16,11 @@ into something an expert can act on:
 from __future__ import annotations
 
 import re
-import sqlite3
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..annotations.engine import AnnotationManager
+from ..storage.compat import Connection
 from ..utils.sql import quote_identifier
 from ..utils.tokenize import tokenize
 from .verification import VerificationTask
@@ -142,7 +142,7 @@ def explain_task(
 
 
 def _tuple_values(
-    connection: sqlite3.Connection, table: str, rowid: int
+    connection: Connection, table: str, rowid: int
 ) -> Dict[str, object]:
     columns = [
         row[1]

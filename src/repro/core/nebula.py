@@ -19,10 +19,9 @@ benchmarks and the bounds-tuning algorithm use.
 
 from __future__ import annotations
 
-import sqlite3
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..annotations.commands import CommandProcessor, CommandResult
 from ..annotations.engine import AnnotationManager
@@ -59,6 +58,8 @@ from ..resilience import (
 )
 from ..resilience.degradation import logger as _resilience_logger
 from ..search.engine import KeywordSearchEngine, SearchResult, SearchScope
+from ..storage.backends import StorageBackend, as_backend
+from ..storage.compat import Connection
 from ..types import CellRef, ScoredTuple, TupleRef
 from .acg import AnnotationsConnectivityGraph, HopProfile, StabilityTracker
 from .execution import IdentifiedTuples, identify_related_tuples
@@ -121,17 +122,28 @@ class Nebula:
 
     def __init__(
         self,
-        connection: sqlite3.Connection,
+        connection: Union[Connection, StorageBackend],
         meta: NebulaMeta,
         config: Optional[NebulaConfig] = None,
         aliases: Optional[Dict[str, Tuple[str, Optional[str]]]] = None,
         build_acg: bool = True,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        backend: Optional[StorageBackend] = None,
     ) -> None:
-        self.connection = connection
         self.meta = meta
         self.config = config or NebulaConfig()
+        #: The engine's storage backend.  A raw driver connection (the
+        #: historical construction) is wrapped in the compatibility
+        #: adapter; the engine then owns the adapter but never the
+        #: caller's connection.  A backend passed explicitly stays owned
+        #: by its creator.
+        source: object = backend if backend is not None else connection
+        self.backend = as_backend(source, pool_size=self.config.pool_size)
+        self._owns_backend = self.backend is not source
+        self.dialect = self.backend.dialect
+        self.connection = self.backend.primary
+        connection = self.connection
         self.retry = RetryPolicy(
             max_attempts=self.config.retry_max_attempts,
             base_delay=self.config.retry_base_delay,
@@ -193,18 +205,20 @@ class Nebula:
         self.queue = VerificationQueue(self.manager, acg=self.acg, profile=self.profile)
         self.commands = CommandProcessor(self.manager, resolver=self.queue)
         #: Parallel Stage-2 worker pool; stays None when the config asks
-        #: for <= 1 worker or the database is in-memory (worker
-        #: connections could not see it).
+        #: for <= 1 worker or the backend cannot hand out concurrent
+        #: reader connections (a private in-memory database).
         self.parallel: Optional[ParallelSqlExecutor] = None
         if self.config.executor_workers > 1:
             candidate = ParallelSqlExecutor(
-                connection, self.config.executor_workers, retry=self.retry
+                self.backend, self.config.executor_workers, retry=self.retry
             )
             if candidate.available:
                 self.parallel = candidate
             else:
                 candidate.close()
-        self.executor = SharedExecutor(self.engine, parallel=self.parallel)
+        self.executor = SharedExecutor(
+            self.engine, parallel=self.parallel, dialect=self.dialect
+        )
         self.spam_guard = SpamGuard()
         self._searchable_tuple_count = count_searchable_tuples(
             connection, [table for table, _ in self._searchable_columns()]
@@ -440,7 +454,9 @@ class Nebula:
         )
         annotation = None
         profile_snapshot = (dict(self.profile.buckets), self.profile.unreachable)
-        savepoint = Savepoint(self.connection, "nebula_insert").begin()
+        savepoint = Savepoint(
+            self.connection, "nebula_insert", dialect=self.dialect
+        ).begin()
         try:
             # Stage 0 — persist the annotation + focal, update the ACG.
             with self.tracer.span("stage0.store") as store_span:
@@ -626,7 +642,9 @@ class Nebula:
         # still requires a non-empty focal, exactly as in analyze().
         pinned = use_spreading if use_spreading is not None else self.stability.stable
         spreading_flags = [pinned and bool(r.focal) for r in requests]
-        savepoint = Savepoint(self.connection, "nebula_batch").begin()
+        savepoint = Savepoint(
+            self.connection, "nebula_batch", dialect=self.dialect
+        ).begin()
         inserted: List[Annotation] = []
         reports: List[DiscoveryReport] = []
         #: Per member: (attachments, new_edges, quarantined) — stability
@@ -857,9 +875,15 @@ class Nebula:
         self.profile.unreachable = unreachable
 
     def close(self) -> None:
-        """Release the parallel Stage-2 worker pool (no-op without one)."""
+        """Release the parallel Stage-2 worker pool, plus the internally
+        created compatibility adapter when the engine was constructed from
+        a raw connection (the caller's connection itself stays open — the
+        historical ownership contract).  A backend passed in explicitly is
+        left to its creator."""
         if self.parallel is not None:
             self.parallel.close()
+        if self._owns_backend:
+            self.backend.close()
 
     def reprocess_dead_letters(
         self, limit: Optional[int] = None

@@ -39,8 +39,8 @@ from ..observability.metrics import get_metrics
 from ..perf.parallel import ParallelSqlExecutor
 from ..search.engine import KeywordQuery, KeywordSearchEngine, SearchResult, SearchScope
 from ..search.sqlgen import GeneratedSQL
+from ..storage.dialect import SQLITE_DIALECT, Dialect
 from ..types import ScoredTuple, TupleRef
-from ..utils.sql import quote_identifier
 
 
 @dataclass
@@ -69,9 +69,11 @@ class SharedExecutor:
         self,
         engine: KeywordSearchEngine,
         parallel: Optional[ParallelSqlExecutor] = None,
+        dialect: Dialect = SQLITE_DIALECT,
     ) -> None:
         self.engine = engine
         self.parallel = parallel
+        self.dialect = dialect
         self.last_stats = SharedExecutionStats()
 
     # ------------------------------------------------------------------
@@ -167,8 +169,13 @@ class SharedExecutor:
         statements: List[Tuple[str, Sequence[str]]] = [
             (sql_query.sql, tuple(sql_query.params)) for sql_query in direct
         ]
+        #: Per merged group: how many chunked statements it contributed
+        #: (one unless the IN list exceeds the dialect's variable limit).
+        batch_plan: List[Tuple[Sequence[GeneratedSQL], int]] = []
         for members in merged:
-            statements.append(self._batch_statement(members, scope))
+            chunked = self._batch_statements(members, scope)
+            batch_plan.append((members, len(chunked)))
+            statements.extend(chunked)
 
         # Execute the fixed plan (parallel when possible), then distribute.
         rows_per_statement = self._run_statements(statements, scope, stats)
@@ -178,8 +185,14 @@ class SharedExecutor:
             cache[sql_query.signature] = [
                 int(row[0]) for row in rows_per_statement[position]
             ]
-        for offset, members in enumerate(merged):
-            rows = rows_per_statement[len(direct) + offset]
+        index = len(direct)
+        for members, chunk_count in batch_plan:
+            rows = [
+                row
+                for statement_rows in rows_per_statement[index : index + chunk_count]
+                for row in statement_rows
+            ]
+            index += chunk_count
             by_value: Dict[str, List[int]] = {}
             for rowid, value in rows:
                 by_value.setdefault(str(value).casefold(), []).append(int(rowid))
@@ -241,26 +254,36 @@ class SharedExecutor:
                 return [rows for rows, _elapsed in outcomes]
         return [self.engine.execute_rows(sql, params) for sql, params in statements]
 
-    def _batch_statement(
+    def _batch_statements(
         self,
         members: Sequence[GeneratedSQL],
         scope: Optional[SearchScope],
-    ) -> Tuple[str, Sequence[str]]:
-        """One IN-list statement answering every member probe."""
+    ) -> List[Tuple[str, Sequence[str]]]:
+        """IN-list statements answering every member probe.
+
+        Normally one statement; the dialect's host-variable limit
+        (``max_variables``, 999 for SQLite) splits an oversized value set
+        into several chunks whose rows are concatenated by the caller.
+        """
         condition = members[0].conditions[0]
         table, column = condition.table, condition.column
         values = sorted({m.conditions[0].value for m in members}, key=str.casefold)
-        placeholders = ", ".join("?" for _ in values)
+        quote = self.dialect.quote_identifier
         physical = table
         if scope is not None:
             physical = scope.physical.get(table.casefold(), table)
-        sql = (
-            f"SELECT rowid, {quote_identifier(column)} "
-            f"FROM {quote_identifier(physical)} "
-            f"WHERE {quote_identifier(column)} COLLATE NOCASE IN ({placeholders})"
-        )
+        suffix = ""
         if scope is not None and physical == table:
             fragment = scope.sql_filters().get(table.casefold())
             if fragment:
-                sql += f" AND {fragment}"
-        return sql, tuple(values)
+                suffix = f" AND {fragment}"
+        statements: List[Tuple[str, Sequence[str]]] = []
+        for chunk in self.dialect.chunked(values):
+            sql = (
+                f"SELECT rowid, {quote(column)} "
+                f"FROM {quote(physical)} "
+                f"WHERE {quote(column)} COLLATE NOCASE "
+                f"IN ({self.dialect.placeholders(len(chunk))})"
+            ) + suffix
+            statements.append((sql, tuple(chunk)))
+        return statements

@@ -21,10 +21,10 @@ Signals (any one suffices):
 
 from __future__ import annotations
 
-import sqlite3
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+from ..storage.compat import Connection
 from ..types import ScoredTuple
 from ..utils.sql import quote_identifier
 
@@ -90,7 +90,7 @@ class SpamGuard:
 
 
 def count_searchable_tuples(
-    connection: sqlite3.Connection, tables: Sequence[str]
+    connection: Connection, tables: Sequence[str]
 ) -> int:
     """Total rows of the searchable tables (the coverage denominator)."""
     total = 0

@@ -19,12 +19,12 @@ candidates").
 
 from __future__ import annotations
 
-import sqlite3
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..resilience.retry import RetryPolicy
 from ..search.engine import SearchScope
+from ..storage.compat import Connection, Cursor
 from ..types import TupleRef
 from ..utils.sql import quote_identifier
 from .acg import AnnotationsConnectivityGraph, HopProfile
@@ -36,7 +36,7 @@ _MINI_PREFIX = "_minidb_"
 class MiniDatabase:
     """Materialized K-hop neighborhood, one mini table per source table."""
 
-    connection: sqlite3.Connection
+    connection: Connection
     #: original table -> mini table name.
     tables: Dict[str, str] = field(default_factory=dict)
     #: rows copied per original table.
@@ -45,7 +45,7 @@ class MiniDatabase:
     @classmethod
     def materialize(
         cls,
-        connection: sqlite3.Connection,
+        connection: Connection,
         refs: Iterable[TupleRef],
         retry: Optional[RetryPolicy] = None,
     ) -> "MiniDatabase":
@@ -58,7 +58,7 @@ class MiniDatabase:
         IF EXISTS + CREATE + INSERT), so a retried statement cannot
         duplicate rows.
         """
-        def execute(sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+        def execute(sql: str, params: Sequence = ()) -> Cursor:
             if retry is None:
                 return connection.execute(sql, params)
             return retry.run(lambda: connection.execute(sql, params), sql)
@@ -123,7 +123,7 @@ def select_radius(
 
 
 def spreading_scope(
-    connection: sqlite3.Connection,
+    connection: Connection,
     acg: AnnotationsConnectivityGraph,
     focal: Sequence[TupleRef],
     k: int,

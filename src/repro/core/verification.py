@@ -18,13 +18,13 @@ added).
 
 from __future__ import annotations
 
-import sqlite3
 from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..annotations.engine import AnnotationManager
 from ..errors import UnknownVerificationTaskError, VerificationError
+from ..storage.compat import Connection
 from ..types import CellRef, ScoredTuple, TupleRef
 from .acg import AnnotationsConnectivityGraph, HopProfile
 
@@ -84,7 +84,7 @@ class VerificationQueue:
         self.manager = manager
         self.acg = acg
         self.profile = profile
-        self.connection: sqlite3.Connection = manager.connection
+        self.connection: Connection = manager.connection
         self.connection.executescript(_TASKS_DDL)
         #: Focal of each triaged annotation — needed for profile updates.
         self._focal_of: Dict[int, Tuple[TupleRef, ...]] = {}

@@ -21,7 +21,6 @@ local structure the focal-based techniques exploit.
 from __future__ import annotations
 
 import random
-import sqlite3
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -29,6 +28,8 @@ from ..annotations.engine import AnnotationManager
 from ..meta.concepts import ConceptRef
 from ..meta.ontology import Ontology
 from ..meta.repository import NebulaMeta
+from ..storage.backends import StorageBackend
+from ..storage.compat import Connection, open_memory_connection
 from ..types import CellRef, TupleRef
 from ..utils.rng import make_rng
 from .text import EmbeddedReference, TextSynthesizer
@@ -111,7 +112,7 @@ class PublicationTruth:
 class BioDatabase:
     """The generated database plus its oracle and metadata."""
 
-    connection: sqlite3.Connection
+    connection: Connection
     spec: BioDatabaseSpec
     genes: List[GeneRecord]
     proteins: List[ProteinRecord]
@@ -190,17 +191,22 @@ class BioDatabase:
 
 def generate_bio_database(
     spec: Optional[BioDatabaseSpec] = None,
-    connection: Optional[sqlite3.Connection] = None,
+    connection: Optional[Connection] = None,
+    backend: Optional[StorageBackend] = None,
 ) -> BioDatabase:
     """Generate the full synthetic annotated database.
 
-    With no ``connection`` an in-memory SQLite database is created.  The
-    returned :class:`BioDatabase` carries the oracle (per-publication
-    ground truth), a bootstrapped :class:`NebulaMeta`, and the passive
-    annotation manager holding the ideal attachment set.
+    The data lands on ``backend``'s primary connection when one is given,
+    on ``connection`` otherwise, and on a fresh private in-memory SQLite
+    database when neither is.  The returned :class:`BioDatabase` carries
+    the oracle (per-publication ground truth), a bootstrapped
+    :class:`NebulaMeta`, and the passive annotation manager holding the
+    ideal attachment set.
     """
     spec = spec or BioDatabaseSpec()
-    connection = connection or sqlite3.connect(":memory:")
+    if backend is not None:
+        connection = backend.primary
+    connection = connection or open_memory_connection()
     connection.executescript(_DDL)
 
     vocab = VocabularyBuilder(make_rng(spec.seed, "vocab"))
@@ -251,7 +257,7 @@ def _protein_gene(
     return genes[position]
 
 
-def _insert_genes(connection: sqlite3.Connection, genes: Sequence[GeneRecord]) -> Dict[str, int]:
+def _insert_genes(connection: Connection, genes: Sequence[GeneRecord]) -> Dict[str, int]:
     rowids: Dict[str, int] = {}
     for gene in genes:
         cursor = connection.execute(
@@ -263,7 +269,7 @@ def _insert_genes(connection: sqlite3.Connection, genes: Sequence[GeneRecord]) -
 
 
 def _insert_proteins(
-    connection: sqlite3.Connection, proteins: Sequence[ProteinRecord]
+    connection: Connection, proteins: Sequence[ProteinRecord]
 ) -> Dict[str, int]:
     rowids: Dict[str, int] = {}
     for protein in proteins:
@@ -275,7 +281,7 @@ def _insert_proteins(
     return rowids
 
 
-def _build_meta(connection: sqlite3.Connection) -> NebulaMeta:
+def _build_meta(connection: Connection) -> NebulaMeta:
     """Populate NebulaMeta as the paper's experts did (§8.1):
 
     the Gene and Protein concepts with their referencing columns, plus the

@@ -8,13 +8,13 @@ is known.
 
 from __future__ import annotations
 
-import sqlite3
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..annotations.engine import AnnotationManager
 from ..core.acg import AnnotationsConnectivityGraph
 from ..core.model import AnnotatedDatabaseModel, false_negative_ratio, false_positive_ratio
+from ..storage.compat import Connection
 from ..utils.sql import quote_identifier
 
 
@@ -63,7 +63,7 @@ def _degree_stats(degrees: Sequence[int]) -> Tuple[int, float, int]:
 
 
 def collect_stats(
-    connection: sqlite3.Connection,
+    connection: Connection,
     ideal_edges: Optional[frozenset] = None,
 ) -> DatasetStats:
     """Compute :class:`DatasetStats` for the database on ``connection``."""

@@ -33,6 +33,15 @@ class TransientStorageError(StorageError):
         self.attempts = attempts
 
 
+class PoolExhaustedError(StorageError):
+    """Raised when no pooled connection frees up within the timeout.
+
+    Every slot of a :class:`repro.storage.ConnectionPool` stayed leased
+    past the acquire deadline — the pool is sized too small for the
+    concurrency, or a lease leaked.
+    """
+
+
 class UnknownTableError(StorageError):
     """Raised when an operation references a table absent from the schema."""
 

@@ -17,11 +17,11 @@ NebulaMeta — or accept automatically via :func:`apply_proposals`.
 
 from __future__ import annotations
 
-import sqlite3
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..annotations.engine import AnnotationManager
+from ..storage.compat import Connection
 from ..utils.sql import quote_identifier
 from ..utils.tokenize import is_stopword, normalize_word, tokenize
 from .concepts import ConceptRef
@@ -70,7 +70,7 @@ class ConceptLearner:
         max_annotations: Optional[int] = None,
     ) -> None:
         self.manager = manager
-        self.connection: sqlite3.Connection = manager.connection
+        self.connection: Connection = manager.connection
         self.min_support = min_support
         self.min_attachments = min_attachments
         self.max_annotations = max_annotations
@@ -144,7 +144,7 @@ class ConceptLearner:
 def apply_proposals(
     meta: NebulaMeta,
     proposals: Sequence[ConceptProposal],
-    connection: Optional[sqlite3.Connection] = None,
+    connection: Optional[Connection] = None,
 ) -> int:
     """Register learned proposals as concepts; returns how many were added.
 

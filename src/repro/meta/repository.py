@@ -24,12 +24,12 @@ It exposes the two probability estimators the signature maps are built on:
 from __future__ import annotations
 
 import random
-import sqlite3
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, cast
 
 from ..errors import MetadataError, UnknownConceptError
 from ..perf.cache import MISS, AnalysisCache
+from ..storage.compat import Connection
 from ..utils.rng import make_rng
 from ..utils.sql import quote_identifier
 from ..utils.tokenize import is_stopword, normalize_word
@@ -191,7 +191,7 @@ class NebulaMeta:
 
     def bootstrap_from_connection(
         self,
-        connection: sqlite3.Connection,
+        connection: Connection,
         sample_size: int = 50,
         infer_patterns: bool = True,
         seed: Optional[int] = 7,
@@ -212,7 +212,7 @@ class NebulaMeta:
 
     def _bootstrap_column(
         self,
-        connection: sqlite3.Connection,
+        connection: Connection,
         column: ReferencingColumn,
         sample_size: int,
         infer_patterns: bool,

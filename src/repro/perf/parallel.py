@@ -1,19 +1,22 @@
-"""Parallel Stage-2 SQL execution over per-thread read-only connections.
+"""Parallel Stage-2 SQL execution over per-thread reader connections.
 
 SQLite serializes access *per connection*, but multiple connections can
-read the same database file concurrently.  :class:`ParallelSqlExecutor`
+read the same database concurrently.  :class:`ParallelSqlExecutor`
 exploits that: a small thread pool where each worker lazily opens its own
-``mode=ro`` connection to the engine's database file, so the independent
+reader connection via the engine's storage backend
+(:meth:`repro.storage.StorageBackend.open_reader`), so the independent
 statements of one shared-execution plan run concurrently while the main
-connection's write transaction stays untouched.
+connection's write transaction stays untouched.  File backends hand out
+``mode=ro`` URI connections; the shared-cache memory backend hands out
+additional handles onto the same cache.
 
 Constraints, by construction:
 
-* only available for **file-backed** databases (an in-memory database is
-  private to its connection; ``available`` is False and callers stay
-  sequential);
-* read-only workers never see the main connection's *uncommitted* writes
-  — safe for Stage 2, which only reads the user data tables that the
+* only available when the backend can produce concurrent readers (a
+  private ``:memory:`` connection cannot; ``available`` is False and
+  callers stay sequential);
+* readers never see the main connection's *uncommitted* writes — safe
+  for Stage 2, which only reads the user data tables that the
   annotation pipeline never modifies, but the reason spreading-search
   mini databases (uncommitted ``_minidb_*`` tables) must not be executed
   here;
@@ -23,26 +26,19 @@ Constraints, by construction:
 
 from __future__ import annotations
 
-import sqlite3
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..resilience.retry import RetryPolicy
+from ..storage.backends import StorageBackend, as_backend
+from ..storage.compat import Connection, database_path
+
+__all__ = ["ParallelSqlExecutor", "StatementResult", "database_path"]
 
 #: One executed statement's outcome: (rows, wall-clock seconds).
 StatementResult = Tuple[List[Tuple[object, ...]], float]
-
-
-def database_path(connection: sqlite3.Connection) -> Optional[str]:
-    """Filesystem path of ``connection``'s main database, or None for
-    in-memory / temporary databases."""
-    for _seq, name, path in connection.execute("PRAGMA database_list"):
-        if name == "main":
-            return str(path) if path else None
-    return None
 
 
 class ParallelSqlExecutor:
@@ -50,24 +46,31 @@ class ParallelSqlExecutor:
 
     def __init__(
         self,
-        connection: sqlite3.Connection,
+        source: Union[Connection, StorageBackend],
         workers: int,
         retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.workers = max(int(workers), 0)
         self.retry = retry
-        self._path = database_path(connection)
+        self.backend = as_backend(source)
+        #: Whether ``close`` also closes the backend (True only when this
+        #: executor created the wrapping adapter itself).
+        self._owns_backend = self.backend is not source
         self._pool: Optional[ThreadPoolExecutor] = None
         self._local = threading.local()
-        self._connections: List[sqlite3.Connection] = []
+        self._connections: List[Connection] = []
         self._lock = threading.Lock()
         self._closed = False
 
     @property
     def available(self) -> bool:
         """Whether parallel execution can run at all (>= 2 workers and a
-        file-backed database)."""
-        return self.workers > 1 and self._path is not None and not self._closed
+        backend that supports concurrent readers)."""
+        return (
+            self.workers > 1
+            and not self._closed
+            and self.backend.supports_concurrent_reads
+        )
 
     # ------------------------------------------------------------------
 
@@ -80,7 +83,7 @@ class ParallelSqlExecutor:
         """
         if not self.available:
             raise RuntimeError(
-                "parallel execution unavailable (in-memory database, "
+                "parallel execution unavailable (no concurrent readers, "
                 "single worker, or executor closed)"
             )
         pool = self._ensure_pool()
@@ -97,6 +100,8 @@ class ParallelSqlExecutor:
             connections, self._connections = self._connections, []
         for connection in connections:
             connection.close()
+        if self._owns_backend:
+            self.backend.close()
 
     def __enter__(self) -> "ParallelSqlExecutor":
         return self
@@ -123,15 +128,12 @@ class ParallelSqlExecutor:
         rows = self.retry.run(run, sql) if self.retry is not None else run()
         return rows, time.perf_counter() - started
 
-    def _thread_connection(self) -> sqlite3.Connection:
+    def _thread_connection(self) -> Connection:
         connection = getattr(self._local, "connection", None)
         if connection is None:
-            assert self._path is not None
-            uri = Path(self._path).resolve().as_uri() + "?mode=ro"
-            # check_same_thread=False so close() can run from the main
-            # thread after the pool has drained; each connection is still
-            # only *used* by the single worker thread that opened it.
-            connection = sqlite3.connect(uri, uri=True, check_same_thread=False)
+            connection = self.backend.open_reader()
+            if connection is None:  # pragma: no cover - guarded by ``available``
+                raise RuntimeError("storage backend cannot open reader connections")
             self._local.connection = connection
             with self._lock:
                 self._connections.append(connection)

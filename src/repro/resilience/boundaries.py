@@ -18,7 +18,6 @@ Two primitives:
 from __future__ import annotations
 
 import itertools
-import sqlite3
 from contextlib import contextmanager
 from types import TracebackType
 from typing import TYPE_CHECKING, Iterator, Optional, Type
@@ -28,7 +27,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 from ..errors import PipelineStageError
 from ..observability.metrics import get_metrics
-from ..utils.sql import quote_identifier
+from ..storage.compat import Connection
+from ..storage.dialect import SQLITE_DIALECT, Dialect
 
 #: Process-wide counter making savepoint names unique even when nested.
 _SAVEPOINT_IDS = itertools.count(1)
@@ -37,8 +37,14 @@ _SAVEPOINT_IDS = itertools.count(1)
 class Savepoint:
     """One SQLite SAVEPOINT with explicit begin/release/rollback."""
 
-    def __init__(self, connection: sqlite3.Connection, label: str = "nebula") -> None:
+    def __init__(
+        self,
+        connection: Connection,
+        label: str = "nebula",
+        dialect: Dialect = SQLITE_DIALECT,
+    ) -> None:
         self.connection = connection
+        self.dialect = dialect
         # SQLite identifiers: keep it alphanumeric + underscore.
         safe = "".join(c if c.isalnum() else "_" for c in label)
         self.name = f"sp_{safe}_{next(_SAVEPOINT_IDS)}"
@@ -49,23 +55,21 @@ class Savepoint:
         return self._active
 
     def begin(self) -> "Savepoint":
-        self.connection.execute(f"SAVEPOINT {quote_identifier(self.name)}")
+        self.connection.execute(self.dialect.savepoint_statement(self.name))
         self._active = True
         return self
 
     def release(self) -> None:
         """Commit the savepoint's writes into the enclosing transaction."""
         if self._active:
-            self.connection.execute(f"RELEASE SAVEPOINT {quote_identifier(self.name)}")
+            self.connection.execute(self.dialect.release_statement(self.name))
             self._active = False
 
     def rollback(self) -> None:
         """Undo every write since ``begin()`` and discard the savepoint."""
         if self._active:
-            self.connection.execute(
-                f"ROLLBACK TO SAVEPOINT {quote_identifier(self.name)}"
-            )
-            self.connection.execute(f"RELEASE SAVEPOINT {quote_identifier(self.name)}")
+            self.connection.execute(self.dialect.rollback_statement(self.name))
+            self.connection.execute(self.dialect.release_statement(self.name))
             self._active = False
 
     def __enter__(self) -> "Savepoint":

@@ -18,12 +18,12 @@ with its implicit transaction.
 from __future__ import annotations
 
 import json
-import sqlite3
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import DeadLetterError
 from ..observability.metrics import get_metrics
+from ..storage.compat import Connection, Cursor
 from ..types import TupleRef
 from .retry import RetryPolicy
 
@@ -66,7 +66,7 @@ class DeadLetterQueue:
     """SQLite-backed queue of annotations whose pipeline failed."""
 
     def __init__(
-        self, connection: sqlite3.Connection, retry: Optional[RetryPolicy] = None
+        self, connection: Connection, retry: Optional[RetryPolicy] = None
     ) -> None:
         self.connection = connection
         self._retry = retry
@@ -74,7 +74,7 @@ class DeadLetterQueue:
 
     # ------------------------------------------------------------------
 
-    def _execute(self, sql: str, params: Tuple = ()) -> sqlite3.Cursor:
+    def _execute(self, sql: str, params: Tuple = ()) -> Cursor:
         if self._retry is not None:
             return self._retry.run(lambda: self.connection.execute(sql, params), sql)
         return self.connection.execute(sql, params)

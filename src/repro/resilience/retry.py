@@ -1,7 +1,7 @@
 """Retry with exponential backoff for transient storage failures.
 
 SQLite under concurrent writers surfaces contention as
-``sqlite3.OperationalError: database is locked`` (or ``database table is
+``OperationalError: database is locked`` (or ``database table is
 locked`` / busy).  Those are *transient*: the correct reaction is to back
 off and try again, not to fail the annotation pipeline.  The policy here
 is deliberately deterministic — the clock is a seam (``sleep`` callable)
@@ -18,17 +18,17 @@ can distinguish "storage kept failing" from logic errors.
 from __future__ import annotations
 
 import random
-import sqlite3
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, TypeVar
 
 from ..errors import TransientStorageError
 from ..observability.metrics import get_metrics
+from ..storage.compat import OperationalError
 
 T = TypeVar("T")
 
-#: Substrings of ``sqlite3.OperationalError`` messages that indicate
+#: Substrings of ``OperationalError`` messages that indicate
 #: transient lock/busy contention rather than a malformed statement.
 _TRANSIENT_MARKERS = ("locked", "busy")
 
@@ -37,7 +37,7 @@ def is_transient_operational_error(error: BaseException) -> bool:
     """Whether ``error`` is a retriable storage-contention failure."""
     if isinstance(error, TransientStorageError):
         return True
-    if not isinstance(error, sqlite3.OperationalError):
+    if not isinstance(error, OperationalError):
         return False
     message = str(error).casefold()
     return any(marker in message for marker in _TRANSIENT_MARKERS)

@@ -15,7 +15,6 @@ the reduced data.
 
 from __future__ import annotations
 
-import sqlite3
 import time
 from dataclasses import dataclass, field
 from typing import (
@@ -38,6 +37,7 @@ from ..observability.metrics import MetricsRegistry, TIME_BUCKETS, get_metrics
 from ..observability.profiling import SqlProfiler
 from ..perf.cache import AnalysisCache
 from ..resilience.retry import RetryPolicy
+from ..storage.compat import Connection
 from ..types import ScoredTuple, TupleRef
 from ..utils.sql import quote_identifier
 from .configurations import enumerate_configurations
@@ -136,7 +136,7 @@ class KeywordSearchEngine:
 
     def __init__(
         self,
-        connection: sqlite3.Connection,
+        connection: Connection,
         searchable_columns: Sequence[Tuple[str, str]],
         schema: Optional[SchemaGraph] = None,
         aliases: Optional[TMapping[str, Tuple[str, Optional[str]]]] = None,

@@ -30,10 +30,10 @@ mutation:
 
 from __future__ import annotations
 
-import sqlite3
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from ..storage.compat import Connection
 from ..utils.sql import quote_identifier
 from ..utils.tokenize import normalize_word
 
@@ -80,7 +80,7 @@ class InvertedValueIndex:
     # Construction
     # ------------------------------------------------------------------
 
-    def add_column(self, connection: sqlite3.Connection, table: str, column: str) -> int:
+    def add_column(self, connection: Connection, table: str, column: str) -> int:
         """Index one column; returns the number of rows indexed."""
         key = (table.casefold(), column.casefold())
         if key in self._columns:
@@ -105,7 +105,7 @@ class InvertedValueIndex:
     @classmethod
     def build(
         cls,
-        connection: sqlite3.Connection,
+        connection: Connection,
         columns: Iterable[Tuple[str, str]],
     ) -> "InvertedValueIndex":
         """Build an index over ``columns`` of (table, column) pairs."""

@@ -13,12 +13,12 @@ engine needs no manual schema description.
 
 from __future__ import annotations
 
-import sqlite3
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import UnknownTableError
+from ..storage.compat import Connection
 from ..utils.sql import quote_identifier
 
 
@@ -90,7 +90,7 @@ class SchemaGraph:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_connection(cls, connection: sqlite3.Connection) -> "SchemaGraph":
+    def from_connection(cls, connection: Connection) -> "SchemaGraph":
         """Introspect every user table of a SQLite database."""
         names = [
             row[0]

@@ -16,11 +16,11 @@ portion of the database with near-meaningless confidences.
 
 from __future__ import annotations
 
-import sqlite3
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..storage.compat import Connection
 from ..types import ScoredTuple, TupleRef
 from ..utils.sql import quote_identifier
 from ..utils.tokenize import is_stopword, tokenize
@@ -56,7 +56,7 @@ class NaiveSearch:
 
     def __init__(
         self,
-        connection: sqlite3.Connection,
+        connection: Connection,
         schema: Optional[SchemaGraph] = None,
         max_keywords: Optional[int] = None,
     ) -> None:

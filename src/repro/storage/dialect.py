@@ -1,0 +1,79 @@
+"""SQL dialect description for storage backends.
+
+A :class:`Dialect` captures everything the pipeline's SQL construction
+needs to know about the engine underneath: how values are bound
+(placeholder style), how identifiers are quoted, the SAVEPOINT /
+RELEASE / ROLLBACK syntax used by the resilience boundaries, and the
+practical batching limits (``IN``-list width, ``executemany`` chunk
+size).
+
+The annotation layers never hard-code those facts; they ask the
+backend's dialect.  A Postgres or DuckDB backend ships its own
+:class:`Dialect` instance and the generated SQL adapts without touching
+the pipeline (the EMBANKS-style separation of search logic from the
+disk engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, TypeVar
+
+from ..utils.sql import quote_identifier as _quote_identifier
+from ..utils.sql import quote_qualified as _quote_qualified
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Engine-specific SQL facts, immutable and shareable."""
+
+    name: str = "sqlite"
+    #: Positional bind-parameter marker (``?`` for SQLite, ``%s`` for
+    #: Postgres drivers).
+    placeholder: str = "?"
+    #: Maximum bind variables per statement — the ``IN``-batch chunk
+    #: limit (SQLite's historical SQLITE_MAX_VARIABLE_NUMBER default).
+    max_variables: int = 999
+    #: Rows per ``executemany`` flush for bulk ingestion.
+    executemany_batch_size: int = 1000
+
+    # -- value binding -------------------------------------------------
+
+    def placeholders(self, count: int) -> str:
+        """``"?, ?, ?"`` — a bind list for ``count`` values."""
+        if count < 0:
+            raise ValueError("placeholder count must be >= 0")
+        return ", ".join(self.placeholder for _ in range(count))
+
+    def chunked(self, values: Sequence[T]) -> Iterator[Sequence[T]]:
+        """Split ``values`` into slices within the bind-variable limit."""
+        limit = max(self.max_variables, 1)
+        for start in range(0, len(values), limit):
+            yield values[start : start + limit]
+
+    # -- identifiers ---------------------------------------------------
+
+    def quote_identifier(self, name: str) -> str:
+        """Safely quoted identifier (validates; escapes embedded quotes)."""
+        return _quote_identifier(name)
+
+    def quote_qualified(self, table: str, column: str) -> str:
+        """Safely quoted ``table.column`` pair."""
+        return _quote_qualified(table, column)
+
+    # -- transaction boundaries ----------------------------------------
+
+    def savepoint_statement(self, name: str) -> str:
+        return f"SAVEPOINT {_quote_identifier(name)}"
+
+    def release_statement(self, name: str) -> str:
+        return f"RELEASE SAVEPOINT {_quote_identifier(name)}"
+
+    def rollback_statement(self, name: str) -> str:
+        return f"ROLLBACK TO SAVEPOINT {_quote_identifier(name)}"
+
+
+#: The dialect shared by every bundled SQLite backend.
+SQLITE_DIALECT = Dialect()

@@ -1,0 +1,197 @@
+"""A thread-safe connection pool with leases and health checks.
+
+:class:`ConnectionPool` owns a set of driver connections created by a
+backend-supplied factory.  Callers borrow one with :meth:`acquire`,
+which returns a :class:`PooledConnection` *lease* — a context manager
+that returns the connection to the pool on exit, so a handle can never
+leak past its scope::
+
+    with pool.acquire() as connection:
+        connection.execute("SELECT 1")
+
+Guarantees:
+
+* **bounded** — at most ``size`` connections exist at once; an
+  ``acquire`` beyond that blocks up to ``timeout`` seconds and then
+  raises :class:`~repro.errors.PoolExhaustedError`;
+* **healthy** — an idle connection is probed (``SELECT 1``) before
+  being handed out; a probe failure discards it and opens a fresh one,
+  so a handle poisoned by a crashed writer never reaches a caller;
+* **thread-safe** — all state transitions happen under one condition
+  variable; leases may be acquired and released from different threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Callable, List, Optional, Type
+
+from ..errors import PoolExhaustedError, StorageError
+from .compat import Connection, Error
+
+
+@dataclass
+class PoolStats:
+    """Lifetime accounting for one pool (monotonic counters)."""
+
+    created: int = 0
+    acquired: int = 0
+    reused: int = 0
+    #: Idle connections discarded after a failed health probe.
+    recycled: int = 0
+    #: ``acquire`` calls that had to wait for a free slot.
+    waited: int = 0
+
+
+class PooledConnection:
+    """One borrowed connection; returns itself to the pool on exit."""
+
+    def __init__(self, pool: "ConnectionPool", connection: Connection) -> None:
+        self._pool = pool
+        self.connection = connection
+        self._released = False
+
+    def release(self) -> None:
+        """Hand the connection back (idempotent)."""
+        if not self._released:
+            self._released = True
+            self._pool._return(self.connection)
+
+    def __enter__(self) -> Connection:
+        return self.connection
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.release()
+
+
+@dataclass
+class _PoolState:
+    idle: List[Connection] = field(default_factory=list)
+    leased: int = 0
+    closed: bool = False
+
+
+class ConnectionPool:
+    """Bounded, health-checked pool over a connection factory."""
+
+    def __init__(
+        self,
+        factory: Callable[[], Connection],
+        size: int = 4,
+        timeout: float = 5.0,
+        health_check: bool = True,
+    ) -> None:
+        if size < 1:
+            raise StorageError("connection pool size must be >= 1")
+        self._factory = factory
+        self.size = size
+        self.timeout = timeout
+        self.health_check = health_check
+        self.stats = PoolStats()
+        self._state = _PoolState()
+        self._condition = threading.Condition()
+
+    # ------------------------------------------------------------------
+
+    def acquire(self, timeout: Optional[float] = None) -> PooledConnection:
+        """Borrow a connection, blocking up to ``timeout`` seconds.
+
+        Raises :class:`~repro.errors.PoolExhaustedError` when every slot
+        stays leased past the deadline, and
+        :class:`~repro.errors.StorageError` on a closed pool.
+        """
+        deadline = self.timeout if timeout is None else timeout
+        with self._condition:
+            if self._state.closed:
+                raise StorageError("connection pool is closed")
+            while not self._state.idle and self._state.leased >= self.size:
+                self.stats.waited += 1
+                if not self._condition.wait(timeout=deadline):
+                    raise PoolExhaustedError(
+                        f"no pooled connection available within {deadline}s "
+                        f"(size={self.size}, leased={self._state.leased})"
+                    )
+                if self._state.closed:
+                    raise StorageError("connection pool is closed")
+            connection = self._checkout_locked()
+            self._state.leased += 1
+            self.stats.acquired += 1
+        return PooledConnection(self, connection)
+
+    def close(self) -> None:
+        """Close every idle connection and refuse further acquires.
+
+        Leased connections are closed as they come back.
+        """
+        with self._condition:
+            self._state.closed = True
+            idle, self._state.idle = self._state.idle, []
+            self._condition.notify_all()
+        for connection in idle:
+            self._close_quietly(connection)
+
+    @property
+    def idle_count(self) -> int:
+        with self._condition:
+            return len(self._state.idle)
+
+    @property
+    def leased_count(self) -> int:
+        with self._condition:
+            return self._state.leased
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _checkout_locked(self) -> Connection:
+        """Pop a healthy idle connection or create a fresh one."""
+        while self._state.idle:
+            connection = self._state.idle.pop()
+            if not self.health_check or self._healthy(connection):
+                self.stats.reused += 1
+                return connection
+            self.stats.recycled += 1
+            self._close_quietly(connection)
+        self.stats.created += 1
+        return self._factory()
+
+    def _return(self, connection: Connection) -> None:
+        with self._condition:
+            self._state.leased -= 1
+            if self._state.closed:
+                self._close_quietly(connection)
+            else:
+                self._state.idle.append(connection)
+            self._condition.notify()
+
+    @staticmethod
+    def _healthy(connection: Connection) -> bool:
+        try:
+            connection.execute("SELECT 1").fetchone()
+        except Error:
+            return False
+        return True
+
+    @staticmethod
+    def _close_quietly(connection: Connection) -> None:
+        try:
+            connection.close()
+        except Error:  # pragma: no cover - close failures are best-effort
+            pass

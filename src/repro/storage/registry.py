@@ -1,0 +1,89 @@
+"""The storage-backend registry.
+
+Backends are constructed by name through :func:`get_backend`, so the
+engine choice is data (a config knob, a CLI flag, the
+``NEBULA_BACKEND`` environment variable) instead of code.  The two
+bundled SQLite engines register themselves below; a third engine
+registers from anywhere::
+
+    from repro.storage import register_backend
+
+    register_backend("duckdb", lambda *, path=None, pool_size=4:
+                     DuckDbBackend(path, pool_size=pool_size))
+
+Factories are called with keyword arguments only.  Every factory must
+accept ``path`` and ``pool_size`` (ignoring what it does not need), so
+callers can construct any engine uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..errors import StorageError
+from .backends import SqliteFileBackend, SqliteMemoryBackend, StorageBackend
+
+#: A backend constructor: keyword-only ``path`` / ``pool_size`` plus
+#: whatever engine-specific options it documents.
+BackendFactory = Callable[..., StorageBackend]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(
+    name: str, factory: BackendFactory, replace: bool = False
+) -> None:
+    """Register ``factory`` under ``name`` (raises on collision unless
+    ``replace`` is set)."""
+    if not name:
+        raise StorageError("backend name must be non-empty")
+    if name in _REGISTRY and not replace:
+        raise StorageError(f"storage backend {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(
+    name: str,
+    path: Optional[str] = None,
+    pool_size: int = 4,
+    **options: object,
+) -> StorageBackend:
+    """Construct the backend registered under ``name``.
+
+    ``path`` is required by file-backed engines and ignored by purely
+    in-memory ones; extra keyword ``options`` pass through to the
+    factory.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_backends()) or "<none>"
+        raise StorageError(
+            f"unknown storage backend {name!r} (registered: {known})"
+        ) from None
+    return factory(path=path, pool_size=pool_size, **options)
+
+
+def _sqlite_file_factory(
+    *, path: Optional[str] = None, pool_size: int = 4, **options: object
+) -> StorageBackend:
+    if path is None:
+        raise StorageError("sqlite-file backend requires path=...")
+    return SqliteFileBackend(path, pool_size=pool_size)
+
+
+def _sqlite_memory_factory(
+    *, path: Optional[str] = None, pool_size: int = 4, **options: object
+) -> StorageBackend:
+    # ``path`` is accepted (and ignored) so callers can construct every
+    # engine with the same keyword set.
+    return SqliteMemoryBackend(pool_size=pool_size)
+
+
+register_backend("sqlite-file", _sqlite_file_factory)
+register_backend("sqlite-memory", _sqlite_memory_factory)

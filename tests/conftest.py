@@ -13,7 +13,10 @@ Two database worlds are used throughout the tests:
 
 from __future__ import annotations
 
+import os
 import sqlite3
+import tempfile
+from typing import List, Optional, Tuple
 
 import pytest
 
@@ -26,6 +29,7 @@ from repro import (
     Ontology,
     ValuePattern,
     generate_bio_database,
+    get_backend,
 )
 from repro.meta.sampling import ColumnSample
 
@@ -48,8 +52,47 @@ FIGURE1_PROTEINS = [
 ]
 
 
-def build_figure1_connection() -> sqlite3.Connection:
-    connection = sqlite3.connect(":memory:")
+#: Backends created for builder-style callers, closed at session end
+#: (with the throwaway database file, for the file engine).
+_SESSION_BACKENDS: List[Tuple[object, Optional[str]]] = []
+
+
+def _engine_connection() -> sqlite3.Connection:
+    """A fresh empty database on the engine pinned by ``NEBULA_BACKEND``.
+
+    The CI matrix sets the variable, routing every builder-based test
+    through the named storage backend; unset, tests keep the historical
+    private in-memory database.
+    """
+    pinned = os.environ.get("NEBULA_BACKEND")
+    if not pinned:
+        return sqlite3.connect(":memory:")
+    path: Optional[str] = None
+    if pinned == "sqlite-file":
+        handle = tempfile.NamedTemporaryFile(
+            suffix=".db", prefix="nebula-test-", delete=False
+        )
+        handle.close()
+        path = handle.name
+    backend = get_backend(pinned, path=path)
+    _SESSION_BACKENDS.append((backend, path))
+    return backend.primary
+
+
+def pytest_sessionfinish(session, exitstatus):
+    for backend, path in _SESSION_BACKENDS:
+        backend.close()  # type: ignore[attr-defined]
+        if path is not None and os.path.exists(path):
+            os.unlink(path)
+    _SESSION_BACKENDS.clear()
+
+
+def build_figure1_connection(
+    connection: Optional[sqlite3.Connection] = None,
+) -> sqlite3.Connection:
+    """Populate the Figure-1 schema on ``connection`` (a fresh database
+    on the ``NEBULA_BACKEND`` engine when omitted)."""
+    connection = connection or _engine_connection()
     connection.executescript(
         """
         CREATE TABLE Gene (
@@ -112,11 +155,34 @@ def build_figure1_meta() -> NebulaMeta:
     return meta
 
 
+def _backend_params() -> list:
+    """Engines the parametrized fixtures run against.
+
+    ``NEBULA_BACKEND`` (the CI matrix axis) pins a single engine; with
+    it unset every backend-parametrized test runs against both bundled
+    engines.
+    """
+    pinned = os.environ.get("NEBULA_BACKEND")
+    return [pinned] if pinned else ["sqlite-file", "sqlite-memory"]
+
+
+@pytest.fixture(params=_backend_params())
+def storage_backend(request, tmp_path):
+    """A fresh storage backend of each bundled engine."""
+    backend = get_backend(request.param, path=str(tmp_path / "backend.db"))
+    yield backend
+    backend.close()
+
+
 @pytest.fixture
-def figure1_connection():
-    connection = build_figure1_connection()
-    yield connection
-    connection.close()
+def figure1_connection(storage_backend):
+    """The Figure-1 database on every bundled storage engine.
+
+    Yields the backend's primary connection, so the historical
+    connection-shaped fixture keeps working while the data actually
+    lives behind a pluggable engine; the backend fixture closes it.
+    """
+    yield build_figure1_connection(storage_backend.primary)
 
 
 @pytest.fixture
@@ -134,9 +200,20 @@ SMALL_SPEC = BioDatabaseSpec(genes=80, proteins=48, publications=400, seed=7)
 
 
 @pytest.fixture(scope="module")
-def bio_db():
-    """A small generated bio-database (module-scoped: ~0.5 s to build)."""
-    return generate_bio_database(SMALL_SPEC)
+def bio_db(tmp_path_factory):
+    """A small generated bio-database (module-scoped: ~0.5 s to build).
+
+    Honors ``NEBULA_BACKEND`` so the CI matrix drives the integration
+    tests through each engine; unset, it keeps the historical private
+    in-memory database.
+    """
+    pinned = os.environ.get("NEBULA_BACKEND")
+    if not pinned:
+        yield generate_bio_database(SMALL_SPEC)
+        return
+    path = tmp_path_factory.mktemp("bio") / "bio.db"
+    with get_backend(pinned, path=str(path)) as backend:
+        yield generate_bio_database(SMALL_SPEC, backend=backend)
 
 
 @pytest.fixture(scope="module")

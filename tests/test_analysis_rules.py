@@ -367,6 +367,7 @@ class TestResourceHygiene:
             "def f():\n"
             '    conn = sqlite3.connect("x.db")\n'
             '    conn.execute("SELECT 1")\n',
+            rules=["NBL006"],
         )
         assert rule_ids(findings) == ["NBL006"]
 
@@ -380,6 +381,7 @@ class TestResourceHygiene:
             '        conn.execute("SELECT 1")\n'
             "    finally:\n"
             "        conn.close()\n",
+            rules=["NBL006"],
         )
         assert findings == []
 
@@ -392,6 +394,7 @@ class TestResourceHygiene:
             '    conn = sqlite3.connect("x.db")\n'
             "    with closing(conn):\n"
             '        conn.execute("SELECT 1")\n',
+            rules=["NBL006"],
         )
         assert findings == []
 
@@ -402,6 +405,7 @@ class TestResourceHygiene:
             "def f():\n"
             '    conn = sqlite3.connect("x.db")\n'
             "    return conn\n",
+            rules=["NBL006"],
         )
         assert findings == []
 
@@ -413,6 +417,103 @@ class TestResourceHygiene:
             '    conn = sqlite3.connect("x.db")\n'
             '    conn.execute("SELECT 1")\n',
             name="test_fixture.py",
+        )
+        assert findings == []
+
+
+class TestResourceHygieneStorageLayer:
+    def test_compat_connect_leak_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "from repro.storage import compat\n"
+            "def f():\n"
+            '    conn = compat.connect("x.db")\n'
+            '    conn.execute("SELECT 1")\n',
+            rules=["NBL006"],
+        )
+        assert rule_ids(findings) == ["NBL006"]
+
+    def test_unreleased_pool_lease_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(pool):\n"
+            "    lease = pool.acquire()\n"
+            '    lease.connection.execute("SELECT 1")\n',
+            rules=["NBL006"],
+        )
+        assert rule_ids(findings) == ["NBL006"]
+        assert findings[0].details["kind"] == "lease"
+
+    def test_released_pool_lease_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(pool):\n"
+            "    lease = pool.acquire()\n"
+            "    try:\n"
+            '        lease.connection.execute("SELECT 1")\n'
+            "    finally:\n"
+            "        lease.release()\n",
+            rules=["NBL006"],
+        )
+        assert findings == []
+
+    def test_backend_reader_leak_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(backend):\n"
+            "    reader = backend.open_reader()\n"
+            '    reader.execute("SELECT 1")\n',
+            rules=["NBL006"],
+        )
+        assert rule_ids(findings) == ["NBL006"]
+        assert findings[0].details["kind"] == "reader"
+
+    def test_lock_acquire_not_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(lock):\n"
+            "    held = lock.acquire()\n"
+            "    return None\n",
+            rules=["NBL006"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# NBL007 — driver-import isolation
+# ----------------------------------------------------------------------
+
+
+class TestDriverIsolation:
+    def test_plain_import_flagged(self, tmp_path):
+        findings = lint(tmp_path, "import sqlite3\n", rules=["NBL007"])
+        assert rule_ids(findings) == ["NBL007"]
+        assert "repro/storage" in findings[0].message
+
+    def test_from_import_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path, "from sqlite3 import Connection\n", rules=["NBL007"]
+        )
+        assert rule_ids(findings) == ["NBL007"]
+
+    def test_storage_package_exempt(self, tmp_path):
+        package = tmp_path / "repro" / "storage"
+        package.mkdir(parents=True)
+        path = package / "compat.py"
+        path.write_text("import sqlite3\n")
+        assert analyze_paths([str(path)], rules=["NBL007"]) == []
+
+    def test_tests_exempt(self, tmp_path):
+        findings = lint(
+            tmp_path, "import sqlite3\n", name="test_fixture.py", rules=["NBL007"]
+        )
+        assert findings == []
+
+    def test_compat_import_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "from repro.storage.compat import Connection, connect\n",
+            rules=["NBL007"],
         )
         assert findings == []
 

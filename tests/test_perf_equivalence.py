@@ -263,17 +263,22 @@ class TestParallelEquivalence:
             sequential.connection.close()
             parallel.connection.close()
 
-    def test_in_memory_db_never_builds_a_pool(self, bio_db):
+    def test_in_memory_db_never_builds_a_pool(self):
+        # A *private* in-memory database (not the shared-cache backend)
+        # is visible only to its own connection: the engine must fall
+        # back to sequential execution, silently.  Built locally because
+        # ``bio_db`` may be file- or shared-cache-backed under
+        # NEBULA_BACKEND.
+        db = generate_bio_database(SPEC)
         nebula = Nebula(
-            bio_db.connection,
-            bio_db.meta,
+            db.connection,
+            db.meta,
             NebulaConfig(epsilon=0.6, executor_workers=4),
-            aliases=bio_db.aliases,
+            aliases=db.aliases,
         )
-        # In-memory databases are private to their connection: the engine
-        # must fall back to sequential execution, silently.
         assert nebula.parallel is None
         nebula.close()  # no-op, must not raise
+        db.connection.close()
 
 
 # ----------------------------------------------------------------------

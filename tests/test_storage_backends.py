@@ -1,0 +1,388 @@
+"""The storage backend layer: dialect, pool, engines, registry.
+
+The pipeline-facing contract (every sqlite3 call site routed through a
+:class:`StorageBackend`) is exercised indirectly by the whole suite —
+``NEBULA_BACKEND`` pins the engine it runs on.  This module tests the
+layer itself: dialect SQL construction, pool bounding/health/threading,
+engine semantics (read-only readers, shared-cache visibility, raw
+adapter ownership), and the by-name registry.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+import pytest
+
+from conftest import build_figure1_connection, build_figure1_meta
+from repro import Nebula, NebulaConfig
+from repro.errors import ConfigurationError, PoolExhaustedError, StorageError
+from repro.storage import (
+    SQLITE_DIALECT,
+    ConnectionPool,
+    Dialect,
+    SqliteFileBackend,
+    SqliteMemoryBackend,
+    StorageBackend,
+    get_backend,
+    register_backend,
+    wrap_connection,
+)
+from repro.storage.backends import RawConnectionBackend, as_backend
+from repro.storage.registry import available_backends
+
+# ----------------------------------------------------------------------
+# Dialect
+# ----------------------------------------------------------------------
+
+
+class TestDialect:
+    def test_placeholders(self):
+        assert SQLITE_DIALECT.placeholders(3) == "?, ?, ?"
+        assert SQLITE_DIALECT.placeholders(1) == "?"
+        assert SQLITE_DIALECT.placeholders(0) == ""
+
+    def test_negative_placeholder_count_rejected(self):
+        with pytest.raises(ValueError):
+            SQLITE_DIALECT.placeholders(-1)
+
+    def test_chunked_respects_max_variables(self):
+        narrow = Dialect(max_variables=3)
+        chunks = list(narrow.chunked(list(range(8))))
+        assert chunks == [[0, 1, 2], [3, 4, 5], [6, 7]]
+
+    def test_chunked_single_chunk_when_under_limit(self):
+        assert list(SQLITE_DIALECT.chunked(["a", "b"])) == [["a", "b"]]
+
+    def test_quote_identifier_escapes_quotes(self):
+        assert SQLITE_DIALECT.quote_identifier("Gene") == '"Gene"'
+
+    def test_quote_qualified(self):
+        assert SQLITE_DIALECT.quote_qualified("Gene", "GID") == '"Gene"."GID"'
+
+    def test_savepoint_statements_quote_the_name(self):
+        assert SQLITE_DIALECT.savepoint_statement("sp1") == 'SAVEPOINT "sp1"'
+        assert (
+            SQLITE_DIALECT.release_statement("sp1") == 'RELEASE SAVEPOINT "sp1"'
+        )
+        assert (
+            SQLITE_DIALECT.rollback_statement("sp1")
+            == 'ROLLBACK TO SAVEPOINT "sp1"'
+        )
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SQLITE_DIALECT.placeholder = "%s"  # type: ignore[misc]
+
+
+# ----------------------------------------------------------------------
+# Connection pool
+# ----------------------------------------------------------------------
+
+
+def _memory_factory():
+    return sqlite3.connect(":memory:", check_same_thread=False)
+
+
+class TestConnectionPool:
+    def test_lease_round_trip_reuses_connections(self):
+        pool = ConnectionPool(_memory_factory, size=2)
+        with pool.acquire() as connection:
+            assert connection.execute("SELECT 1").fetchone() == (1,)
+        with pool.acquire() as connection:
+            connection.execute("SELECT 1")
+        assert pool.stats.created == 1
+        assert pool.stats.reused == 1
+        assert pool.idle_count == 1
+        pool.close()
+
+    def test_bounded_acquire_raises_when_exhausted(self):
+        pool = ConnectionPool(_memory_factory, size=1, timeout=0.05)
+        lease = pool.acquire()
+        with pytest.raises(PoolExhaustedError):
+            pool.acquire()
+        lease.release()
+        pool.acquire().release()  # slot came back
+        pool.close()
+
+    def test_release_is_idempotent(self):
+        pool = ConnectionPool(_memory_factory, size=1)
+        lease = pool.acquire()
+        lease.release()
+        lease.release()
+        assert pool.leased_count == 0
+        assert pool.idle_count == 1
+        pool.close()
+
+    def test_closed_pool_refuses_acquire(self):
+        pool = ConnectionPool(_memory_factory, size=1)
+        pool.close()
+        with pytest.raises(StorageError):
+            pool.acquire()
+
+    def test_health_check_recycles_poisoned_idle_connection(self):
+        pool = ConnectionPool(_memory_factory, size=1)
+        lease = pool.acquire()
+        lease.connection.close()  # poison the handle, then return it
+        lease.release()
+        with pool.acquire() as connection:
+            assert connection.execute("SELECT 1").fetchone() == (1,)
+        assert pool.stats.recycled == 1
+        assert pool.stats.created == 2
+        pool.close()
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(StorageError):
+            ConnectionPool(_memory_factory, size=0)
+
+    def test_concurrent_leases_stay_bounded(self):
+        pool = ConnectionPool(_memory_factory, size=2, timeout=5.0)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(25):
+                    with pool.acquire() as connection:
+                        connection.execute("SELECT 1").fetchone()
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert pool.stats.created <= pool.size
+        assert pool.stats.acquired == 150
+        assert pool.leased_count == 0
+        pool.close()
+
+
+# ----------------------------------------------------------------------
+# File backend
+# ----------------------------------------------------------------------
+
+
+class TestSqliteFileBackend:
+    def test_primary_persists_to_path(self, tmp_path):
+        path = str(tmp_path / "data.db")
+        with SqliteFileBackend(path) as backend:
+            backend.primary.execute("CREATE TABLE t (x)")
+            backend.primary.execute("INSERT INTO t VALUES (7)")
+            backend.primary.commit()
+        probe = sqlite3.connect(path)
+        assert probe.execute("SELECT x FROM t").fetchone() == (7,)
+        probe.close()
+
+    def test_reader_sees_committed_data_and_is_read_only(self, tmp_path):
+        with SqliteFileBackend(str(tmp_path / "data.db")) as backend:
+            backend.primary.execute("CREATE TABLE t (x)")
+            backend.primary.execute("INSERT INTO t VALUES (1)")
+            backend.primary.commit()
+            assert backend.supports_concurrent_reads
+            reader = backend.open_reader()
+            assert reader is not None
+            assert reader.execute("SELECT x FROM t").fetchone() == (1,)
+            with pytest.raises(sqlite3.OperationalError):
+                reader.execute("INSERT INTO t VALUES (2)")
+            reader.close()
+
+    def test_pooled_connection_shares_the_database(self, tmp_path):
+        with SqliteFileBackend(str(tmp_path / "data.db")) as backend:
+            backend.primary.execute("CREATE TABLE t (x)")
+            backend.primary.commit()
+            with backend.acquire() as connection:
+                connection.execute("INSERT INTO t VALUES (3)")
+                connection.commit()
+            count = backend.primary.execute("SELECT COUNT(*) FROM t").fetchone()
+            assert count == (1,)
+
+    def test_closed_backend_refuses_use(self, tmp_path):
+        backend = SqliteFileBackend(str(tmp_path / "data.db"))
+        backend.primary  # materialize
+        backend.close()
+        with pytest.raises(StorageError):
+            backend.primary
+        with pytest.raises(StorageError):
+            backend.open_reader()
+        backend.close()  # idempotent
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(StorageError):
+            SqliteFileBackend("")
+
+
+# ----------------------------------------------------------------------
+# Memory backend
+# ----------------------------------------------------------------------
+
+
+class TestSqliteMemoryBackend:
+    def test_shared_cache_visibility_across_handles(self):
+        with SqliteMemoryBackend() as backend:
+            backend.primary.execute("CREATE TABLE t (x)")
+            backend.primary.execute("INSERT INTO t VALUES (9)")
+            backend.primary.commit()
+            reader = backend.open_reader()
+            assert reader is not None
+            assert reader.execute("SELECT x FROM t").fetchone() == (9,)
+            reader.close()
+            with backend.acquire() as connection:
+                assert connection.execute("SELECT x FROM t").fetchone() == (9,)
+
+    def test_two_backends_are_isolated(self):
+        with SqliteMemoryBackend() as first, SqliteMemoryBackend() as second:
+            first.primary.execute("CREATE TABLE only_here (x)")
+            first.primary.commit()
+            with pytest.raises(sqlite3.OperationalError):
+                second.primary.execute("SELECT * FROM only_here")
+
+    def test_supports_concurrent_reads(self):
+        with SqliteMemoryBackend() as backend:
+            assert backend.supports_concurrent_reads
+        assert not backend.supports_concurrent_reads
+
+
+# ----------------------------------------------------------------------
+# Raw-connection adapter
+# ----------------------------------------------------------------------
+
+
+class TestRawConnectionBackend:
+    def test_file_backed_connection_regains_readers(self, tmp_path):
+        path = str(tmp_path / "raw.db")
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE t (x)")
+        connection.commit()
+        backend = wrap_connection(connection)
+        assert backend.path is not None
+        assert backend.supports_concurrent_reads
+        reader = backend.open_reader()
+        assert reader is not None
+        assert reader.execute("SELECT COUNT(*) FROM t").fetchone() == (0,)
+        reader.close()
+        backend.close()
+        # The wrapped connection belongs to its creator and stays usable.
+        assert connection.execute("SELECT 1").fetchone() == (1,)
+        connection.close()
+
+    def test_private_memory_connection_degrades_gracefully(self):
+        connection = sqlite3.connect(":memory:")
+        backend = wrap_connection(connection)
+        assert backend.path is None
+        assert not backend.supports_concurrent_reads
+        assert backend.open_reader() is None
+        with pytest.raises(StorageError):
+            backend.connect()
+        backend.close()
+        connection.close()
+
+    def test_as_backend_coercions(self):
+        connection = sqlite3.connect(":memory:")
+        coerced = as_backend(connection)
+        assert isinstance(coerced, RawConnectionBackend)
+        assert coerced.primary is connection
+        with SqliteMemoryBackend() as backend:
+            assert as_backend(backend) is backend
+        with pytest.raises(StorageError):
+            as_backend(42)
+        connection.close()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_bundled_backends_registered(self):
+        names = available_backends()
+        assert "sqlite-file" in names
+        assert "sqlite-memory" in names
+
+    def test_get_backend_by_name(self, tmp_path):
+        with get_backend("sqlite-file", path=str(tmp_path / "a.db")) as backend:
+            assert backend.name == "sqlite-file"
+            assert isinstance(backend, StorageBackend)
+        with get_backend("sqlite-memory") as backend:
+            assert backend.name == "sqlite-memory"
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(StorageError, match="sqlite-file"):
+            get_backend("postgres")
+
+    def test_file_backend_requires_path(self):
+        with pytest.raises(StorageError, match="path"):
+            get_backend("sqlite-file")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(StorageError):
+            register_backend("sqlite-file", lambda **kw: None)
+
+    def test_custom_engine_registration(self):
+        register_backend(
+            "test-engine",
+            lambda *, path=None, pool_size=4: SqliteMemoryBackend(
+                pool_size=pool_size
+            ),
+            replace=True,
+        )
+        with get_backend("test-engine", pool_size=2) as backend:
+            assert backend.pool_size == 2
+
+
+# ----------------------------------------------------------------------
+# Config knobs
+# ----------------------------------------------------------------------
+
+
+class TestConfigKnobs:
+    def test_defaults(self):
+        config = NebulaConfig()
+        assert config.storage_backend == "sqlite-file"
+        assert config.pool_size == 4
+
+    def test_pool_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            NebulaConfig(pool_size=0)  # nebula-lint: ignore[NBL003]
+
+    def test_storage_backend_validated(self):
+        with pytest.raises(ConfigurationError):
+            NebulaConfig(storage_backend="")
+
+
+# ----------------------------------------------------------------------
+# Engine parity: the same ingestion on both engines
+# ----------------------------------------------------------------------
+
+
+def _ingest_on(backend) -> list:
+    """Run one figure-1 ingestion through ``backend`` and distill the
+    report down to comparable (ref, decision) facts."""
+    build_figure1_connection(backend.primary)
+    nebula = Nebula(
+        backend,
+        build_figure1_meta(),
+        NebulaConfig(epsilon=0.6, beta_lower=0.01, beta_upper=0.999),
+    )
+    report = nebula.insert_annotation(
+        "We examined genes JW0014, and later saw yaaB too.", attach_to=[]
+    )
+    facts = sorted(
+        (str(task.ref), round(task.confidence, 9), task.decision.value)
+        for task in report.tasks
+    )
+    nebula.close()
+    return facts
+
+
+class TestEngineParity:
+    def test_memory_backend_matches_file_backend(self, tmp_path):
+        with get_backend("sqlite-file", path=str(tmp_path / "p.db")) as file_b:
+            file_facts = _ingest_on(file_b)
+        with get_backend("sqlite-memory") as memory_b:
+            memory_facts = _ingest_on(memory_b)
+        assert file_facts  # the annotation must produce candidate tasks
+        assert file_facts == memory_facts
