@@ -30,11 +30,15 @@ from .errors import (
     CommandError,
     ConfigurationError,
     DeadLetterError,
+    DeadlineExceededError,
     MetadataError,
     NebulaError,
     PipelineStageError,
     PoolExhaustedError,
     SearchError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
     StorageError,
     TransientStorageError,
     VerificationError,
@@ -69,6 +73,15 @@ from .resilience import (
     InjectedFault,
     RetryPolicy,
     Savepoint,
+    SimulatedCrash,
+)
+from .service import (
+    AnnotationService,
+    ChaosHarness,
+    ServiceConfig,
+    ServiceStats,
+    Submission,
+    serve,
 )
 from .perf import AnalysisCache, AnnotationRequest, ParallelSqlExecutor
 from .types import CellRef, ScoredTuple, TupleRef
@@ -159,6 +172,10 @@ __all__ = [
     "PipelineStageError",
     "PoolExhaustedError",
     "DeadLetterError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceUnavailableError",
+    "DeadlineExceededError",
     # storage layer
     "StorageBackend",
     "ConnectionPool",
@@ -184,8 +201,16 @@ __all__ = [
     "Savepoint",
     "FaultInjector",
     "InjectedFault",
+    "SimulatedCrash",
     "DeadLetter",
     "DeadLetterQueue",
+    # service layer
+    "AnnotationService",
+    "ServiceConfig",
+    "ServiceStats",
+    "Submission",
+    "ChaosHarness",
+    "serve",
     # performance layer
     "AnalysisCache",
     "AnnotationRequest",

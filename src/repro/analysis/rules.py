@@ -24,11 +24,13 @@ NBL005     Trace taxonomy: every literal ``tracer.span("...")`` name
            and every ``SPAN_NAMES`` mapping value must appear in
            :data:`repro.observability.stages.CANONICAL_STAGES`.
 NBL006     Resource hygiene: driver ``connect()`` (``sqlite3`` or the
-           ``repro.storage.compat`` adapter), ``.cursor()``, and
-           pool/backend ``.acquire()`` / ``.open_reader()`` results
-           bound in non-test code must be closed/released, managed by
-           ``with``/``closing``, or escape (returned, yielded, stored
-           on ``self``, or handed to another component).
+           ``repro.storage.compat`` adapter), ``.cursor()``,
+           pool/backend ``.acquire()`` / ``.open_reader()``, and the
+           service layer's ``acquire_reader``/``_acquire_reader``
+           results bound in non-test code must be closed/released,
+           managed by ``with``/``closing``, or escape (returned,
+           yielded, stored on ``self``, or handed to another
+           component).
 NBL007     Driver isolation: ``repro/storage/`` is the only package
            allowed to import :mod:`sqlite3`; every other module goes
            through ``repro.storage.compat`` (or a backend handle), so
@@ -602,6 +604,9 @@ def _is_resource_call(node: ast.expr) -> Optional[str]:
     compatibility adapter's ``compat.connect(...)`` /
     ``open_memory_connection()``), ``.cursor()``, and the backend layer's
     leases — ``<pool-ish>.acquire(...)`` / ``<pool-ish>.open_reader()``.
+    The service layer's reader-ladder helpers (``acquire_reader`` /
+    ``_acquire_reader``) count on *any* receiver: the name alone marks
+    the result as a held read handle that must be released.
     """
     if not isinstance(node, ast.Call):
         return None
@@ -613,6 +618,8 @@ def _is_resource_call(node: ast.expr) -> Optional[str]:
             return "connect"
         if func.attr == "cursor":
             return "cursor"
+        if func.attr in ("acquire_reader", "_acquire_reader"):
+            return "reader"
         if func.attr in ("acquire", "open_reader") and _POOLISH_RECEIVER_RE.search(
             ast.unparse(func.value)
         ):
@@ -663,9 +670,16 @@ def check_resource_hygiene(ctx: ModuleContext) -> Iterator[Finding]:
                     escaped.add(func_node.value.id)
                     continue
                 # Handed to another component (incl. contextlib.closing).
+                # An attribute hand-off (``handle.connection``, a bound
+                # ``handle.release``) escapes the handle too: whoever
+                # received it owns the cleanup now.
                 for arg in list(node.args) + [k.value for k in node.keywords]:
                     if isinstance(arg, ast.Name):
                         escaped.add(arg.id)
+                    elif isinstance(arg, ast.Attribute) and isinstance(
+                        arg.value, ast.Name
+                    ):
+                        escaped.add(arg.value.id)
             elif isinstance(node, ast.With):
                 for item in node.items:
                     expr = item.context_expr

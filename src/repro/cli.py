@@ -85,7 +85,11 @@ def _open_engine(
         executor_workers=workers,
     )
     backend = get_backend(
-        config.storage_backend, path=path, pool_size=config.pool_size
+        config.storage_backend,
+        path=path,
+        pool_size=config.pool_size,
+        journal_mode=config.journal_mode,
+        busy_timeout=config.busy_timeout,
     )
     meta = _build_meta(backend.primary)
     aliases = {
@@ -332,6 +336,92 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Drive the concurrent annotation service with N client threads.
+
+    Every client mixes ingestion (through the service's admission-
+    controlled queue) with searches (served by concurrent readers);
+    exit status 1 when any request is lost — neither acknowledged,
+    failed, nor rejected — or the shutdown was not clean.
+    """
+    import threading
+
+    from .errors import ServiceOverloadedError
+    from .service import AnnotationService, ServiceConfig
+
+    nebula = _open_engine(args.db, args.epsilon)
+    gids = [
+        row[0]
+        for row in nebula.connection.execute("SELECT GID FROM Gene LIMIT 16")
+    ]
+    if not gids:
+        print(f"{args.db} has no Gene rows; run `repro generate` first",
+              file=sys.stderr)
+        _close_engine(nebula)
+        return 2
+    service = AnnotationService(
+        nebula,
+        ServiceConfig(
+            queue_capacity=args.queue_capacity,
+            max_batch=args.max_batch,
+            default_deadline=args.deadline,
+        ),
+    ).start()
+    counts = {"ok": 0, "rejected": 0, "failed": 0, "searches": 0}
+    lock = threading.Lock()
+
+    def client(c: int) -> None:
+        for i in range(args.requests):
+            gid = gids[(c + i) % len(gids)]
+            text = f"client {c} note {i}: gene {gid} flagged for review"
+            try:
+                ticket = service.submit(text, author=f"client-{c}")
+            except ServiceOverloadedError:
+                with lock:
+                    counts["rejected"] += 1
+                continue
+            try:
+                ticket.result(timeout=60.0)
+                outcome = "ok"
+            except Exception:
+                outcome = "failed"
+            with lock:
+                counts[outcome] += 1
+            if i % 3 == 0:
+                service.find_annotations("flagged", limit=5)
+                with lock:
+                    counts["searches"] += 1
+
+    threads = [
+        threading.Thread(target=client, args=(c,), name=f"client-{c}")
+        for c in range(args.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stats = service.stats()
+    clean = service.stop()
+    _close_engine(nebula)
+    attempts = args.clients * args.requests
+    accounted = counts["ok"] + counts["failed"] + counts["rejected"]
+    lost = attempts - accounted
+    print(
+        f"{attempts} requests from {args.clients} clients: "
+        f"{counts['ok']} ingested, {counts['rejected']} rejected "
+        f"(admission control), {counts['failed']} failed, "
+        f"{counts['searches']} concurrent searches"
+    )
+    print(
+        f"service: {stats.batches} batches, peak shedding={stats.shedding}, "
+        f"clean shutdown={clean}"
+    )
+    if lost or not clean:
+        print(f"LOST {lost} request(s), clean={clean}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Delegate to nebula-lint, reusing its flag set verbatim."""
     from .analysis.cli import main as lint_main
@@ -436,6 +526,22 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--reject", action="store_true", help="reject instead of verify")
     verify.add_argument("--epsilon", type=float, default=0.6)
     verify.set_defaults(func=cmd_verify)
+
+    serve = sub.add_parser(
+        "serve",
+        help="exercise the concurrent annotation service with N clients",
+    )
+    serve.add_argument("--db", required=True)
+    serve.add_argument("--clients", type=int, default=4,
+                       help="concurrent client threads (default 4)")
+    serve.add_argument("--requests", type=int, default=8,
+                       help="annotations per client (default 8)")
+    serve.add_argument("--queue-capacity", type=int, default=64)
+    serve.add_argument("--max-batch", type=int, default=16)
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-request deadline in seconds (default none)")
+    serve.add_argument("--epsilon", type=float, default=0.6)
+    serve.set_defaults(func=cmd_serve)
 
     demo = sub.add_parser("demo", help="run a tiny in-memory end-to-end demo")
     demo.add_argument("--seed", type=int, default=7)

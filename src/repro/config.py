@@ -25,6 +25,12 @@ from .errors import ConfigurationError
 from .resilience.faults import FaultInjector
 
 
+#: SQLite journal modes a file backend may be configured with.
+JOURNAL_MODES = frozenset(
+    {"wal", "delete", "truncate", "persist", "memory", "off"}
+)
+
+
 def _require(condition: bool, message: str) -> None:
     if not condition:
         raise ConfigurationError(message)
@@ -84,6 +90,15 @@ class NebulaConfig:
     #: Connection-pool size of the storage backend (auxiliary handles
     #: leased by tools and readers; the primary is not pooled).
     pool_size: int = 4
+    #: SQLite journal mode of file-backed engines.  ``"wal"`` (the
+    #: default) lets readers run concurrently with an open write
+    #: transaction — the design the concurrent annotation service
+    #: depends on; the other modes exist for ablations and debugging.
+    journal_mode: str = "wal"
+    #: Seconds a connection waits on a locked database before failing
+    #: (``PRAGMA busy_timeout``); applied to every connection the
+    #: file backend opens, readers included.
+    busy_timeout: float = 5.0
     #: LRU capacity of the keyword-analysis memo cache; 0 disables it.
     analysis_cache_size: int = 2048
     #: Enable the backward concept search special case (§5.2.3, lines 8-12).
@@ -148,6 +163,11 @@ class NebulaConfig:
         _require(self.analysis_cache_size >= 0, "analysis_cache_size must be >= 0")
         _require(bool(self.storage_backend), "storage_backend must be non-empty")
         _require(self.pool_size >= 1, "pool_size must be >= 1")
+        _require(
+            self.journal_mode in JOURNAL_MODES,
+            f"journal_mode must be one of {sorted(JOURNAL_MODES)}",
+        )
+        _require(self.busy_timeout >= 0.0, "busy_timeout must be >= 0")
 
     def with_updates(self, **changes: object) -> "NebulaConfig":
         """Return a copy of this config with ``changes`` applied.

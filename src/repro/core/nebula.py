@@ -895,12 +895,21 @@ class Nebula:
         resolves the letter, a failed one bumps its attempt counter and
         leaves it pending (the replay never captures a second letter).
         Returns the reports of the successful replays, in letter order.
+
+        Replays are **idempotent under concurrent or repeated
+        invocation**: a letter is first *claimed* with an atomic
+        compare-and-set (:meth:`~repro.resilience.DeadLetterQueue.claim`)
+        and skipped when another replayer already holds it, so one row
+        can never be ingested twice.  Successful replays count into
+        ``nebula_dead_letter_replayed_total``.
         """
         reports: List[DiscoveryReport] = []
-        letters = self.dead_letters.pending()
+        letters = self.dead_letters.pending(include_claimed=False)
         if limit is not None:
             letters = letters[:limit]
         for letter in letters:
+            if not self.dead_letters.claim(letter.letter_id):
+                continue
             try:
                 report = self.insert_annotation(
                     letter.content,
@@ -914,6 +923,7 @@ class Nebula:
                 )
                 continue
             self.dead_letters.mark_resolved(letter.letter_id)
+            self.metrics.counter("nebula_dead_letter_replayed_total").inc()
             reports.append(report)
         return reports
 

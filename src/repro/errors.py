@@ -138,3 +138,42 @@ class DeadLetterError(NebulaError):
     def __init__(self, letter_id: int, reason: str = "unknown dead letter") -> None:
         super().__init__(f"{reason}: {letter_id}")
         self.letter_id = letter_id
+
+
+class ServiceError(NebulaError):
+    """Raised by the concurrent annotation service layer."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a submission: the bounded queue is full.
+
+    The 429 of the service layer — the client should back off and retry;
+    ``queue_depth`` / ``capacity`` describe the pressure at reject time.
+    """
+
+    def __init__(self, queue_depth: int, capacity: int) -> None:
+        super().__init__(
+            f"submission queue full ({queue_depth}/{capacity}); "
+            "back off and retry"
+        )
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service is stopped (or stopping) and cannot take the request."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A submission's deadline elapsed before the writer reached it.
+
+    The annotation was *not* ingested — deadline expiry happens strictly
+    before the Stage 0 write, so an expired request leaves no state.
+    """
+
+    def __init__(self, waited: float, deadline: float) -> None:
+        super().__init__(
+            f"deadline of {deadline:.3f}s exceeded after waiting {waited:.3f}s"
+        )
+        self.waited = waited
+        self.deadline = deadline

@@ -39,6 +39,14 @@ CANONICAL_STAGES: FrozenSet[str] = frozenset(
         "stage0.bulk_store",
         # Cross-annotation shared execution of the whole batch's SQL.
         "stage2.batch_execute",
+        # Service layer (repro.service): one request isolated on the
+        # per-item fallback path after a poisoned batch.
+        "service.request",
+        # Service layer: one coalesced batch flushed by the writer loop.
+        "service.batch_flush",
+        # Service layer: startup crash recovery (rollback, checkpoint,
+        # dead-letter replay).
+        "service.recover",
     }
 )
 

@@ -18,9 +18,10 @@ not:
   pipeline failed after retries, drained by
   ``Nebula.reprocess_dead_letters()``;
 * :mod:`~repro.resilience.faults` — :class:`FaultInjector`, the
-  deterministic test harness raising at named fault points
-  (``store.add``, ``spreading.scope``, ``executor.run``,
-  ``queue.triage``).
+  deterministic test harness raising (or stalling) at named fault
+  points (``store.add``, ``spreading.scope``, ``executor.run``,
+  ``queue.triage``, plus the service layer's ``service.flush`` /
+  ``service.reader`` / ``service.crash``).
 """
 
 from .boundaries import Savepoint, pipeline_stage
@@ -29,11 +30,13 @@ from .degradation import (
     CONTEXT_FALLBACK,
     EXECUTOR_FALLBACK,
     MINI_DROP_LEAK,
+    SERVICE_READER_FALLBACK,
+    SERVICE_SHED,
     SPREADING_FALLBACK,
     count_degradation,
     with_fallback,
 )
-from .faults import FAULT_POINTS, FaultInjector, InjectedFault
+from .faults import FAULT_POINTS, FaultInjector, InjectedFault, SimulatedCrash
 from .retry import RetryPolicy, is_transient_operational_error, no_retry
 
 __all__ = [
@@ -44,12 +47,15 @@ __all__ = [
     "CONTEXT_FALLBACK",
     "EXECUTOR_FALLBACK",
     "MINI_DROP_LEAK",
+    "SERVICE_READER_FALLBACK",
+    "SERVICE_SHED",
     "SPREADING_FALLBACK",
     "count_degradation",
     "with_fallback",
     "FAULT_POINTS",
     "FaultInjector",
     "InjectedFault",
+    "SimulatedCrash",
     "RetryPolicy",
     "is_transient_operational_error",
     "no_retry",

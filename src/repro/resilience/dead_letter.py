@@ -37,7 +37,8 @@ CREATE TABLE IF NOT EXISTS _nebula_dead_letters (
     error       TEXT NOT NULL,
     attempts    INTEGER NOT NULL DEFAULT 1,
     status      TEXT NOT NULL DEFAULT 'pending'
-        CHECK (status IN ('pending', 'resolved'))
+        CHECK (status IN ('pending', 'resolved')),
+    claimed     INTEGER NOT NULL DEFAULT 0
 );
 """
 
@@ -71,6 +72,26 @@ class DeadLetterQueue:
         self.connection = connection
         self._retry = retry
         self._execute_script(_DDL)
+        self._ensure_claim_column()
+
+    def _ensure_claim_column(self) -> None:
+        """Migrate pre-claim databases: add the ``claimed`` column.
+
+        ``CREATE TABLE IF NOT EXISTS`` leaves an existing table alone, so
+        a database written before the replay-claim protocol lacks the
+        column; adding it with a 0 default is exactly the state every
+        unclaimed letter should be in.
+        """
+        columns = {
+            str(row[1])
+            for row in self._execute("PRAGMA table_info(_nebula_dead_letters)")
+        }
+        if "claimed" not in columns:
+            self._execute(
+                "ALTER TABLE _nebula_dead_letters "
+                "ADD COLUMN claimed INTEGER NOT NULL DEFAULT 0"
+            )
+            self._commit()
 
     # ------------------------------------------------------------------
 
@@ -132,11 +153,20 @@ class DeadLetterQueue:
             raise DeadLetterError(letter_id)
         return _row_to_letter(row)
 
-    def pending(self) -> List[DeadLetter]:
-        rows = self._execute(
+    def pending(self, include_claimed: bool = True) -> List[DeadLetter]:
+        """Pending letters, oldest first.
+
+        ``include_claimed=False`` hides letters another replayer has
+        already claimed (see :meth:`claim`) — the view a concurrent
+        ``reprocess_dead_letters`` invocation should drain from.
+        """
+        sql = (
             f"SELECT {_COLUMNS} FROM _nebula_dead_letters "
-            "WHERE status = 'pending' ORDER BY letter_id"
-        ).fetchall()
+            "WHERE status = 'pending'"
+        )
+        if not include_claimed:
+            sql += " AND claimed = 0"
+        rows = self._execute(sql + " ORDER BY letter_id").fetchall()
         return [_row_to_letter(r) for r in rows]
 
     def count(self, status: Optional[str] = None) -> int:
@@ -147,6 +177,40 @@ class DeadLetterQueue:
                 "SELECT COUNT(*) FROM _nebula_dead_letters WHERE status = ?", (status,)
             ).fetchone()
         return int(row[0])
+
+    def claim(self, letter_id: int) -> bool:
+        """Atomically mark a pending letter as being replayed.
+
+        Returns True when this caller won the claim; False when the
+        letter is already claimed, resolved, or unknown.  The compare-
+        and-set UPDATE is what makes concurrent or repeated
+        ``reprocess_dead_letters`` invocations idempotent: exactly one
+        replayer can hold a letter at a time, so a row can never be
+        replayed twice.  A failed replay releases the claim
+        (:meth:`record_attempt`); a crashed replayer's stale claims are
+        released by :meth:`release_claims` at recovery.
+        """
+        cursor = self._execute(
+            "UPDATE _nebula_dead_letters SET claimed = 1 "
+            "WHERE letter_id = ? AND status = 'pending' AND claimed = 0",
+            (letter_id,),
+        )
+        self._commit()
+        return cursor.rowcount == 1
+
+    def release_claims(self) -> int:
+        """Release every stale claim (crash recovery).
+
+        A replayer that died mid-replay leaves its letters claimed but
+        unresolved; startup recovery calls this so they become
+        drainable again.  Returns the number of claims released.
+        """
+        cursor = self._execute(
+            "UPDATE _nebula_dead_letters SET claimed = 0 "
+            "WHERE status = 'pending' AND claimed = 1"
+        )
+        self._commit()
+        return int(cursor.rowcount)
 
     def mark_resolved(self, letter_id: int) -> None:
         """A successful replay: the letter leaves the pending set."""
@@ -167,9 +231,14 @@ class DeadLetterQueue:
         )
 
     def record_attempt(self, letter_id: int, error: str) -> None:
-        """A failed replay: bump the attempt counter, keep it pending."""
+        """A failed replay: bump the attempt counter, keep it pending.
+
+        The claim is released so a later (or concurrent) replayer can
+        retry the letter once the underlying fault has cleared.
+        """
         cursor = self._execute(
-            "UPDATE _nebula_dead_letters SET attempts = attempts + 1, error = ? "
+            "UPDATE _nebula_dead_letters SET attempts = attempts + 1, "
+            "error = ?, claimed = 0 "
             "WHERE letter_id = ? AND status = 'pending'",
             (error, letter_id),
         )

@@ -10,6 +10,8 @@ spreading-scope construction  full-database search
 shared multi-query executor   per-query sequential execution
 context-based adjustment      unadjusted signature-map weights
 mini-database drop            leak the temp tables (logged, non-fatal)
+sustained service pressure    approximate (spreading) search pinned on
+service reader connection     pooled read-write handle used read-only
 ==========================  ==========================================
 
 Every step down is recorded as a label in
@@ -37,6 +39,12 @@ EXECUTOR_FALLBACK = "executor.run:sequential"
 CONTEXT_FALLBACK = "context.adjust:unadjusted-weights"
 #: Mini-database drop failed -> temp tables leaked until connection close.
 MINI_DROP_LEAK = "spreading.mini_drop:leaked"
+#: Sustained queue pressure -> the service pins the cheaper approximate
+#: (focal-based spreading) search for the batches it flushes.
+SERVICE_SHED = "service.pressure:approximate-search"
+#: A service reader connection failed -> a pooled handle (or, last, the
+#: writer's primary under the write lock) serves the read.
+SERVICE_READER_FALLBACK = "service.reader:pooled"
 
 
 def count_degradation(label: str) -> None:

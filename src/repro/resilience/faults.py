@@ -11,15 +11,26 @@ monkeypatching and fully deterministic behavior.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple, Union
 
-#: The named fault points the pipeline checks, in stage order.
+#: The named fault points the pipeline checks, in stage order.  The
+#: ``service.*`` points are checked by the concurrent annotation service
+#: (:mod:`repro.service`): ``service.flush`` fires in the single-writer
+#: loop right before a batch flush (arm a *stall* there to saturate the
+#: writer), ``service.reader`` fires when a read endpoint opens its
+#: reader connection, and ``service.crash`` fires between a flushed
+#: batch and its commit (arm a :class:`SimulatedCrash` there to model a
+#: mid-batch process death).
 FAULT_POINTS: Tuple[str, ...] = (
     "store.add",
     "spreading.scope",
     "executor.run",
     "queue.triage",
+    "service.flush",
+    "service.reader",
+    "service.crash",
 )
 
 
@@ -31,10 +42,26 @@ class InjectedFault(RuntimeError):
         self.point = point
 
 
+class SimulatedCrash(BaseException):
+    """A scripted process death (chaos harness).
+
+    Derives from :class:`BaseException` on purpose: robust components
+    catch ``Exception`` to stay alive, and a simulated crash must punch
+    through exactly like a real ``SIGKILL`` would — nothing between the
+    fault point and the top of the thread gets to handle it.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at {point!r}")
+        self.point = point
+
+
 @dataclass
 class _Arming:
-    factory: Callable[[], BaseException]
+    factory: Optional[Callable[[], BaseException]]
     remaining: int
+    #: Seconds to stall instead of raising (writer-stall chaos).
+    delay: float = 0.0
 
 
 class FaultInjector:
@@ -77,6 +104,24 @@ class FaultInjector:
         self._armed[point] = _Arming(factory=factory, remaining=times)
         return self
 
+    def arm_stall(
+        self, point: str, seconds: float, times: int = 1
+    ) -> "FaultInjector":
+        """Arm ``point`` to *stall* (sleep ``seconds``) instead of raising.
+
+        The chaos harness uses this to model a slow disk or a saturated
+        writer: the fault point blocks, nothing fails.  ``times`` follows
+        the same semantics as :meth:`arm`.
+        """
+        if point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {point!r}; pipeline checks {FAULT_POINTS}"
+            )
+        if seconds < 0:
+            raise ValueError("stall duration must be >= 0")
+        self._armed[point] = _Arming(factory=None, remaining=times, delay=seconds)
+        return self
+
     def disarm(self, point: str) -> None:
         self._armed.pop(point, None)
 
@@ -92,7 +137,7 @@ class FaultInjector:
         return sum(self._fired.values())
 
     def check(self, point: str) -> None:
-        """Raise the scripted exception if ``point`` is armed."""
+        """Raise (or stall) the scripted fault if ``point`` is armed."""
         arming = self._armed.get(point)
         if arming is None or arming.remaining == 0:
             return
@@ -101,4 +146,7 @@ class FaultInjector:
             if arming.remaining == 0:
                 self._armed.pop(point, None)
         self._fired[point] = self._fired.get(point, 0) + 1
+        if arming.factory is None:
+            time.sleep(arming.delay)
+            return
         raise arming.factory()

@@ -1,0 +1,29 @@
+"""The concurrent annotation service (one writer, many clients).
+
+:class:`AnnotationService` runs a :class:`~repro.core.nebula.Nebula`
+engine as a long-lived threaded service: a bounded submission queue with
+reject-on-full admission control feeds a single writer thread that
+coalesces requests into batches, while read endpoints serve search and
+stats from concurrent reader connections (WAL).  See ``docs/service.md``
+for the architecture and the overload / recovery semantics.
+
+>>> from repro import Nebula, AnnotationService
+>>> service = AnnotationService(Nebula(backend)).start()
+>>> ticket = service.submit("Sample #12 shows contamination")
+>>> report = ticket.result(timeout=5.0)
+>>> service.stop()
+"""
+
+from .chaos import ChaosHarness
+from .queue import Submission, SubmissionQueue
+from .service import AnnotationService, ServiceConfig, ServiceStats, serve
+
+__all__ = [
+    "AnnotationService",
+    "ChaosHarness",
+    "ServiceConfig",
+    "ServiceStats",
+    "Submission",
+    "SubmissionQueue",
+    "serve",
+]

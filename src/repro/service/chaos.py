@@ -1,0 +1,80 @@
+"""The chaos harness: scripted failures against a live service.
+
+A :class:`ChaosHarness` wraps the :class:`~repro.resilience.faults.
+FaultInjector` a service was configured with and names the scenarios the
+robustness suite (``tests/test_service_chaos.py``) runs:
+
+* :meth:`writer_stall` — the writer's flush blocks (slow disk, fsync
+  storm).  The invariant under a stalled writer: reads keep completing
+  (WAL readers never wait on the write transaction) and admission
+  control starts rejecting once the queue fills — no unbounded buffering.
+* :meth:`reader_outage` — opening a reader connection fails; the read
+  path must step down its fallback ladder instead of erroring out.
+* :meth:`poison_batch` — Stage 3 fails mid-batch; one bad member must
+  not take its neighbors down (per-request isolation + dead letter).
+* :meth:`crash_before_commit` — a :class:`~repro.resilience.faults.
+  SimulatedCrash` (a ``BaseException``, uncatchable by robust code)
+  fires after a batch flushed but before it committed.  The invariant:
+  after restart + recovery, the database holds exactly the acknowledged
+  annotations — the crashed batch's members were never acked, their
+  writes rolled back, nothing is duplicated by replay.
+
+The harness only *arms* faults; the service's own fault-point checks
+(``service.flush`` / ``service.reader`` / ``service.crash`` /
+``queue.triage``) fire them.  Everything is deterministic — no random
+sleeps, no wall-clock races.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..resilience.faults import FaultInjector, SimulatedCrash
+
+
+class ChaosHarness:
+    """Named chaos scenarios over a service's fault injector."""
+
+    def __init__(self, faults: Optional[FaultInjector]) -> None:
+        if faults is None:
+            raise ConfigurationError(
+                "chaos needs a fault injector: construct the engine with "
+                "NebulaConfig(fault_injector=FaultInjector())"
+            )
+        self.faults = faults
+
+    def writer_stall(self, seconds: float, times: int = 1) -> "ChaosHarness":
+        """The next ``times`` batch flushes stall ``seconds`` each."""
+        self.faults.arm_stall("service.flush", seconds, times=times)
+        return self
+
+    def reader_outage(self, times: int = 1) -> "ChaosHarness":
+        """The next ``times`` reader-connection opens fail."""
+        self.faults.arm("service.reader", times=times)
+        return self
+
+    def poison_batch(self, times: int = 1) -> "ChaosHarness":
+        """Stage-3 triage fails for the next ``times`` annotations.
+
+        Against a batch flush: the first failure poisons the whole
+        batch (rolled back, no dead letters); the service's per-request
+        fallback then re-runs each member, where the remaining armed
+        failures dead-letter only the members they hit.
+        """
+        self.faults.arm("queue.triage", times=times)
+        return self
+
+    def crash_before_commit(self) -> "ChaosHarness":
+        """The next flushed batch dies between flush and commit."""
+        self.faults.arm(
+            "service.crash", lambda: SimulatedCrash("service.crash")
+        )
+        return self
+
+    def fired(self, point: Optional[str] = None) -> int:
+        """How many scripted faults actually fired."""
+        return self.faults.fired(point)
+
+    def reset(self) -> None:
+        self.faults.reset()

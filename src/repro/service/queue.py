@@ -1,0 +1,179 @@
+"""The bounded submission queue feeding the single-writer loop.
+
+Clients hand :class:`Submission` tickets to :meth:`SubmissionQueue.put`
+from any thread; the writer drains them in arrival order with
+:meth:`SubmissionQueue.drain`, taking up to a whole batch at once so
+concurrent submissions coalesce into one ``insert_annotations`` pass.
+
+**Admission control is reject-on-full**: a ``put`` against a full queue
+raises :class:`~repro.errors.ServiceOverloadedError` immediately (the
+429 of this layer) instead of blocking the client — under overload the
+queue bounds both memory and the worst-case latency of everything
+already admitted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..errors import (
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
+from ..perf import AnnotationRequest
+
+
+class Submission:
+    """One admitted annotation request and its eventual outcome.
+
+    The client thread holds the ticket and blocks in :meth:`result`;
+    the writer thread completes it with ``succeed``/``fail``.  The
+    ticket completes exactly once — later completions are ignored, so a
+    crash-path sweep cannot overwrite a real outcome.
+    """
+
+    def __init__(
+        self,
+        request: AnnotationRequest,
+        deadline: Optional[float] = None,
+    ) -> None:
+        self.request = request
+        #: Seconds the request may wait end-to-end (None = no deadline).
+        self.deadline = deadline
+        self.submitted_at = time.monotonic()
+        self._done = threading.Event()
+        self._report: Optional[object] = None
+        self._error: Optional[BaseException] = None
+
+    # -- writer side ----------------------------------------------------
+
+    def succeed(self, report: object) -> None:
+        if not self._done.is_set():
+            self._report = report
+            self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        if not self._done.is_set():
+            self._error = error
+            self._done.set()
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the deadline elapsed (before the writer got to it)."""
+        if self.deadline is None:
+            return False
+        now = time.monotonic() if now is None else now
+        return now - self.submitted_at >= self.deadline
+
+    def waited(self, now: Optional[float] = None) -> float:
+        now = time.monotonic() if now is None else now
+        return now - self.submitted_at
+
+    def expire(self) -> None:
+        """Complete the ticket with a :class:`DeadlineExceededError`."""
+        assert self.deadline is not None
+        self.fail(DeadlineExceededError(self.waited(), self.deadline))
+
+    # -- client side ----------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> object:
+        """Block until the writer completes the ticket.
+
+        Returns the :class:`~repro.core.nebula.DiscoveryReport`; raises
+        the writer-side error (deadline expiry, pipeline failure,
+        shutdown) or :class:`TimeoutError` when ``timeout`` elapses
+        first — in which case the submission is still in flight.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError("submission still in flight")
+        if self._error is not None:
+            raise self._error
+        return self._report
+
+
+class SubmissionQueue:
+    """Bounded FIFO of submissions with reject-on-full admission."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._items: Deque[Submission] = deque()
+        self._condition = threading.Condition()
+        self._closed = False
+        #: Lifetime admission counters (guarded by the condition lock).
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def depth(self) -> int:
+        with self._condition:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._condition:
+            return self._closed
+
+    def put(self, submission: Submission) -> None:
+        """Admit one submission or reject it immediately.
+
+        Raises :class:`ServiceOverloadedError` on a full queue and
+        :class:`ServiceUnavailableError` on a closed one.
+        """
+        with self._condition:
+            if self._closed:
+                raise ServiceUnavailableError(
+                    "annotation service is not accepting submissions"
+                )
+            if len(self._items) >= self.capacity:
+                self.rejected += 1
+                raise ServiceOverloadedError(len(self._items), self.capacity)
+            self._items.append(submission)
+            self.admitted += 1
+            self._condition.notify()
+
+    def drain(self, max_items: int, timeout: float) -> List[Submission]:
+        """Take up to ``max_items`` submissions, oldest first.
+
+        Blocks up to ``timeout`` seconds for the first item; whatever
+        else is already queued comes along in the same batch (the
+        coalescing that turns concurrent clients into one
+        ``insert_annotations`` call).  Returns ``[]`` on timeout or when
+        the queue is closed and empty.
+        """
+        with self._condition:
+            if not self._items:
+                if self._closed:
+                    return []
+                self._condition.wait(timeout)
+            batch: List[Submission] = []
+            while self._items and len(batch) < max_items:
+                batch.append(self._items.popleft())
+            return batch
+
+    def close(self) -> List[Submission]:
+        """Refuse new submissions; return whatever was still queued.
+
+        The caller (the service's shutdown path) decides the fate of the
+        returned stragglers — flush them within the shutdown budget or
+        fail them with :class:`ServiceUnavailableError`.
+        """
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+            return list(self._items)
+
+    def clear(self) -> List[Submission]:
+        """Remove and return every queued submission (shutdown sweep)."""
+        with self._condition:
+            items = list(self._items)
+            self._items.clear()
+            return items

@@ -187,8 +187,21 @@ def _read_only_uri(path: str) -> str:
     return Path(path).resolve().as_uri() + "?mode=ro"
 
 
+#: Journal modes :class:`SqliteFileBackend` accepts (SQLite's set).
+JOURNAL_MODES = frozenset(
+    {"wal", "delete", "truncate", "persist", "memory", "off"}
+)
+
+
 class SqliteFileBackend(_SqliteBackendBase):
-    """A file-backed SQLite database with read-only reader connections."""
+    """A file-backed SQLite database with read-only reader connections.
+
+    The backend opens every connection in ``journal_mode`` (WAL by
+    default — readers proceed while a write transaction is open, the
+    property the concurrent annotation service builds on) and with a
+    ``busy_timeout`` so a briefly locked database waits instead of
+    failing immediately.
+    """
 
     name = "sqlite-file"
 
@@ -198,23 +211,61 @@ class SqliteFileBackend(_SqliteBackendBase):
         pool_size: int = 4,
         pool_timeout: float = 5.0,
         dialect: Dialect = SQLITE_DIALECT,
+        journal_mode: str = "wal",
+        busy_timeout: float = 5.0,
     ) -> None:
         super().__init__(pool_size, pool_timeout, dialect)
         if not path:
             raise StorageError("sqlite-file backend requires a database path")
+        if journal_mode not in JOURNAL_MODES:
+            raise StorageError(
+                f"unknown journal mode {journal_mode!r} "
+                f"(choose from {sorted(JOURNAL_MODES)})"
+            )
+        if busy_timeout < 0:
+            raise StorageError("busy_timeout must be >= 0 seconds")
         self.path = str(path)
+        self.journal_mode = journal_mode
+        self.busy_timeout = busy_timeout
+
+    def _apply_busy_timeout(self, connection: Connection) -> None:
+        # PRAGMA takes no bound parameters; the value is a validated
+        # non-negative float coerced to integer milliseconds.
+        millis = int(self.busy_timeout * 1000)
+        connection.execute(f"PRAGMA busy_timeout = {millis:d}")  # nebula-lint: ignore[NBL001]
 
     def connect(self) -> Connection:
         # check_same_thread=False: pooled handles may be leased by one
         # thread and returned (or closed at shutdown) by another; each
         # lease is still used by a single thread at a time.
-        return compat.connect(self.path, check_same_thread=False)
+        connection = compat.connect(self.path, check_same_thread=False)
+        self._apply_busy_timeout(connection)
+        # The journal mode is a property of the database file; setting it
+        # on each read-write connection is idempotent.  The value is
+        # whitelisted in __init__, never caller-interpolated.
+        connection.execute(f"PRAGMA journal_mode = {self.journal_mode}")  # nebula-lint: ignore[NBL001]
+        return connection
 
     def open_reader(self) -> Optional[Connection]:
         self._ensure_open()
-        return compat.connect(
+        # mode=ro connections cannot change the journal mode (and need
+        # not: it lives in the database file); the busy timeout still
+        # applies so readers ride out checkpoint locks.
+        reader = compat.connect(
             _read_only_uri(self.path), uri=True, check_same_thread=False
         )
+        self._apply_busy_timeout(reader)
+        return reader
+
+    def checkpoint(self) -> None:
+        """Fold the write-ahead log back into the database file.
+
+        A no-op outside WAL mode.  Startup recovery calls this so a
+        crash's WAL remnants are truncated before the service goes
+        ready.
+        """
+        if self.journal_mode == "wal":
+            self.primary.execute("PRAGMA wal_checkpoint(TRUNCATE)")
 
     @property
     def supports_concurrent_reads(self) -> bool:

@@ -74,7 +74,12 @@ def _sqlite_file_factory(
 ) -> StorageBackend:
     if path is None:
         raise StorageError("sqlite-file backend requires path=...")
-    return SqliteFileBackend(path, pool_size=pool_size)
+    kwargs = {
+        name: options[name]
+        for name in ("journal_mode", "busy_timeout", "pool_timeout")
+        if name in options
+    }
+    return SqliteFileBackend(path, pool_size=pool_size, **kwargs)  # type: ignore[arg-type]
 
 
 def _sqlite_memory_factory(

@@ -353,6 +353,27 @@ class TestSpanRegistry:
         )
         assert findings == []
 
+    @pytest.mark.parametrize(
+        "name", ["service.request", "service.batch_flush", "service.recover"]
+    )
+    def test_service_spans_are_canonical(self, tmp_path, name):
+        findings = lint(
+            tmp_path,
+            "def f(tracer):\n"
+            f'    with tracer.span("{name}"):\n'
+            "        pass\n",
+        )
+        assert findings == []
+
+    def test_misspelled_service_span_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(tracer):\n"
+            '    with tracer.span("service.flush_batch"):\n'
+            "        pass\n",
+        )
+        assert rule_ids(findings) == ["NBL005"]
+
 
 # ----------------------------------------------------------------------
 # NBL006 — resource hygiene
@@ -474,6 +495,56 @@ class TestResourceHygieneStorageLayer:
             "def f(lock):\n"
             "    held = lock.acquire()\n"
             "    return None\n",
+            rules=["NBL006"],
+        )
+        assert findings == []
+
+    def test_unreleased_service_reader_handle_flagged(self, tmp_path):
+        """The service's reader-ladder helpers count as openers on any
+        receiver — the name alone marks a held read handle."""
+        findings = lint(
+            tmp_path,
+            "class S:\n"
+            "    def read(self):\n"
+            "        handle = self._acquire_reader()\n"
+            '        return handle.connection.execute("SELECT 1").fetchone()\n',
+            rules=["NBL006"],
+        )
+        assert rule_ids(findings) == ["NBL006"]
+        assert findings[0].details["kind"] == "reader"
+
+    def test_service_reader_released_in_finally_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "class S:\n"
+            "    def read(self, fn):\n"
+            "        handle = self._acquire_reader()\n"
+            "        try:\n"
+            "            return fn(handle.connection)\n"
+            "        finally:\n"
+            "            handle.release()\n",
+            rules=["NBL006"],
+        )
+        assert findings == []
+
+    def test_public_acquire_reader_spelling_recognized(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(service):\n"
+            "    handle = service.acquire_reader()\n"
+            '    handle.connection.execute("SELECT 1")\n',
+            rules=["NBL006"],
+        )
+        assert rule_ids(findings) == ["NBL006"]
+
+    def test_attribute_handoff_escapes_the_resource(self, tmp_path):
+        """Handing ``lease.connection`` / a bound ``lease.release`` to
+        another component transfers cleanup ownership."""
+        findings = lint(
+            tmp_path,
+            "def f(pool, wrap):\n"
+            "    lease = pool.acquire()\n"
+            "    return wrap(lease.connection, lease.release)\n",
             rules=["NBL006"],
         )
         assert findings == []

@@ -246,6 +246,105 @@ class TestDeadLetters:
         with pytest.raises(DeadLetterError):
             queue.get(9999)
 
+    def test_claim_is_an_atomic_compare_and_set(self, db):
+        queue = DeadLetterQueue(db.connection)
+        letter = queue.capture(
+            "text", (TupleRef("Gene", 1),), None, "store.add", "boom"
+        )
+        assert queue.claim(letter.letter_id) is True
+        assert queue.claim(letter.letter_id) is False  # already claimed
+        assert queue.pending(include_claimed=False) == []
+        assert len(queue.pending()) == 1  # still pending, just claimed
+        assert queue.release_claims() == 1
+        assert queue.claim(letter.letter_id) is True
+        queue.mark_resolved(letter.letter_id)
+        assert queue.claim(letter.letter_id) is False  # resolved: unclaimable
+
+    def test_record_attempt_releases_the_claim(self, db):
+        queue = DeadLetterQueue(db.connection)
+        letter = queue.capture(
+            "text", (TupleRef("Gene", 1),), None, "store.add", "boom"
+        )
+        assert queue.claim(letter.letter_id)
+        queue.record_attempt(letter.letter_id, "failed again")
+        # A failed replay leaves the letter claimable by the next pass.
+        assert queue.claim(letter.letter_id)
+
+    def test_reprocess_is_idempotent_under_repeated_invocation(
+        self, db, nebula, faults, metrics
+    ):
+        """Regression: a replayed letter must be ingested exactly once,
+        even when reprocess_dead_letters runs again (or concurrently)."""
+        before = snapshot(nebula)
+        faults.arm("queue.triage")
+        with pytest.raises(PipelineStageError):
+            sample_insert(db, nebula)
+        assert nebula.dead_letters.count("pending") == 1
+
+        first = nebula.reprocess_dead_letters()
+        second = nebula.reprocess_dead_letters()
+        assert len(first) == 1
+        assert second == []
+        assert (
+            nebula.manager.store.count_annotations() == before["annotations"] + 1
+        )
+        assert (
+            metrics.counter("nebula_dead_letter_replayed_total").value == 1
+        )
+
+    def test_reprocess_skips_letters_claimed_by_another_replayer(
+        self, db, nebula, faults
+    ):
+        faults.arm("queue.triage")
+        with pytest.raises(PipelineStageError):
+            sample_insert(db, nebula)
+        (letter,) = nebula.dead_letters.pending()
+        # Another replayer (another process, a service recovery) holds it.
+        assert nebula.dead_letters.claim(letter.letter_id)
+        assert nebula.reprocess_dead_letters() == []
+        assert nebula.dead_letters.count("pending") == 1
+        # Once the claim is released the letter replays normally.
+        nebula.dead_letters.release_claims()
+        assert len(nebula.reprocess_dead_letters()) == 1
+
+    def test_claim_column_migrates_onto_old_tables(self, tmp_path):
+        """A database created before the claim protocol (no ``claimed``
+        column) upgrades in place on open."""
+        import sqlite3
+
+        path = tmp_path / "old.db"
+        old = sqlite3.connect(path)
+        old.execute(
+            """
+            CREATE TABLE _nebula_dead_letters (
+                letter_id   INTEGER PRIMARY KEY,
+                content     TEXT NOT NULL,
+                author      TEXT,
+                focal_json  TEXT NOT NULL,
+                stage       TEXT NOT NULL,
+                error       TEXT NOT NULL,
+                attempts    INTEGER NOT NULL DEFAULT 1,
+                status      TEXT NOT NULL DEFAULT 'pending'
+                    CHECK (status IN ('pending', 'resolved'))
+            )
+            """
+        )
+        old.execute(
+            "INSERT INTO _nebula_dead_letters "
+            "(content, focal_json, stage, error) "
+            "VALUES ('legacy', '[]', 'store.add', 'boom')"
+        )
+        old.commit()
+        old.close()
+
+        reopened = sqlite3.connect(path)
+        queue = DeadLetterQueue(reopened)
+        (letter,) = queue.pending(include_claimed=False)
+        assert letter.content == "legacy"
+        assert queue.claim(letter.letter_id)
+        assert queue.pending(include_claimed=False) == []
+        reopened.close()
+
     def test_capture_survives_process_exit(self, tmp_path):
         """A letter captured by a crashing process must already be durable:
         closing the connection without commit() must not lose it."""

@@ -215,6 +215,99 @@ class TestSqliteFileBackend:
 
 
 # ----------------------------------------------------------------------
+# WAL concurrency (what the annotation service builds on)
+# ----------------------------------------------------------------------
+
+
+class TestWalConcurrency:
+    def test_wal_is_the_default_journal_mode(self, tmp_path):
+        with SqliteFileBackend(str(tmp_path / "w.db")) as backend:
+            mode = backend.primary.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode == "wal"
+
+    def test_journal_mode_knob(self, tmp_path):
+        with SqliteFileBackend(
+            str(tmp_path / "d.db"), journal_mode="delete"
+        ) as backend:
+            mode = backend.primary.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode == "delete"
+
+    def test_unknown_journal_mode_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="journal mode"):
+            SqliteFileBackend(str(tmp_path / "x.db"), journal_mode="bogus")
+
+    def test_negative_busy_timeout_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="busy_timeout"):
+            SqliteFileBackend(str(tmp_path / "x.db"), busy_timeout=-1.0)
+
+    def test_busy_timeout_applied_to_connections(self, tmp_path):
+        with SqliteFileBackend(
+            str(tmp_path / "b.db"), busy_timeout=2.5
+        ) as backend:
+            millis = backend.primary.execute("PRAGMA busy_timeout").fetchone()[0]
+            assert millis == 2500
+            reader = backend.open_reader()
+            assert reader is not None
+            assert reader.execute("PRAGMA busy_timeout").fetchone()[0] == 2500
+            reader.close()
+
+    def test_reader_progresses_inside_open_write_transaction(self, tmp_path):
+        """The WAL property the concurrent service is built on: a reader
+        completes (on the pre-write snapshot) while the primary holds an
+        open, uncommitted write transaction."""
+        with SqliteFileBackend(str(tmp_path / "wal.db")) as backend:
+            primary = backend.primary
+            primary.execute("CREATE TABLE t (x)")
+            primary.execute("INSERT INTO t VALUES (1)")
+            primary.commit()
+            primary.execute("BEGIN")
+            primary.execute("INSERT INTO t VALUES (2)")
+            assert primary.in_transaction
+            seen = []
+
+            def read():
+                reader = backend.open_reader()
+                try:
+                    rows = reader.execute(
+                        "SELECT COUNT(*) FROM t"
+                    ).fetchone()
+                    seen.append(rows[0])
+                finally:
+                    reader.close()
+
+            thread = threading.Thread(target=read)
+            thread.start()
+            thread.join(5.0)
+            assert not thread.is_alive(), "reader blocked on the writer"
+            assert seen == [1]  # snapshot view: committed data only
+            primary.commit()
+            probe = backend.open_reader()
+            assert probe.execute("SELECT COUNT(*) FROM t").fetchone() == (2,)
+            probe.close()
+
+    def test_checkpoint_truncates_the_wal(self, tmp_path):
+        path = tmp_path / "cp.db"
+        with SqliteFileBackend(str(path)) as backend:
+            backend.primary.execute("CREATE TABLE t (x)")
+            backend.primary.executemany(
+                "INSERT INTO t VALUES (?)", [(i,) for i in range(200)]
+            )
+            backend.primary.commit()
+            wal = path.with_name(path.name + "-wal")
+            assert wal.exists() and wal.stat().st_size > 0
+            backend.checkpoint()
+            assert wal.stat().st_size == 0
+
+    def test_checkpoint_is_a_noop_outside_wal(self, tmp_path):
+        with SqliteFileBackend(
+            str(tmp_path / "nw.db"), journal_mode="delete"
+        ) as backend:
+            backend.primary.execute("CREATE TABLE t (x)")
+            backend.primary.commit()
+            backend.checkpoint()  # must not raise
+
+
+# ----------------------------------------------------------------------
 # Memory backend
 # ----------------------------------------------------------------------
 
@@ -351,6 +444,32 @@ class TestConfigKnobs:
     def test_storage_backend_validated(self):
         with pytest.raises(ConfigurationError):
             NebulaConfig(storage_backend="")
+
+    def test_journal_mode_and_busy_timeout_defaults(self):
+        config = NebulaConfig()
+        assert config.journal_mode == "wal"
+        assert config.busy_timeout == 5.0
+
+    def test_journal_mode_validated(self):
+        with pytest.raises(ConfigurationError):
+            NebulaConfig(journal_mode="bogus")  # nebula-lint: ignore[NBL003]
+
+    def test_busy_timeout_validated(self):
+        with pytest.raises(ConfigurationError):
+            NebulaConfig(busy_timeout=-0.1)  # nebula-lint: ignore[NBL003]
+
+    def test_registry_forwards_journal_knobs(self, tmp_path):
+        with get_backend(
+            "sqlite-file",
+            path=str(tmp_path / "k.db"),
+            journal_mode="truncate",
+            busy_timeout=1.0,
+        ) as backend:
+            assert backend.journal_mode == "truncate"
+            assert backend.busy_timeout == 1.0
+        # The memory factory ignores what it does not need.
+        with get_backend("sqlite-memory", journal_mode="wal") as backend:
+            assert backend.name == "sqlite-memory"
 
 
 # ----------------------------------------------------------------------
