@@ -1,0 +1,199 @@
+"""Service latency under concurrent load (the telemetry plane's numbers).
+
+Not a paper figure: the operational companion to the Figure 16 stage
+breakdown.  Drives concurrent client threads through the annotation
+service's admission-controlled queue and reports the streaming latency
+percentiles the telemetry plane measures in production — p50/p95/p99 of
+queue wait, writer flush, and end-to-end submit→ack — plus the
+sustained ingestion rate.  The percentiles come from the service's own
+:class:`~repro.observability.quantiles.PhaseQuantiles` estimators (the
+same numbers ``/metrics`` and ``repro top`` render), so the benchmark
+doubles as a check that the measurement plane agrees with client-side
+wall-clock accounting.
+
+Exports the machine-readable summary CI tracks to
+``benchmarks/results/BENCH_service_latency.json``.  Set ``BENCH_SMOKE=1``
+for the small CI world with relaxed assertions.
+
+Honors ``NEBULA_BACKEND``; defaults to the shared-cache memory engine.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service_latency.py -q
+"""
+
+import json
+import os
+import tempfile
+import threading
+import time
+
+from repro import (
+    AnnotationService,
+    BioDatabaseSpec,
+    Nebula,
+    NebulaConfig,
+    ServiceConfig,
+    generate_bio_database,
+    get_backend,
+)
+from repro.errors import ServiceOverloadedError
+from repro.observability import StreamingQuantiles, merged_percentiles
+
+from conftest import RESULTS_DIR, report, table
+
+BENCH_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+CLIENTS = 4 if BENCH_SMOKE else 8
+REQUESTS_PER_CLIENT = 10 if BENCH_SMOKE else 50
+SPEC = (
+    BioDatabaseSpec(genes=80, proteins=48, publications=300, seed=41)
+    if BENCH_SMOKE
+    else BioDatabaseSpec(genes=300, proteins=180, publications=1200, seed=41)
+)
+
+PHASES = ("queue", "flush", "e2e")
+
+
+def _build_world():
+    engine = os.environ.get("NEBULA_BACKEND", "sqlite-memory")
+    path = None
+    if engine == "sqlite-file":
+        handle = tempfile.NamedTemporaryFile(
+            suffix=".db", prefix="nebula-bench-service-", delete=False
+        )
+        handle.close()
+        path = handle.name
+    backend = get_backend(engine, path=path)
+    db = generate_bio_database(SPEC, backend=backend)
+    nebula = Nebula(
+        backend, db.meta, NebulaConfig(epsilon=0.6), aliases=db.aliases
+    )
+    return backend, path, db, nebula
+
+
+def test_service_latency_percentiles():
+    backend, path, db, nebula = _build_world()
+    service = AnnotationService(
+        nebula,
+        ServiceConfig(
+            queue_capacity=max(CLIENTS * 4, 16),
+            max_batch=8,
+            flush_interval=0.005,
+            latency_window=4096,
+        ),
+    ).start()
+
+    counts = {"ok": 0, "failed": 0, "retries": 0}
+    lock = threading.Lock()
+    # Client-side wall-clock e2e, sharded per thread and merged at the
+    # end — the independent check against the service's own estimator.
+    client_e2e = [StreamingQuantiles(window=4096) for _ in range(CLIENTS)]
+
+    def client(c):
+        estimator = client_e2e[c]
+        for i in range(REQUESTS_PER_CLIENT):
+            gene = db.genes[(c * REQUESTS_PER_CLIENT + i) % len(db.genes)]
+            text = f"bench client {c} note {i}: gene {gene.gid} under load"
+            started = time.perf_counter()
+            while True:
+                try:
+                    ticket = service.submit(text, author=f"client-{c}")
+                    break
+                except ServiceOverloadedError:
+                    # Sustained-load convention: overloaded clients back
+                    # off and retry rather than dropping the request.
+                    with lock:
+                        counts["retries"] += 1
+                    time.sleep(0.002)
+            try:
+                ticket.result(timeout=120.0)
+                outcome = "ok"
+            except Exception:
+                outcome = "failed"
+            estimator.observe(time.perf_counter() - started)
+            with lock:
+                counts[outcome] += 1
+
+    threads = [
+        threading.Thread(target=client, args=(c,), name=f"bench-client-{c}")
+        for c in range(CLIENTS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    stats = service.stats()
+    clean = service.stop()
+    nebula.close()
+    backend.close()
+    if path is not None and os.path.exists(path):
+        os.unlink(path)
+
+    attempts = CLIENTS * REQUESTS_PER_CLIENT
+    rate = counts["ok"] / elapsed if elapsed > 0 else float("inf")
+    percentiles = {
+        "queue": dict(stats.queue_wait_seconds),
+        "flush": dict(stats.flush_seconds),
+        "e2e": dict(stats.e2e_seconds),
+    }
+    observed = merged_percentiles(client_e2e)
+
+    rows = [
+        [phase] + [percentiles[phase][q] * 1e3 for q in ("p50", "p95", "p99")]
+        for phase in PHASES
+    ]
+    if observed is not None:
+        rows.append(
+            ["e2e (client-side)"]
+            + [observed[q] * 1e3 for q in ("p50", "p95", "p99")]
+        )
+    report(
+        "service_latency",
+        table(["phase", "p50_ms", "p95_ms", "p99_ms"], rows)
+        + [
+            f"clients: {CLIENTS}, requests: {attempts}, "
+            f"retries after overload: {counts['retries']}",
+            f"sustained rate: {rate:.1f} ann/s "
+            f"({stats.batches} writer batches)",
+        ],
+    )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(
+        os.path.join(RESULTS_DIR, "BENCH_service_latency.json"), "w"
+    ) as handle:
+        json.dump(
+            {
+                "mode": "smoke" if BENCH_SMOKE else "full",
+                "clients": CLIENTS,
+                "requests": attempts,
+                "retries": counts["retries"],
+                "annotations_per_sec": rate,
+                "batches": stats.batches,
+                "percentiles_seconds": percentiles,
+                "client_e2e_seconds": observed,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+
+    # Accounting closes: every request acked (retries notwithstanding).
+    assert counts["ok"] + counts["failed"] == attempts
+    assert counts["failed"] == 0
+    assert clean is True
+    assert stats.ingested == counts["ok"]
+    # The estimators are ordered and populated for every phase.
+    for phase in PHASES:
+        p = percentiles[phase]
+        assert 0.0 <= p["p50"] <= p["p95"] <= p["p99"]
+    assert percentiles["e2e"]["p50"] > 0.0
+    assert rate > 0.0
+    # The service's e2e estimate and the client-side wall clock agree on
+    # ordering: the service measures submit→complete, which can only be
+    # at or below what clients observe through the ticket round-trip.
+    assert observed is not None
+    assert percentiles["e2e"]["p50"] <= observed["p50"] * 1.5

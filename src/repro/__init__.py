@@ -56,15 +56,22 @@ from .storage import (
     wrap_connection,
 )
 from .observability import (
+    EventLog,
     JsonlExporter,
     MetricsRegistry,
     NoopTracer,
     NOOP_TRACER,
+    PhaseQuantiles,
     RingBufferExporter,
     SqlProfiler,
+    StreamingQuantiles,
+    TelemetryServer,
     Tracer,
     get_metrics,
+    parse_exposition,
+    render_metrics,
     set_metrics,
+    validate_exposition,
 )
 from .resilience import (
     DeadLetter,
@@ -196,6 +203,13 @@ __all__ = [
     "get_metrics",
     "set_metrics",
     "SqlProfiler",
+    "StreamingQuantiles",
+    "PhaseQuantiles",
+    "EventLog",
+    "TelemetryServer",
+    "render_metrics",
+    "parse_exposition",
+    "validate_exposition",
     # resilience layer
     "RetryPolicy",
     "Savepoint",

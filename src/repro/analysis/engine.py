@@ -29,6 +29,7 @@ from .rules import (
     check_config_invariants,
     check_driver_imports,
     check_edge_weights,
+    check_metric_naming,
     check_resource_hygiene,
     check_savepoint_pairing,
     check_span_registry,
@@ -157,6 +158,8 @@ def analyze_paths(
             raw.extend(check_resource_hygiene(ctx))
         if "NBL007" in enabled:
             raw.extend(check_driver_imports(ctx))
+        if "NBL008" in enabled:
+            raw.extend(check_metric_naming(ctx))
         for finding in raw:
             if _is_suppressed(finding, ignores):
                 continue

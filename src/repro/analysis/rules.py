@@ -1,6 +1,6 @@
 """The nebula-lint rule set.
 
-Seven AST-based rules over the repo's own source, each encoding an
+Eight AST-based rules over the repo's own source, each encoding an
 invariant the runtime layers depend on:
 
 =========  ==========================================================
@@ -35,6 +35,13 @@ NBL007     Driver isolation: ``repro/storage/`` is the only package
            allowed to import :mod:`sqlite3`; every other module goes
            through ``repro.storage.compat`` (or a backend handle), so
            swapping the engine stays a one-package change.
+NBL008     Metric naming: literal instrument names at registry call
+           sites (``metrics.counter/gauge/histogram``) must be
+           ``nebula_``-prefixed snake_case; counters end ``_total``,
+           time histograms (``TIME_BUCKETS``) end ``_seconds``, and
+           the exposition-reserved suffixes ``_bucket``/``_sum``/
+           ``_count`` are forbidden — so ``/metrics`` renders without
+           series collisions.
 =========  ==========================================================
 
 Findings can be suppressed inline with ``# nebula-lint: ignore`` or
@@ -754,6 +761,118 @@ def check_driver_imports(ctx: ModuleContext) -> Iterator[Finding]:
 
 
 # ----------------------------------------------------------------------
+# NBL008 — metric naming
+# ----------------------------------------------------------------------
+
+#: Receivers whose counter/gauge/histogram calls mint registry metrics.
+_METRIC_RECEIVER_RE = re.compile(
+    r"(^|\.)(_?(metrics|registry)|get_metrics\(\))$", re.IGNORECASE
+)
+
+#: The exposition naming grammar: nebula_-prefixed snake_case.
+_METRIC_NAME_RE = re.compile(r"^nebula_[a-z0-9]+(_[a-z0-9]+)*$")
+
+#: Series suffixes the Prometheus exposition reserves for histogram
+#: output (``render_metrics`` appends them to every histogram family).
+_RESERVED_METRIC_SUFFIXES = ("_bucket", "_sum", "_count")
+
+#: The registry's instrument factory methods.
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+
+def _metric_name_argument(call: ast.Call) -> Optional[str]:
+    """The literal instrument name at a factory call site, if any."""
+    candidates = list(call.args[:1]) + [
+        keyword.value for keyword in call.keywords if keyword.arg == "name"
+    ]
+    for argument in candidates:
+        if isinstance(argument, ast.Constant) and isinstance(argument.value, str):
+            return argument.value
+    return None
+
+
+def _histogram_observes_time(call: ast.Call) -> bool:
+    """Whether a ``histogram(...)`` call uses the time buckets.
+
+    True when the buckets argument is (or dotted-ends with) the
+    ``TIME_BUCKETS`` constant — or is omitted, since ``TIME_BUCKETS``
+    is the registry's default.
+    """
+    candidates = list(call.args[1:2]) + [
+        keyword.value for keyword in call.keywords if keyword.arg == "buckets"
+    ]
+    if not candidates:
+        return True
+    return any(
+        ast.unparse(argument).endswith("TIME_BUCKETS") for argument in candidates
+    )
+
+
+def _metric_name_problem(name: str, factory: str, call: ast.Call) -> Optional[str]:
+    """The NBL008 violation message for one (name, factory) pair, if any."""
+    if not _METRIC_NAME_RE.match(name):
+        return (
+            f"metric name {name!r} is not nebula_-prefixed snake_case "
+            "(^nebula_[a-z0-9]+(_[a-z0-9]+)*$)"
+        )
+    for suffix in _RESERVED_METRIC_SUFFIXES:
+        if name.endswith(suffix):
+            return (
+                f"metric name {name!r} ends with {suffix!r}, which the "
+                "exposition format reserves for histogram series"
+            )
+    if factory == "counter" and not name.endswith("_total"):
+        return f"counter {name!r} must carry the '_total' unit suffix"
+    if factory != "counter" and name.endswith("_total"):
+        return f"{factory} {name!r} may not end '_total' (counters only)"
+    if (
+        factory == "histogram"
+        and _histogram_observes_time(call)
+        and not name.endswith("_seconds")
+    ):
+        return (
+            f"time histogram {name!r} (TIME_BUCKETS) must carry the "
+            "'_seconds' unit suffix"
+        )
+    return None
+
+
+def check_metric_naming(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag literal metric names that break the exposition grammar."""
+    if _is_test_path(ctx.path):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute) and func.attr in _METRIC_FACTORIES
+        ):
+            continue
+        if not _METRIC_RECEIVER_RE.search(ast.unparse(func.value)):
+            continue
+        name = _metric_name_argument(node)
+        if name is None:
+            continue
+        problem = _metric_name_problem(name, func.attr, node)
+        if problem is None:
+            continue
+        yield Finding(
+            rule_id="NBL008",
+            path=ctx.path,
+            line=node.lineno,
+            message=problem,
+            fix_hint=(
+                "use nebula_<layer>_<what>[_total|_seconds|_bytes]: "
+                "snake_case, '_total' on counters, '_seconds' on time "
+                "histograms, and never '_bucket'/'_sum'/'_count'"
+            ),
+            snippet=ctx.snippet(node.lineno),
+            details={"metric": name, "factory": func.attr},
+        )
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -765,6 +884,7 @@ RULE_DOCS: Dict[str, str] = {
     "NBL005": "tracer span name missing from the canonical stage registry",
     "NBL006": "storage connection/cursor/lease opened without cleanup",
     "NBL007": "direct sqlite3 import outside the storage backend package",
+    "NBL008": "metric name violates the exposition naming grammar",
 }
 
 ALL_RULE_IDS: Tuple[str, ...] = tuple(sorted(RULE_DOCS))

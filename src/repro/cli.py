@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro trace --db curated.db --last 2
     python -m repro pending --db curated.db
     python -m repro verify --db curated.db --task 7
+    python -m repro serve --db curated.db --clients 4 --metrics-port 0
+    python -m repro top --url http://127.0.0.1:9464 --once
     python -m repro demo
 
 ``generate`` persists a synthetic curated database (plus its NebulaMeta
@@ -20,6 +22,11 @@ operate on it through a fresh Nebula engine.
 ``<db>.trace.jsonl`` and accumulates a metrics snapshot in
 ``<db>.metrics.json``; ``trace`` pretty-prints those traces and ``stats``
 folds the persisted metrics into its report.
+
+``serve --metrics-port`` exposes the running service's telemetry plane
+(``/metrics``, ``/healthz``, ``/readyz``) over HTTP while the clients
+run, and ``top`` polls such an endpoint to render a live dashboard:
+queue depth, shedding state, throughput, and latency percentiles.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ import argparse
 import json
 import os
 import sys
-from typing import Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from .config import NebulaConfig
 from .core.nebula import Nebula
@@ -71,8 +78,46 @@ def _save_metrics(db: str, registry: MetricsRegistry) -> None:
         json.dump(registry.snapshot(), handle, indent=2)
 
 
+_LATENCY_PREFIX = 'nebula_service_latency_seconds{'
+
+#: Display order of the service latency phases (extras sort after).
+_LATENCY_PHASES = ("queue", "flush", "e2e")
+
+
+def _service_latency_rows(gauges: Mapping[str, float]) -> List[str]:
+    """Aligned ``phase  p50/p95/p99`` rows from latency-percentile gauges.
+
+    The gauges are keyed by the registry's encoded form, e.g.
+    ``nebula_service_latency_seconds{phase="queue",quantile="p50"}``.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for key, value in gauges.items():
+        if not key.startswith(_LATENCY_PREFIX) or not key.endswith("}"):
+            continue
+        labels: Dict[str, str] = {}
+        for part in key[len(_LATENCY_PREFIX):-1].split(","):
+            name, _, raw = part.partition("=")
+            labels[name.strip()] = raw.strip().strip('"')
+        phase = labels.get("phase", "?")
+        table.setdefault(phase, {})[labels.get("quantile", "?")] = value
+    ordered = [p for p in _LATENCY_PHASES if p in table]
+    ordered += sorted(set(table) - set(_LATENCY_PHASES))
+    rows = []
+    for phase in ordered:
+        cells = "  ".join(
+            f"{q}={table[phase].get(q, 0.0) * 1e3:9.2f}ms"
+            for q in ("p50", "p95", "p99")
+        )
+        rows.append(f"{phase:<6} {cells}")
+    return rows
+
+
 def _open_engine(
-    path: str, epsilon: float, trace: bool = False, workers: int = 0
+    path: str,
+    epsilon: float,
+    trace: bool = False,
+    workers: int = 0,
+    persist_metrics: bool = False,
 ) -> Nebula:
     # The CLI always operates on a database file, so the engine choice is
     # pinned to the file backend; the backend is surfaced on the returned
@@ -99,7 +144,7 @@ def _open_engine(
         "accession": ("Protein", "PID"),
     }
     metrics = None
-    if trace:
+    if trace or persist_metrics:
         # Route the resilience layer's module-level counters into the
         # same restored registry the engine will snapshot.
         metrics = _load_metrics(path)
@@ -169,6 +214,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
         registry = _load_metrics(args.db)
         for line in registry.lines():
             print(f"  {line}")
+        rows = _service_latency_rows(registry.snapshot()["gauges"])
+        if rows:
+            print()
+            print("service latency percentiles (last serve run):")
+            for row in rows:
+                print(f"  {row}")
     return 0
 
 
@@ -345,11 +396,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     failed, nor rejected — or the shutdown was not clean.
     """
     import threading
+    import time
 
     from .errors import ServiceOverloadedError
     from .service import AnnotationService, ServiceConfig
 
-    nebula = _open_engine(args.db, args.epsilon)
+    nebula = _open_engine(args.db, args.epsilon, persist_metrics=True)
     gids = [
         row[0]
         for row in nebula.connection.execute("SELECT GID FROM Gene LIMIT 16")
@@ -367,6 +419,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
             default_deadline=args.deadline,
         ),
     ).start()
+    telemetry = None
+    port = (
+        args.metrics_port
+        if args.metrics_port is not None
+        else nebula.config.metrics_port
+    )
+    if port is not None:
+        telemetry = service.serve_metrics(port=port)
+        print(f"telemetry: {telemetry.url}metrics (scrape with `repro top`)")
     counts = {"ok": 0, "rejected": 0, "failed": 0, "searches": 0}
     lock = threading.Lock()
 
@@ -400,8 +461,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         thread.start()
     for thread in threads:
         thread.join()
+    if telemetry is not None and args.linger > 0:
+        print(f"lingering {args.linger:g}s for scrapes (ctrl-c to stop early)")
+        try:
+            time.sleep(args.linger)
+        except KeyboardInterrupt:
+            pass
     stats = service.stats()
     clean = service.stop()
+    if telemetry is not None:
+        telemetry.stop()
+    _save_metrics(args.db, nebula.metrics)
     _close_engine(nebula)
     attempts = args.clients * args.requests
     accounted = counts["ok"] + counts["failed"] + counts["rejected"]
@@ -416,10 +486,143 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"service: {stats.batches} batches, peak shedding={stats.shedding}, "
         f"clean shutdown={clean}"
     )
+    if stats.e2e_seconds:
+        print("latency percentiles (seconds):")
+        for phase, percentiles in (
+            ("queue", stats.queue_wait_seconds),
+            ("flush", stats.flush_seconds),
+            ("e2e", stats.e2e_seconds),
+        ):
+            cells = "  ".join(
+                f"{q}={percentiles.get(q, 0.0) * 1e3:9.2f}ms"
+                for q in ("p50", "p95", "p99")
+            )
+            print(f"  {phase:<6} {cells}")
     if lost or not clean:
         print(f"LOST {lost} request(s), clean={clean}", file=sys.stderr)
         return 1
     return 0
+
+
+def _family_value(
+    families: Mapping[str, object],
+    name: str,
+    labels: Optional[Mapping[str, str]] = None,
+    default: float = 0.0,
+) -> float:
+    """One sample value out of parsed exposition families (or ``default``)."""
+    family = families.get(name)
+    if family is None:
+        return default
+    value = family.value(labels)  # type: ignore[attr-defined]
+    return default if value is None else float(value)
+
+
+def _render_top_frame(
+    families: Mapping[str, object], rate: Optional[float]
+) -> List[str]:
+    """One ``repro top`` dashboard frame from parsed ``/metrics`` families."""
+    from .observability import MetricFamily
+
+    status = "unknown"
+    info = families.get("nebula_service_info")
+    if isinstance(info, MetricFamily):
+        for labels, _ in info.samples.get("nebula_service_info", []):
+            status = labels.get("status", "unknown")
+    depth = _family_value(families, "nebula_service_queue_depth")
+    capacity = _family_value(families, "nebula_service_queue_capacity")
+    shedding = _family_value(families, "nebula_service_shedding")
+    lines = [
+        f"nebula service [{status}]  queue {depth:g}/{capacity:g}"
+        + ("  SHEDDING" if shedding else ""),
+        "  requests   " + " ".join(
+            f"{label}={_family_value(families, metric):g}"
+            for label, metric in (
+                ("submitted", "nebula_service_submitted_total"),
+                ("ingested", "nebula_service_ingested_total"),
+                ("rejected", "nebula_service_rejected_total"),
+                ("failed", "nebula_service_failed_total"),
+                ("expired", "nebula_service_deadline_expired_total"),
+            )
+        ),
+        "  writer     " + " ".join(
+            f"{label}={_family_value(families, metric):g}"
+            for label, metric in (
+                ("batches", "nebula_service_batches_total"),
+                ("batch-fallbacks", "nebula_service_batch_fallbacks_total"),
+                ("reader-fallbacks", "nebula_service_reader_fallbacks_total"),
+                ("recoveries", "nebula_service_recoveries_total"),
+            )
+        )
+        + (f"  rate={rate:.1f} ann/s" if rate is not None else ""),
+    ]
+    latency = families.get("nebula_service_latency_seconds")
+    if isinstance(latency, MetricFamily):
+        gauges = {
+            _LATENCY_PREFIX[:-1]
+            + "{"
+            + ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+            + "}": value
+            for labels, value in latency.samples.get(
+                "nebula_service_latency_seconds", []
+            )
+        }
+        rows = _service_latency_rows(gauges)
+        if rows:
+            lines.append("  latency")
+            lines.extend(f"    {row}" for row in rows)
+    return lines
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a service telemetry endpoint.
+
+    Polls the ``/metrics`` endpoint exposed by ``repro serve
+    --metrics-port`` (or any embedded :meth:`AnnotationService.
+    serve_metrics` server) and renders queue depth, shedding state,
+    request/writer counters, throughput (from counter deltas between
+    polls), and the streaming latency percentiles, in place.
+    """
+    import time
+
+    from .observability import parse_exposition, scrape
+
+    base = args.url or f"http://{args.host}:{args.port}/"
+    if not base.endswith("/"):
+        base += "/"
+    count = 1 if args.once else args.count
+    previous: Optional[tuple] = None
+    frames = 0
+    clear = sys.stdout.isatty() and count != 1
+    while True:
+        try:
+            text = scrape(base + "metrics", timeout=max(args.interval, 1.0) + 5.0)
+        except OSError as error:
+            print(f"top: cannot scrape {base}metrics: {error}", file=sys.stderr)
+            return 1
+        try:
+            families = parse_exposition(text)
+        except ValueError as error:
+            print(f"top: malformed exposition: {error}", file=sys.stderr)
+            return 1
+        now = time.monotonic()
+        ingested = _family_value(families, "nebula_service_ingested_total")
+        rate = None
+        if previous is not None and now > previous[0]:
+            rate = max(0.0, ingested - previous[1]) / (now - previous[0])
+        previous = (now, ingested)
+        if clear:
+            print("\x1b[2J\x1b[H", end="")
+        for line in _render_top_frame(families, rate):
+            print(line)
+        sys.stdout.flush()
+        frames += 1
+        if count and frames >= count:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -541,7 +744,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--deadline", type=float, default=None,
                        help="per-request deadline in seconds (default none)")
     serve.add_argument("--epsilon", type=float, default=0.6)
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics, /healthz and /readyz on this port while the "
+        "clients run (0 = ephemeral; default: config metrics_port, unset)",
+    )
+    serve.add_argument(
+        "--linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep the service (and telemetry endpoint) alive this long "
+        "after the clients finish, for external scrapes / `repro top`",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over a service telemetry endpoint",
+    )
+    top.add_argument("--url", help="endpoint base URL (overrides --host/--port)")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=9464)
+    top.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                     help="seconds between polls (default 1)")
+    top.add_argument("--count", type=int, default=0, metavar="N",
+                     help="frames to render before exiting (0 = until ctrl-c)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (same as --count 1)")
+    top.set_defaults(func=cmd_top)
 
     demo = sub.add_parser("demo", help="run a tiny in-memory end-to-end demo")
     demo.add_argument("--seed", type=int, default=7)

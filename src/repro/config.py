@@ -125,6 +125,10 @@ class NebulaConfig:
     trace_path: Optional[str] = None
     #: Capacity of the in-memory trace ring buffer (last-N traces).
     trace_buffer_size: int = 64
+    #: Default port of the service telemetry endpoint (``/metrics``,
+    #: ``/healthz``, ``/readyz``): None = not served, 0 = ephemeral.
+    #: ``repro serve --metrics-port`` overrides it per run.
+    metrics_port: Optional[int] = None
     #: Test seam: raise scripted faults at the pipeline's named fault
     #: points (``store.add``, ``spreading.scope``, ``executor.run``,
     #: ``queue.triage``).  None in production.
@@ -159,6 +163,10 @@ class NebulaConfig:
             "retry delays must satisfy 0 <= retry_base_delay <= retry_max_delay",
         )
         _require(self.trace_buffer_size >= 1, "trace_buffer_size must be >= 1")
+        _require(
+            self.metrics_port is None or 0 <= self.metrics_port <= 65535,
+            "metrics_port must be None or in [0, 65535]",
+        )
         _require(self.executor_workers >= 0, "executor_workers must be >= 0")
         _require(self.analysis_cache_size >= 0, "analysis_cache_size must be >= 0")
         _require(bool(self.storage_backend), "storage_backend must be non-empty")

@@ -107,6 +107,10 @@ class DiscoveryReport:
     #: Metrics-registry snapshot taken right after this pass, populated
     #: only when tracing is enabled (the default hot path stays free).
     metrics: Optional[Dict] = None
+    #: Correlation id of the service submission that produced this
+    #: report (``req-<pid>-<seq>``), stamped by the annotation service;
+    #: None for direct (non-service) pipeline calls.
+    request_id: Optional[str] = None
 
     @property
     def candidates(self) -> List[ScoredTuple]:

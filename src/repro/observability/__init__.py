@@ -17,6 +17,19 @@ See ``docs/observability.md`` for the span taxonomy and metric catalog,
 and how each metric maps back to the paper's figures.
 """
 
+from .events import EVENT_KINDS, EventLog, read_jsonl_events
+from .exporter import (
+    EXPOSITION_CONTENT_TYPE,
+    ExpositionError,
+    MetricFamily,
+    TelemetryServer,
+    parse_exposition,
+    render_health_gauges,
+    render_metrics,
+    render_snapshot,
+    scrape,
+    validate_exposition,
+)
 from .metrics import (
     COUNT_BUCKETS,
     TIME_BUCKETS,
@@ -30,6 +43,12 @@ from .metrics import (
     set_metrics,
 )
 from .profiling import SqlProfiler, StatementProfile
+from .quantiles import (
+    SERVICE_PERCENTILES,
+    PhaseQuantiles,
+    StreamingQuantiles,
+    merged_percentiles,
+)
 from .stages import CANONICAL_STAGES, is_canonical_stage
 from .tracing import (
     NOOP_TRACER,
@@ -41,6 +60,7 @@ from .tracing import (
     Span,
     Tracer,
     format_trace,
+    iter_spans,
     read_jsonl_traces,
     span_names,
     validate_trace_file,
@@ -77,4 +97,25 @@ __all__ = [
     # profiling
     "SqlProfiler",
     "StatementProfile",
+    # quantiles
+    "StreamingQuantiles",
+    "PhaseQuantiles",
+    "SERVICE_PERCENTILES",
+    "merged_percentiles",
+    # events
+    "EventLog",
+    "EVENT_KINDS",
+    "read_jsonl_events",
+    # exporter
+    "TelemetryServer",
+    "render_metrics",
+    "render_snapshot",
+    "render_health_gauges",
+    "parse_exposition",
+    "validate_exposition",
+    "scrape",
+    "MetricFamily",
+    "ExpositionError",
+    "EXPOSITION_CONTENT_TYPE",
+    "iter_spans",
 ]

@@ -1,0 +1,166 @@
+"""Structured, correlated event log for the service telemetry plane.
+
+Metrics aggregate and traces nest, but neither answers "what happened
+to request ``req-1f03-00000007``?"  The event log does: every lifecycle
+transition of a submission (admitted, rejected, expired, flushed,
+failed, dead-lettered), every batch flush, shed engage/release, and any
+operation slower than the configured threshold becomes one flat record
+carrying the correlation ids (``request_id`` and/or ``batch_id``) that
+also appear on the spans, the ``DiscoveryReport``, and the dead-letter
+rows — so the three planes join on the same keys.
+
+Records are dicts with a fixed envelope::
+
+    {"ts": <unix seconds>, "seq": <monotonic int>, "kind": "...", ...}
+
+and live in a bounded in-memory ring (``tail()`` feeds tests and the
+``repro top`` dashboard).  With a ``path`` every record is also
+appended as one JSON line — the same crash-safe open/append/close
+discipline as :class:`~repro.observability.tracing.JsonlExporter`.
+
+Emission is thread-safe (client threads and the writer thread both
+emit) and never raises: a full disk or malformed field must not sink
+the request it was describing.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+logger = logging.getLogger("repro.observability")
+
+#: Event kinds the service emits (the schema's closed vocabulary).
+EVENT_KINDS = frozenset(
+    {
+        "request_admitted",
+        "request_rejected",
+        "request_expired",
+        "request_flushed",
+        "request_failed",
+        "request_dead_lettered",
+        "batch_flushed",
+        "shed_engaged",
+        "shed_released",
+        "slow_op",
+    }
+)
+
+
+class EventLog:
+    """Bounded, thread-safe ring of structured events (+ optional JSONL)."""
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        path: Optional[str] = None,
+        clock: Any = time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("event log capacity must be >= 1")
+        self.capacity = capacity
+        self.path = path
+        self._clock = clock
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+        self._lock = threading.Lock()
+        if path:
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; returns the full record.
+
+        Unknown kinds are recorded too (forward compatibility), but the
+        service itself only emits :data:`EVENT_KINDS`.
+        """
+        with self._lock:
+            self._seq += 1
+            record: Dict[str, Any] = {
+                "ts": float(self._clock()),
+                "seq": self._seq,
+                "kind": kind,
+            }
+            record.update(fields)
+            if len(self._ring) == self.capacity:
+                self._dropped += 1
+            self._ring.append(record)
+        if self.path:
+            try:
+                with open(self.path, "a") as handle:
+                    handle.write(json.dumps(record, default=str) + "\n")
+            except OSError as error:  # pragma: no cover - disk trouble
+                logger.warning("event log append failed: %s", error)
+        return record
+
+    def tail(
+        self, n: Optional[int] = None, kind: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """The most recent ``n`` events (oldest first), optionally by kind."""
+        with self._lock:
+            records = list(self._ring)
+        if kind is not None:
+            records = [r for r in records if r["kind"] == kind]
+        if n is not None:
+            records = records[-max(n, 0):]
+        return records
+
+    def for_request(self, request_id: str) -> List[Dict[str, Any]]:
+        """Every retained event correlated to one request id.
+
+        Matches both direct ``request_id`` fields and membership in a
+        batch event's ``request_ids`` list.
+        """
+        with self._lock:
+            records = list(self._ring)
+        return [
+            r
+            for r in records
+            if r.get("request_id") == request_id
+            or request_id in (r.get("request_ids") or ())
+        ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def emitted(self) -> int:
+        """Lifetime emission count (ring may retain fewer)."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring by newer ones."""
+        with self._lock:
+            return self._dropped
+
+
+def read_jsonl_events(path: str) -> List[Dict[str, Any]]:
+    """Load every event from a JSONL event file (oldest first).
+
+    Raises ``ValueError`` on malformed lines or records missing the
+    envelope fields — smoke jobs fail loudly instead of skipping.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{number}: malformed event line: {error}")
+            if not isinstance(record, dict) or "kind" not in record or "seq" not in record:
+                raise ValueError(f"{path}:{number}: event record missing envelope")
+            events.append(record)
+    return events

@@ -47,6 +47,9 @@ CANONICAL_STAGES: FrozenSet[str] = frozenset(
         # Service layer: startup crash recovery (rollback, checkpoint,
         # dead-letter replay).
         "service.recover",
+        # Service layer: one /metrics render served by the telemetry
+        # HTTP endpoint.
+        "service.export",
     }
 )
 

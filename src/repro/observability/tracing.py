@@ -34,7 +34,7 @@ import os
 import time
 from collections import deque
 from types import TracebackType
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Type, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Type, Union
 
 logger = logging.getLogger("repro.observability")
 
@@ -42,7 +42,7 @@ logger = logging.getLogger("repro.observability")
 class Span:
     """One named, timed region of the pipeline (a node of a trace tree)."""
 
-    __slots__ = ("name", "start", "end", "attributes", "children")
+    __slots__ = ("name", "start", "end", "attributes", "children", "links")
 
     def __init__(self, name: str, start: float) -> None:
         self.name = name
@@ -50,9 +50,17 @@ class Span:
         self.end: Optional[float] = None
         self.attributes: Dict[str, Any] = {}
         self.children: List["Span"] = []
+        #: Cross-trace correlations: ids of *other* units of work this
+        #: span relates to without nesting under them — e.g. the service
+        #: batch-flush span links every member submission's request_id.
+        self.links: List[Dict[str, Any]] = []
 
     def set_attribute(self, key: str, value: Any) -> None:
         self.attributes[key] = value
+
+    def add_link(self, **attributes: Any) -> None:
+        """Attach one correlation link (a flat id/attribute dict)."""
+        self.links.append(dict(attributes))
 
     @property
     def duration(self) -> float:
@@ -62,12 +70,17 @@ class Span:
         return self.end - self.start
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        record = {
             "name": self.name,
             "duration_ms": round(self.duration * 1e3, 4),
             "attributes": dict(self.attributes),
             "children": [child.to_dict() for child in self.children],
         }
+        # Only linked spans carry the key, so pre-link trace files and
+        # their consumers keep working unchanged.
+        if self.links:
+            record["links"] = [dict(link) for link in self.links]
+        return record
 
 
 class Tracer:
@@ -162,6 +175,9 @@ class _NoopSpan:
     __slots__ = ()
 
     def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def add_link(self, **attributes: Any) -> None:
         pass
 
     def __enter__(self) -> "_NoopSpan":
@@ -278,6 +294,13 @@ def span_names(record: Dict[str, Any]) -> List[str]:
     for child in record.get("children", ()):
         names.extend(span_names(child))
     return names
+
+
+def iter_spans(record: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Yield every span dict of a trace record, depth-first."""
+    yield record
+    for child in record.get("children", ()):
+        yield from iter_spans(child)
 
 
 def validate_trace_file(path: str, minimum: int = 1) -> Sequence[Dict[str, Any]]:

@@ -38,11 +38,15 @@ CREATE TABLE IF NOT EXISTS _nebula_dead_letters (
     attempts    INTEGER NOT NULL DEFAULT 1,
     status      TEXT NOT NULL DEFAULT 'pending'
         CHECK (status IN ('pending', 'resolved')),
-    claimed     INTEGER NOT NULL DEFAULT 0
+    claimed     INTEGER NOT NULL DEFAULT 0,
+    request_id  TEXT
 );
 """
 
-_COLUMNS = "letter_id, content, author, focal_json, stage, error, attempts, status"
+_COLUMNS = (
+    "letter_id, content, author, focal_json, stage, error, attempts, status, "
+    "request_id"
+)
 
 
 @dataclass(frozen=True)
@@ -57,6 +61,9 @@ class DeadLetter:
     error: str
     attempts: int
     status: str
+    #: Correlation id of the service submission that failed into this
+    #: letter (None for failures outside the service layer).
+    request_id: Optional[str] = None
 
     @property
     def is_pending(self) -> bool:
@@ -75,22 +82,31 @@ class DeadLetterQueue:
         self._ensure_claim_column()
 
     def _ensure_claim_column(self) -> None:
-        """Migrate pre-claim databases: add the ``claimed`` column.
+        """Migrate older databases: add the columns later PRs introduced.
 
         ``CREATE TABLE IF NOT EXISTS`` leaves an existing table alone, so
-        a database written before the replay-claim protocol lacks the
-        column; adding it with a 0 default is exactly the state every
-        unclaimed letter should be in.
+        a database written before the replay-claim protocol lacks
+        ``claimed`` (its 0 default is exactly the unclaimed state), and
+        one written before the telemetry plane lacks ``request_id``
+        (NULL: no service submission is associated).
         """
         columns = {
             str(row[1])
             for row in self._execute("PRAGMA table_info(_nebula_dead_letters)")
         }
+        migrated = False
         if "claimed" not in columns:
             self._execute(
                 "ALTER TABLE _nebula_dead_letters "
                 "ADD COLUMN claimed INTEGER NOT NULL DEFAULT 0"
             )
+            migrated = True
+        if "request_id" not in columns:
+            self._execute(
+                "ALTER TABLE _nebula_dead_letters ADD COLUMN request_id TEXT"
+            )
+            migrated = True
+        if migrated:
             self._commit()
 
     # ------------------------------------------------------------------
@@ -212,6 +228,32 @@ class DeadLetterQueue:
         self._commit()
         return int(cursor.rowcount)
 
+    def assign_request(self, letter_id: int, request_id: str) -> None:
+        """Stamp the submission's correlation id onto a captured letter.
+
+        The pipeline captures letters without service context (it does
+        not know about submissions); the service stamps the id right
+        after catching the :class:`~repro.errors.PipelineStageError`
+        that carries ``dead_letter_id`` — which is what lets an operator
+        join a failed request's events and spans to its replayable row.
+        """
+        cursor = self._execute(
+            "UPDATE _nebula_dead_letters SET request_id = ? WHERE letter_id = ?",
+            (request_id, letter_id),
+        )
+        if cursor.rowcount == 0:
+            raise DeadLetterError(letter_id)
+        self._commit()
+
+    def for_request(self, request_id: str) -> List[DeadLetter]:
+        """Every letter captured for one submission (usually 0 or 1)."""
+        rows = self._execute(
+            f"SELECT {_COLUMNS} FROM _nebula_dead_letters "
+            "WHERE request_id = ? ORDER BY letter_id",
+            (request_id,),
+        ).fetchall()
+        return [_row_to_letter(r) for r in rows]
+
     def mark_resolved(self, letter_id: int) -> None:
         """A successful replay: the letter leaves the pending set."""
         cursor = self._execute(
@@ -260,4 +302,5 @@ def _row_to_letter(row: Sequence[object]) -> DeadLetter:
         error=str(row[5]),
         attempts=int(row[6]),
         status=str(row[7]),
+        request_id=None if row[8] is None else str(row[8]),
     )

@@ -15,7 +15,7 @@ for the architecture and the overload / recovery semantics.
 """
 
 from .chaos import ChaosHarness
-from .queue import Submission, SubmissionQueue
+from .queue import Submission, SubmissionQueue, mint_batch_id, mint_request_id
 from .service import AnnotationService, ServiceConfig, ServiceStats, serve
 
 __all__ = [
@@ -25,5 +25,7 @@ __all__ = [
     "ServiceStats",
     "Submission",
     "SubmissionQueue",
+    "mint_batch_id",
+    "mint_request_id",
     "serve",
 ]

@@ -14,6 +14,8 @@ already admitted.
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
 from collections import deque
@@ -25,6 +27,27 @@ from ..errors import (
     ServiceUnavailableError,
 )
 from ..perf import AnnotationRequest
+
+#: Process-wide submission sequence.  ``next()`` on an ``itertools.count``
+#: is atomic under the GIL, so ids stay unique across client threads; the
+#: pid prefix keeps them unique across processes sharing a database.
+_REQUEST_SEQUENCE = itertools.count(1)
+_BATCH_SEQUENCE = itertools.count(1)
+
+
+def mint_request_id() -> str:
+    """A process-unique correlation id, minted at submission time.
+
+    Deliberately not random: ``req-<pid>-<seq>`` sorts in admission
+    order, which makes event logs and traces legible, and two ids never
+    collide within or across concurrent service processes.
+    """
+    return f"req-{os.getpid():x}-{next(_REQUEST_SEQUENCE):08x}"
+
+
+def mint_batch_id() -> str:
+    """A process-unique id for one coalesced writer flush."""
+    return f"batch-{os.getpid():x}-{next(_BATCH_SEQUENCE):08x}"
 
 
 class Submission:
@@ -42,6 +65,12 @@ class Submission:
         deadline: Optional[float] = None,
     ) -> None:
         self.request = request
+        #: Correlation id threading this request through queue events,
+        #: batch-flush span links, the ``DiscoveryReport``, and any
+        #: dead-letter row it ends up in.
+        self.request_id = mint_request_id()
+        #: The coalesced batch that flushed this request (writer-set).
+        self.batch_id: Optional[str] = None
         #: Seconds the request may wait end-to-end (None = no deadline).
         self.deadline = deadline
         self.submitted_at = time.monotonic()

@@ -32,8 +32,18 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from ..core.nebula import DiscoveryReport, Nebula
 from ..errors import (
@@ -43,7 +53,14 @@ from ..errors import (
     ServiceUnavailableError,
     StorageError,
 )
-from ..observability import TIME_BUCKETS
+from ..observability import (
+    TIME_BUCKETS,
+    EventLog,
+    PhaseQuantiles,
+    TelemetryServer,
+    render_health_gauges,
+    render_metrics,
+)
 from ..perf import AnnotationRequest, RequestLike, coerce_request
 from ..resilience.degradation import (
     SERVICE_READER_FALLBACK,
@@ -54,7 +71,7 @@ from ..resilience.degradation import logger as _logger
 from ..resilience.retry import is_transient_operational_error
 from ..storage.compat import Connection, Error
 from ..types import TupleRef
-from .queue import Submission, SubmissionQueue
+from .queue import Submission, SubmissionQueue, mint_batch_id
 
 T = TypeVar("T")
 
@@ -87,6 +104,17 @@ class ServiceConfig:
     recover_on_start: bool = True
     #: Most dead letters startup recovery replays (None = all).
     replay_limit: Optional[int] = None
+    #: Seconds above which a flush or end-to-end latency emits a
+    #: ``slow_op`` event into the structured event log.
+    slow_op_threshold: float = 1.0
+    #: Sliding-window size of the streaming latency-quantile estimators
+    #: (per phase: queue wait, flush, end-to-end).
+    latency_window: int = 1024
+    #: In-memory ring capacity of the structured event log.
+    event_capacity: int = 512
+    #: Also append every event as one JSON line to this file (None = no
+    #: file; the in-memory ring is always on).
+    event_log_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -105,6 +133,12 @@ class ServiceConfig:
             raise ConfigurationError(
                 "shed_recovery must satisfy 0 <= shed_recovery < shed_watermark"
             )
+        if self.slow_op_threshold <= 0:
+            raise ConfigurationError("slow_op_threshold must be > 0")
+        if self.latency_window < 1:
+            raise ConfigurationError("latency_window must be >= 1")
+        if self.event_capacity < 1:
+            raise ConfigurationError("event_capacity must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -127,6 +161,12 @@ class ServiceStats:
     shedding: bool
     writer_alive: bool
     running: bool
+    #: p50/p95/p99 of the queue-wait phase (seconds, sliding window).
+    queue_wait_seconds: Mapping[str, float] = field(default_factory=dict)
+    #: p50/p95/p99 of the writer-flush phase (seconds, sliding window).
+    flush_seconds: Mapping[str, float] = field(default_factory=dict)
+    #: p50/p95/p99 of submit-to-ack latency (seconds, sliding window).
+    e2e_seconds: Mapping[str, float] = field(default_factory=dict)
 
 
 class _ReadHandle:
@@ -197,6 +237,30 @@ class AnnotationService:
         )
         self._m_request_seconds = self.metrics.histogram(
             "nebula_service_request_seconds", TIME_BUCKETS
+        )
+        self._m_queue_wait_seconds = self.metrics.histogram(
+            "nebula_service_queue_wait_seconds", TIME_BUCKETS
+        )
+        self._m_flush_seconds = self.metrics.histogram(
+            "nebula_service_flush_seconds", TIME_BUCKETS
+        )
+        self.metrics.gauge("nebula_service_queue_capacity").set(
+            float(self.config.queue_capacity)
+        )
+        #: Streaming p50/p95/p99 per latency phase, published as
+        #: ``nebula_service_latency_seconds{phase,quantile}`` gauges.
+        self.latency = PhaseQuantiles(
+            self.metrics,
+            "nebula_service_latency_seconds",
+            ("queue", "flush", "e2e"),
+            window=self.config.latency_window,
+        )
+        #: The structured, correlated event stream (bounded ring +
+        #: optional JSONL file) — the third telemetry plane next to the
+        #: metrics registry and the trace tree.
+        self.events = EventLog(
+            capacity=self.config.event_capacity,
+            path=self.config.event_log_path,
         )
 
     # ------------------------------------------------------------------
@@ -311,6 +375,11 @@ class AnnotationService:
             "queue_capacity": self.config.queue_capacity,
             "shedding": self._shedding,
             "writer_alive": self._writer_alive,
+            "latency_seconds": {
+                "queue": self.latency.percentiles("queue"),
+                "flush": self.latency.percentiles("flush"),
+                "e2e": self.latency.percentiles("e2e"),
+            },
         }
 
     def stats(self) -> ServiceStats:
@@ -326,7 +395,46 @@ class AnnotationService:
             shedding=self._shedding,
             writer_alive=self._writer_alive,
             running=self.running,
+            queue_wait_seconds=self.latency.percentiles("queue"),
+            flush_seconds=self.latency.percentiles("flush"),
+            e2e_seconds=self.latency.percentiles("e2e"),
         )
+
+    # ------------------------------------------------------------------
+    # Telemetry endpoint
+    # ------------------------------------------------------------------
+
+    def render_exposition(self) -> str:
+        """The Prometheus text exposition of this service's registry.
+
+        Latency-percentile gauges are refreshed first, and the health
+        document rides along as synthetic gauges — one render is a
+        complete picture.  Each render runs under a ``service.export``
+        span so scrape cost shows up in the trace taxonomy.
+        """
+        with self.tracer.span("service.export") as span:
+            self.latency.publish()
+            body = render_metrics(self.metrics) + render_health_gauges(
+                self.health()
+            )
+            span.set_attribute("bytes", len(body))
+        return body
+
+    def serve_metrics(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> TelemetryServer:
+        """Start the telemetry HTTP endpoint; returns the running server.
+
+        ``/metrics`` serves :meth:`render_exposition`, ``/healthz`` the
+        :meth:`health` document (503 once the writer crashed), and
+        ``/readyz`` the :meth:`ready` probe.  ``port=0`` binds an
+        ephemeral port (read it from ``.port``).  The caller owns the
+        server's lifecycle (``.stop()``); stopping the service does not
+        stop an exporter still being scraped.
+        """
+        return TelemetryServer(
+            self.render_exposition, self.health, self.ready, host=host, port=port
+        ).start()
 
     # ------------------------------------------------------------------
     # Write path (client side)
@@ -364,11 +472,22 @@ class AnnotationService:
         submission = Submission(prepared, deadline=seconds)
         try:
             self._queue.put(submission)
-        except Exception:
+        except Exception as error:
             self._m_rejected.inc()
+            self.events.emit(
+                "request_rejected",
+                request_id=submission.request_id,
+                reason=type(error).__name__,
+                queue_depth=self._queue.depth,
+            )
             raise
         self._m_submitted.inc()
         self._update_depth_gauge()
+        self.events.emit(
+            "request_admitted",
+            request_id=submission.request_id,
+            queue_depth=self._queue.depth,
+        )
         return submission
 
     def ingest(
@@ -423,9 +542,7 @@ class AnnotationService:
         live: List[Submission] = []
         for submission in batch:
             if submission.expired(now):
-                submission.expire()
-                self._expired += 1
-                self._m_expired.inc()
+                self._expire(submission)
             else:
                 live.append(submission)
         if not live:
@@ -434,10 +551,24 @@ class AnnotationService:
         if self._faults is not None:
             # Writer-stall / scripted-failure chaos point.
             self._faults.check("service.flush")
+        batch_id = mint_batch_id()
+        flush_started = time.monotonic()
+        for submission in live:
+            # Queue wait ends here: the flush owns the request from now
+            # on, whatever path (batched or isolated) it takes.
+            submission.batch_id = batch_id
+            wait = flush_started - submission.submitted_at
+            self.latency.observe("queue", wait)
+            self._m_queue_wait_seconds.observe(wait)
         with self.tracer.span("service.batch_flush") as span:
             span.set_attribute("batch_size", len(live))
+            span.set_attribute("batch_id", batch_id)
             shedding = self._shedding
             span.set_attribute("shedding", shedding)
+            for submission in live:
+                # Span links: one per member, resolving the coalesced
+                # flush back to each admitted request.
+                span.add_link(request_id=submission.request_id)
             try:
                 with self._write_lock:
                     self._begin()
@@ -458,30 +589,65 @@ class AnnotationService:
                 # isolate each member on the per-request path.
                 span.set_attribute("poisoned", True)
                 self._m_batch_fallbacks.inc()
-                self._flush_individually(live)
+                self._flush_individually(live, batch_id)
                 return
             for submission, report in zip(live, reports):
                 if shedding:
                     report.degradations.append(SERVICE_SHED)
-                self._complete(submission, report)
+                self._complete(submission, report, flush_started=flush_started)
+        self._finish_batch(batch_id, live, flush_started, shedding)
+
+    def _finish_batch(
+        self,
+        batch_id: str,
+        live: List[Submission],
+        flush_started: float,
+        shedding: bool,
+        poisoned: bool = False,
+    ) -> None:
+        elapsed = time.monotonic() - flush_started
         self._batches += 1
         self._m_batches.inc()
         self._m_batch_size.observe(float(len(live)))
+        self.latency.observe("flush", elapsed)
+        self._m_flush_seconds.observe(elapsed)
+        self.latency.publish()
+        self.events.emit(
+            "batch_flushed",
+            batch_id=batch_id,
+            request_ids=[submission.request_id for submission in live],
+            size=len(live),
+            flush_seconds=round(elapsed, 6),
+            shedding=shedding,
+            poisoned=poisoned,
+        )
+        if elapsed > self.config.slow_op_threshold:
+            self.events.emit(
+                "slow_op",
+                op="flush",
+                batch_id=batch_id,
+                seconds=round(elapsed, 6),
+                threshold=self.config.slow_op_threshold,
+            )
 
-    def _flush_individually(self, submissions: List[Submission]) -> None:
+    def _flush_individually(
+        self, submissions: List[Submission], batch_id: str
+    ) -> None:
         """Per-request isolation after a poisoned batch.
 
         Each member re-runs alone; only the genuinely failing ones are
-        dead-lettered (by ``insert_annotation`` itself) and failed back
-        to their clients.
+        dead-lettered (by ``insert_annotation`` itself, with the
+        submission's ``request_id`` stamped onto the captured row) and
+        failed back to their clients.
         """
+        flush_started = time.monotonic()
         for submission in submissions:
             if submission.expired():
-                submission.expire()
-                self._expired += 1
-                self._m_expired.inc()
+                self._expire(submission)
                 continue
             with self.tracer.span("service.request") as span:
+                span.set_attribute("request_id", submission.request_id)
+                span.add_link(batch_id=batch_id)
                 request = submission.request
                 try:
                     with self._write_lock:
@@ -494,17 +660,84 @@ class AnnotationService:
                         self._commit()
                 except PipelineStageError as error:
                     span.set_attribute("dead_letter_id", error.dead_letter_id)
-                    self._failed += 1
-                    self._m_failed.inc()
-                    submission.fail(error)
+                    self._fail(submission, error)
                 else:
                     self._complete(submission, report)
+        self._finish_batch(
+            batch_id, submissions, flush_started, self._shedding, poisoned=True
+        )
 
-    def _complete(self, submission: Submission, report: DiscoveryReport) -> None:
+    def _complete(
+        self,
+        submission: Submission,
+        report: DiscoveryReport,
+        flush_started: Optional[float] = None,
+    ) -> None:
+        completed = time.monotonic()
+        e2e = completed - submission.submitted_at
+        report.request_id = submission.request_id
         self._ingested += 1
         self._m_ingested.inc()
-        self._m_request_seconds.observe(submission.waited())
+        self._m_request_seconds.observe(e2e)
+        self.latency.observe("e2e", e2e)
+        self.events.emit(
+            "request_flushed",
+            request_id=submission.request_id,
+            batch_id=submission.batch_id,
+            annotation_id=report.annotation_id,
+            e2e_seconds=round(e2e, 6),
+        )
+        if e2e > self.config.slow_op_threshold:
+            self.events.emit(
+                "slow_op",
+                op="e2e",
+                request_id=submission.request_id,
+                batch_id=submission.batch_id,
+                seconds=round(e2e, 6),
+                threshold=self.config.slow_op_threshold,
+            )
         submission.succeed(report)
+
+    def _fail(self, submission: Submission, error: PipelineStageError) -> None:
+        """Fail one poisoned member: stamp + record its dead letter."""
+        self._failed += 1
+        self._m_failed.inc()
+        letter_id = error.dead_letter_id
+        if letter_id is not None:
+            try:
+                self.nebula.dead_letters.assign_request(
+                    int(letter_id), submission.request_id
+                )
+            except Exception as stamp_error:  # pragma: no cover - best effort
+                _logger.warning(
+                    "could not stamp request id on dead letter %s: %s",
+                    letter_id, stamp_error,
+                )
+        self.events.emit(
+            "request_dead_lettered",
+            request_id=submission.request_id,
+            batch_id=submission.batch_id,
+            letter_id=letter_id,
+            stage=error.stage,
+        )
+        self.events.emit(
+            "request_failed",
+            request_id=submission.request_id,
+            batch_id=submission.batch_id,
+            error=type(error).__name__,
+        )
+        submission.fail(error)
+
+    def _expire(self, submission: Submission) -> None:
+        submission.expire()
+        self._expired += 1
+        self._m_expired.inc()
+        self.events.emit(
+            "request_expired",
+            request_id=submission.request_id,
+            waited_seconds=round(submission.waited(), 6),
+            deadline=submission.deadline,
+        )
 
     def _begin(self) -> None:
         """Open an explicit transaction for the coming flush.
@@ -535,6 +768,9 @@ class AnnotationService:
             self._shedding = True
             self._m_shed.set(1)
             count_degradation(SERVICE_SHED)
+            self.events.emit(
+                "shed_engaged", queue_depth=depth, queue_capacity=capacity
+            )
             _logger.warning(
                 "service shedding load: queue %d/%d, pinning approximate search",
                 depth, capacity,
@@ -542,6 +778,9 @@ class AnnotationService:
         elif self._shedding and depth <= capacity * self.config.shed_recovery:
             self._shedding = False
             self._m_shed.set(0)
+            self.events.emit(
+                "shed_released", queue_depth=depth, queue_capacity=capacity
+            )
 
     def _update_depth_gauge(self) -> None:
         self._m_depth.set(self._queue.depth)

@@ -590,6 +590,126 @@ class TestDriverIsolation:
 
 
 # ----------------------------------------------------------------------
+# NBL008 — metric naming
+# ----------------------------------------------------------------------
+
+
+class TestMetricNaming:
+    def test_missing_prefix_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            'def f(metrics):\n    metrics.counter("queue_depth_total").inc()\n',
+            rules=["NBL008"],
+        )
+        assert rule_ids(findings) == ["NBL008"]
+        assert "nebula_" in findings[0].message
+        assert findings[0].details["metric"] == "queue_depth_total"
+
+    def test_counter_without_total_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            'def f(metrics):\n    metrics.counter("nebula_requests").inc()\n',
+            rules=["NBL008"],
+        )
+        assert rule_ids(findings) == ["NBL008"]
+        assert "_total" in findings[0].message
+
+    def test_gauge_ending_total_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            'def f(registry):\n    registry.gauge("nebula_depth_total").set(1)\n',
+            rules=["NBL008"],
+        )
+        assert rule_ids(findings) == ["NBL008"]
+        assert "counters only" in findings[0].message
+
+    @pytest.mark.parametrize("suffix", ["_bucket", "_sum", "_count"])
+    def test_reserved_suffixes_flagged(self, tmp_path, suffix):
+        findings = lint(
+            tmp_path,
+            "def f(metrics):\n"
+            f'    metrics.gauge("nebula_queue{suffix}").set(1)\n',
+            rules=["NBL008"],
+        )
+        assert rule_ids(findings) == ["NBL008"]
+        assert "reserves" in findings[0].message
+
+    def test_time_histogram_without_seconds_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(metrics):\n"
+            '    metrics.histogram("nebula_flush", TIME_BUCKETS).observe(0.1)\n',
+            rules=["NBL008"],
+        )
+        assert rule_ids(findings) == ["NBL008"]
+        assert "_seconds" in findings[0].message
+
+    def test_default_buckets_histogram_needs_seconds(self, tmp_path):
+        # The registry's default buckets are TIME_BUCKETS.
+        findings = lint(
+            tmp_path,
+            'def f(metrics):\n    metrics.histogram("nebula_flush").observe(1)\n',
+            rules=["NBL008"],
+        )
+        assert rule_ids(findings) == ["NBL008"]
+
+    def test_count_histogram_any_suffix_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(metrics):\n"
+            '    metrics.histogram("nebula_batch_size", COUNT_BUCKETS)\n',
+            rules=["NBL008"],
+        )
+        assert findings == []
+
+    def test_conforming_names_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(self, registry):\n"
+            '    self.metrics.counter("nebula_requests_total").inc()\n'
+            '    registry.gauge("nebula_queue_depth").set(0)\n'
+            '    get_metrics().counter("nebula_retries_total").inc()\n'
+            '    self.metrics.histogram("nebula_flush_seconds", TIME_BUCKETS)\n',
+            rules=["NBL008"],
+        )
+        assert findings == []
+
+    def test_non_registry_receiver_not_matched(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            'def f(stats):\n    stats.counter("whatever").inc()\n',
+            rules=["NBL008"],
+        )
+        assert findings == []
+
+    def test_dynamic_name_not_matched(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(metrics, name):\n    metrics.gauge(name).set(1)\n",
+            rules=["NBL008"],
+        )
+        assert findings == []
+
+    def test_inline_ignore_suppresses(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(metrics):\n"
+            '    metrics.counter("legacy_name")  # nebula-lint: ignore[NBL008]\n',
+            rules=["NBL008"],
+        )
+        assert findings == []
+
+    def test_tests_exempt(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            'def f(metrics):\n    metrics.counter("anything")\n',
+            name="test_fixture.py",
+            rules=["NBL008"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Engine behaviors
 # ----------------------------------------------------------------------
 

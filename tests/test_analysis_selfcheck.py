@@ -87,7 +87,10 @@ class TestCliSurface:
         out = io.StringIO()
         assert lint_main(["--list-rules"], out=out) == 0
         text = out.getvalue()
-        for rule_id in ("NBL001", "NBL002", "NBL003", "NBL004", "NBL005", "NBL006", "NBL007"):
+        for rule_id in (
+            "NBL001", "NBL002", "NBL003", "NBL004",
+            "NBL005", "NBL006", "NBL007", "NBL008",
+        ):
             assert rule_id in text
 
     def test_unknown_rule_exits_usage_error(self, tmp_path):
