@@ -1,0 +1,116 @@
+"""A shared parse cache: every file is read and parsed exactly once.
+
+Before the interprocedural core landed, each rule re-walked its module
+and the engine owned the only parse.  Now the module graph, the call
+graph, the concurrency summaries, and every per-file rule pass all need
+the same trees — so parsing moved behind :class:`AstCache`, which hands
+out immutable :class:`ParsedModule` records keyed by path.
+
+The cache is thread-safe: the engine's worker pool (see
+``analyze_paths(..., jobs=N)``) may request modules concurrently while
+the graph builders hold references to the same records.  Records are
+never mutated after construction, so sharing them across threads is
+free; the lock only guards the dictionary itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+_IGNORE_RE = re.compile(
+    r"#\s*nebula-lint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+)
+
+
+class AnalysisError(Exception):
+    """A file could not be read or parsed."""
+
+
+def parse_inline_ignores(source: str) -> Dict[int, Optional[Set[str]]]:
+    """line -> suppressed rule ids (``None`` means all rules)."""
+    ignores: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            ignores[lineno] = None
+        else:
+            ignores[lineno] = {r.strip() for r in rules.split(",") if r.strip()}
+    return ignores
+
+
+@dataclass(frozen=True)
+class ParsedModule:
+    """One parsed source file, shared read-only by every analysis layer."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: Sequence[str] = field(default_factory=tuple)
+    #: Inline ``# nebula-lint: ignore`` map (line -> rule ids or None).
+    ignores: Dict[int, Optional[Set[str]]] = field(default_factory=dict)
+
+    def snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+def load_module(path: str) -> ParsedModule:
+    """Read and parse one file (no caching)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise AnalysisError(f"{path}: cannot read: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise AnalysisError(f"{path}: syntax error: {exc}") from exc
+    return ParsedModule(
+        path=path,
+        source=source,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+        ignores=parse_inline_ignores(source),
+    )
+
+
+class AstCache:
+    """Thread-safe path -> :class:`ParsedModule` cache."""
+
+    def __init__(self) -> None:
+        self._modules: Dict[str, ParsedModule] = {}
+        self._lock = threading.Lock()
+
+    def load(self, path: str) -> ParsedModule:
+        """The parsed module for ``path``, parsing it on first request."""
+        with self._lock:
+            cached = self._modules.get(path)
+        if cached is not None:
+            return cached
+        module = load_module(path)
+        with self._lock:
+            # Two threads racing on a cold path both parse; the records
+            # are identical and immutable, so last-write-wins is fine.
+            self._modules[path] = module
+        return module
+
+    def modules(self) -> List[ParsedModule]:
+        """Every cached module, in insertion (discovery) order."""
+        with self._lock:
+            return list(self._modules.values())
+
+    def __contains__(self, path: str) -> bool:
+        with self._lock:
+            return path in self._modules
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._modules)

@@ -2,10 +2,18 @@
 
 A baseline file freezes the currently-accepted findings so the lint
 gate only fails on *new* violations.  The file maps each finding
-fingerprint (line-number-insensitive; see
-:attr:`repro.analysis.findings.Finding.fingerprint`) to the number of
-occurrences accepted — duplicate identical lines in one file share a
-fingerprint, so counts matter.
+fingerprint to the number of occurrences accepted — duplicate
+identical lines in one file share a fingerprint, so counts matter.
+
+Version 2 baselines use the (rule, path, enclosing-def,
+normalized-snippet) fingerprint (see
+:attr:`repro.analysis.findings.Finding.fingerprint`).  Version 1 files
+— written before the enclosing-def component existed — are still
+accepted: :func:`apply_baseline` matches each finding's current
+fingerprint first and falls back to its
+:attr:`~repro.analysis.findings.Finding.legacy_fingerprint` for v1
+entries, so an old baseline keeps suppressing until it is rewritten.
+Re-running ``--write-baseline`` migrates the file to version 2.
 
 Typical flow::
 
@@ -22,7 +30,7 @@ from typing import Dict, List, Sequence
 
 from .findings import Finding
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 
 
 def write_baseline(path: str, findings: Sequence[Finding]) -> None:
@@ -38,6 +46,12 @@ def write_baseline(path: str, findings: Sequence[Finding]) -> None:
 
 
 def load_baseline(path: str) -> Dict[str, int]:
+    """fingerprint -> accepted count, for v1 and v2 files alike.
+
+    The version marker is not needed at match time: v2 fingerprints are
+    tried first and v1 entries only ever match through the legacy
+    fallback, so mixing generations in one file is harmless.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     if not isinstance(payload, dict) or "fingerprints" not in payload:
@@ -55,13 +69,17 @@ def apply_baseline(
 
     Each baselined fingerprint absorbs up to its accepted count; any
     excess occurrences — the same bad pattern introduced again — are
-    reported.
+    reported.  A finding is absorbed by its current (v2) fingerprint
+    when present, else by its legacy (v1) fingerprint, which is how
+    pre-migration baseline files keep working.
     """
     budget = Counter(baseline)
     fresh: List[Finding] = []
     for finding in findings:
         if budget[finding.fingerprint] > 0:
             budget[finding.fingerprint] -= 1
+        elif budget[finding.legacy_fingerprint] > 0:
+            budget[finding.legacy_fingerprint] -= 1
         else:
             fresh.append(finding)
     return fresh

@@ -3,7 +3,14 @@
 Invoked as ``python -m repro.analysis [paths ...]`` or via the main CLI
 as ``repro lint``.  Exit codes: 0 — clean (or all findings baselined),
 1 — new findings, 2 — usage/configuration error (unknown rule id,
-unreadable baseline, unparseable source file).
+unreadable baseline, unparseable source file, or the ``--max-seconds``
+runtime budget exceeded).
+
+Output formats (``--format``): ``human`` (one line per finding plus a
+summary), ``json`` (the historical ``--json`` array, byte-identical to
+the old flag), and ``sarif`` (a SARIF 2.1.0 log for code-scanning
+upload).  All three are deterministic for a given tree regardless of
+``--jobs``.
 """
 
 from __future__ import annotations
@@ -15,9 +22,12 @@ import sys
 from typing import List, Optional, Sequence, TextIO
 
 from .baseline import apply_baseline, load_baseline, write_baseline
-from .engine import AnalysisError, analyze_paths
+from .engine import AnalysisError, run_analysis
 from .findings import Finding
 from .rules import ALL_RULE_IDS, RULE_DOCS
+from .sarif import to_sarif
+
+FORMATS = ("human", "json", "sarif")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,7 +36,9 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Project-specific static analysis for the Nebula reproduction: "
             "SQL safety, transaction discipline, paper invariants, span "
-            "taxonomy, and resource hygiene."
+            "taxonomy, resource hygiene, and interprocedural concurrency "
+            "rules (lock discipline, thread affinity, blocking under lock, "
+            "condition hygiene)."
         ),
     )
     parser.add_argument(
@@ -35,9 +47,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: the src tree)",
     )
     parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default=None,
+        help="output format (default: human)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
-        help="emit findings as a JSON array instead of human-readable lines",
+        help="alias for --format json (kept for compatibility)",
     )
     parser.add_argument(
         "--strict",
@@ -64,6 +82,30 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help=(
+            "worker threads for the per-file rule pass "
+            "(default: CPU count, capped at 8; output is identical "
+            "for any value)"
+        ),
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print phase timings (parse/project/rules) to stderr",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        metavar="S",
+        help=(
+            "fail with exit code 2 when the analysis wall-clock exceeds "
+            "S seconds (the CI lint-runtime budget)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -77,9 +119,12 @@ def _default_paths() -> List[str]:
     return [package_root]
 
 
-def _emit(findings: Sequence[Finding], as_json: bool, out: TextIO) -> None:
-    if as_json:
+def _emit(findings: Sequence[Finding], fmt: str, out: TextIO) -> None:
+    if fmt == "json":
         json.dump([f.to_dict() for f in findings], out, indent=2)
+        out.write("\n")
+    elif fmt == "sarif":
+        json.dump(to_sarif(findings), out, indent=2)
         out.write("\n")
     else:
         for finding in findings:
@@ -93,6 +138,15 @@ def main(
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    fmt = args.format or ("json" if args.json else "human")
+    if args.format and args.json and args.format != "json":
+        print(
+            "nebula-lint: error: --json conflicts with "
+            f"--format {args.format}",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.list_rules:
         for rule_id in ALL_RULE_IDS:
             out.write(f"{rule_id}  {RULE_DOCS[rule_id]}\n")
@@ -104,9 +158,35 @@ def main(
 
     paths = list(args.paths) or _default_paths()
     try:
-        findings = analyze_paths(paths, rules=rules)
+        result = run_analysis(paths, rules=rules, jobs=args.jobs)
     except (AnalysisError, ValueError) as exc:
         print(f"nebula-lint: error: {exc}", file=sys.stderr)
+        return 2
+    findings = result.findings
+
+    if args.verbose:
+        timings = result.timings
+        print(
+            "nebula-lint: {files} file(s), jobs={jobs}: "
+            "parse {parse:.3f}s, project {project:.3f}s, "
+            "rules {rules:.3f}s, total {total:.3f}s".format(
+                files=result.file_count,
+                jobs=result.jobs,
+                parse=timings["parse"],
+                project=timings["project"],
+                rules=timings["rules"],
+                total=timings["total"],
+            ),
+            file=sys.stderr,
+        )
+
+    if args.max_seconds is not None and result.timings["total"] > args.max_seconds:
+        print(
+            f"nebula-lint: error: analysis took "
+            f"{result.timings['total']:.3f}s, over the --max-seconds "
+            f"budget of {args.max_seconds:.3f}s",
+            file=sys.stderr,
+        )
         return 2
 
     if args.write_baseline:
@@ -128,8 +208,8 @@ def main(
         reported = apply_baseline(findings, baseline)
         baselined = len(findings) - len(reported)
 
-    _emit(reported, args.json, out)
-    if not args.json:
+    _emit(reported, fmt, out)
+    if fmt == "human":
         summary = f"nebula-lint: {len(reported)} finding(s)"
         if baselined:
             summary += f" ({baselined} baselined)"

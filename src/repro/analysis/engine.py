@@ -1,9 +1,24 @@
 """The nebula-lint analysis engine.
 
-Walks a source tree (or explicit file list), parses each Python module
-once, runs a two-pass analysis — pass one collects cross-module facts
-(``NebulaConfig`` literal defaults for NBL003), pass two runs every
-enabled rule — and filters the raw findings through inline ignores.
+Walks a source tree (or explicit file list) and runs the full pipeline:
+
+1. **parse** — every file is read and parsed exactly once into the
+   shared :class:`~repro.analysis.astcache.AstCache`;
+2. **project pass** — cross-module facts are computed over the whole
+   cache: ``NebulaConfig`` literal defaults (NBL003), the
+   module/class/call graph, per-function concurrency summaries with the
+   blocking and escape fixpoints (NBL009–NBL012), and the SQL taint
+   fixpoints that upgrade NBL001 to interprocedural;
+3. **rule pass** — per-file rule checks run independently per module,
+   optionally across a thread pool (``jobs``), reading the immutable
+   project indexes;
+4. **filter** — raw findings flow through inline ignores and get their
+   enclosing function attached (for the v2 fingerprint).
+
+Per-file passes are embarrassingly parallel once the project indexes
+exist: every shared structure is immutable after step 2, so the worker
+pool needs no locking and the output is byte-identical for any ``jobs``
+value (findings are sorted at the end).
 
 Inline suppression::
 
@@ -16,12 +31,23 @@ suppresses only the listed rule ids (comma-separated).
 
 from __future__ import annotations
 
-import ast
+import dataclasses
 import os
-import re
+import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from .astcache import AnalysisError, AstCache, ParsedModule, parse_inline_ignores
+from .concurrency import (
+    ConcurrencyIndex,
+    check_blocking_under_lock,
+    check_condition_hygiene,
+    check_lock_discipline,
+    check_thread_affinity,
+)
 from .findings import Finding
+from .graphs import ProjectGraph, build_project_graph
+from .interproc import SqlFlowIndex
 from .rules import (
     ALL_RULE_IDS,
     ModuleContext,
@@ -37,9 +63,14 @@ from .rules import (
     collect_config_defaults,
 )
 
-_IGNORE_RE = re.compile(
-    r"#\s*nebula-lint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
-)
+__all__ = [
+    "AnalysisError",
+    "AnalysisResult",
+    "ProjectState",
+    "analyze_paths",
+    "iter_python_files",
+    "run_analysis",
+]
 
 #: Directory names never descended into.
 _SKIP_DIRS = frozenset(
@@ -63,17 +94,7 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
 
 def _inline_ignores(source: str) -> Dict[int, Optional[Set[str]]]:
     """line -> suppressed rule ids (``None`` means all rules)."""
-    ignores: Dict[int, Optional[Set[str]]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _IGNORE_RE.search(line)
-        if not match:
-            continue
-        rules = match.group("rules")
-        if rules is None:
-            ignores[lineno] = None
-        else:
-            ignores[lineno] = {r.strip() for r in rules.split(",") if r.strip()}
-    return ignores
+    return parse_inline_ignores(source)
 
 
 def _is_suppressed(
@@ -96,33 +117,103 @@ def _is_suppressed(
     return False
 
 
-class AnalysisError(Exception):
-    """A file could not be read or parsed."""
+class ProjectState:
+    """Every immutable cross-module index the per-file passes read."""
+
+    def __init__(self, modules: Sequence[ParsedModule]) -> None:
+        self.cache_order: Tuple[ParsedModule, ...] = tuple(modules)
+        self.shared = SharedState()
+        self.contexts: Dict[str, ModuleContext] = {}
+        for parsed in modules:
+            ctx = ModuleContext(parsed.path, parsed.tree, parsed.source)
+            self.contexts[parsed.path] = ctx
+            collect_config_defaults(ctx, self.shared)
+        self.graph: ProjectGraph = build_project_graph(modules)
+        self.sql_flow: SqlFlowIndex = SqlFlowIndex.build(self.graph)
+        self.concurrency: ConcurrencyIndex = ConcurrencyIndex.build(self.graph)
+
+    def enclosing_function(self, path: str, lineno: int) -> str:
+        """Display name of the innermost function containing ``lineno``."""
+        modinfo = self.graph.by_path.get(path)
+        if modinfo is None:
+            return ""
+        best = None
+        for func in modinfo.functions.values():
+            node = func.node
+            end = getattr(node, "end_lineno", None) or node.lineno
+            if node.lineno <= lineno <= end:
+                if best is None or node.lineno >= best.node.lineno:
+                    best = func
+        return best.display if best is not None else ""
 
 
-def _load(path: str) -> Tuple[str, ast.Module]:
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            source = handle.read()
-    except OSError as exc:
-        raise AnalysisError(f"{path}: cannot read: {exc}") from exc
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        raise AnalysisError(f"{path}: syntax error: {exc}") from exc
-    return source, tree
+def _file_findings(
+    state: ProjectState, parsed: ParsedModule, enabled: Set[str]
+) -> List[Finding]:
+    """Every enabled rule over one module (thread-safe: reads only)."""
+    ctx = state.contexts[parsed.path]
+    raw: List[Finding] = []
+    if "NBL001" in enabled:
+        raw.extend(
+            check_sql_safety(ctx, call_resolver=state.sql_flow.call_resolver())
+        )
+        raw.extend(state.sql_flow.call_site_findings(ctx.path, ctx.snippet))
+    if "NBL002" in enabled:
+        raw.extend(check_savepoint_pairing(ctx))
+    if "NBL003" in enabled:
+        raw.extend(check_config_invariants(ctx, state.shared))
+    if "NBL004" in enabled:
+        raw.extend(check_edge_weights(ctx))
+    if "NBL005" in enabled:
+        raw.extend(check_span_registry(ctx))
+    if "NBL006" in enabled:
+        raw.extend(check_resource_hygiene(ctx))
+    if "NBL007" in enabled:
+        raw.extend(check_driver_imports(ctx))
+    if "NBL008" in enabled:
+        raw.extend(check_metric_naming(ctx))
+    if "NBL009" in enabled:
+        raw.extend(check_lock_discipline(ctx, state.concurrency))
+    if "NBL010" in enabled:
+        raw.extend(check_thread_affinity(ctx, state.concurrency))
+    if "NBL011" in enabled:
+        raw.extend(check_blocking_under_lock(ctx, state.concurrency))
+    if "NBL012" in enabled:
+        raw.extend(check_condition_hygiene(ctx, state.concurrency))
+
+    out: List[Finding] = []
+    for finding in raw:
+        if _is_suppressed(finding, parsed.ignores):
+            continue
+        out.append(
+            dataclasses.replace(
+                finding,
+                function=state.enclosing_function(finding.path, finding.line),
+            )
+        )
+    return out
 
 
-def analyze_paths(
+@dataclasses.dataclass
+class AnalysisResult:
+    """Findings plus wall-clock phase timings (seconds)."""
+
+    findings: List[Finding]
+    timings: Dict[str, float]
+    file_count: int
+    jobs: int
+
+
+def run_analysis(
     paths: Sequence[str],
     rules: Optional[Iterable[str]] = None,
-) -> List[Finding]:
-    """Run the enabled rules over every Python file under ``paths``.
+    jobs: Optional[int] = None,
+) -> AnalysisResult:
+    """The full pipeline with timings; see module docstring for phases.
 
-    Returns findings sorted by (path, line, rule id), already filtered
-    through inline ``# nebula-lint: ignore`` comments.  Unparseable
-    files raise :class:`AnalysisError` — a lint run over a broken tree
-    should fail loudly, not skip silently.
+    ``jobs`` sizes the per-file rule-pass worker pool (default: one
+    worker per CPU, capped at 8; ``1`` keeps everything on the calling
+    thread).  The result is identical for every ``jobs`` value.
     """
     enabled = set(rules) if rules is not None else set(ALL_RULE_IDS)
     unknown = enabled.difference(ALL_RULE_IDS)
@@ -133,37 +224,53 @@ def analyze_paths(
         if not os.path.exists(path):
             raise AnalysisError(f"{path}: no such file or directory")
 
-    modules: List[Tuple[ModuleContext, Dict[int, Optional[Set[str]]]]] = []
-    state = SharedState()
-    for path in iter_python_files(paths):
-        source, tree = _load(path)
-        ctx = ModuleContext(path, tree, source)
-        modules.append((ctx, _inline_ignores(source)))
-        collect_config_defaults(ctx, state)
+    timings: Dict[str, float] = {}
+    started = time.perf_counter()
 
+    cache = AstCache()
+    modules = [cache.load(path) for path in iter_python_files(paths)]
+    timings["parse"] = time.perf_counter() - started
+
+    mark = time.perf_counter()
+    state = ProjectState(modules)
+    timings["project"] = time.perf_counter() - mark
+
+    mark = time.perf_counter()
+    if jobs is None:
+        jobs = min(os.cpu_count() or 1, 8)
+    jobs = max(1, jobs)
     findings: List[Finding] = []
-    for ctx, ignores in modules:
-        raw: List[Finding] = []
-        if "NBL001" in enabled:
-            raw.extend(check_sql_safety(ctx))
-        if "NBL002" in enabled:
-            raw.extend(check_savepoint_pairing(ctx))
-        if "NBL003" in enabled:
-            raw.extend(check_config_invariants(ctx, state))
-        if "NBL004" in enabled:
-            raw.extend(check_edge_weights(ctx))
-        if "NBL005" in enabled:
-            raw.extend(check_span_registry(ctx))
-        if "NBL006" in enabled:
-            raw.extend(check_resource_hygiene(ctx))
-        if "NBL007" in enabled:
-            raw.extend(check_driver_imports(ctx))
-        if "NBL008" in enabled:
-            raw.extend(check_metric_naming(ctx))
-        for finding in raw:
-            if _is_suppressed(finding, ignores):
-                continue
-            findings.append(finding)
+    if jobs == 1 or len(modules) <= 1:
+        for parsed in modules:
+            findings.extend(_file_findings(state, parsed, enabled))
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            for batch in pool.map(
+                lambda parsed: _file_findings(state, parsed, enabled), modules
+            ):
+                findings.extend(batch)
+    timings["rules"] = time.perf_counter() - mark
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
-    return findings
+    timings["total"] = time.perf_counter() - started
+    return AnalysisResult(
+        findings=findings,
+        timings=timings,
+        file_count=len(modules),
+        jobs=jobs,
+    )
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> List[Finding]:
+    """Run the enabled rules over every Python file under ``paths``.
+
+    Returns findings sorted by (path, line, rule id), already filtered
+    through inline ``# nebula-lint: ignore`` comments.  Unparseable
+    files raise :class:`AnalysisError` — a lint run over a broken tree
+    should fail loudly, not skip silently.
+    """
+    return run_analysis(paths, rules=rules, jobs=jobs).findings

@@ -2,11 +2,25 @@
 
 A :class:`Finding` pinpoints one violation: rule id, file, line, a
 human message, and a machine-checkable fix hint.  Findings serialize to
-JSON (``--json``) and to a one-line human format, and carry a stable
-*fingerprint* used by the baseline workflow: the fingerprint hashes the
-rule id, the file path, and the offending source line's text — not its
-line number — so unrelated edits above a suppressed finding do not
-resurrect it.
+JSON (``--format json``), SARIF (``--format sarif``), and a one-line
+human format, and carry a stable *fingerprint* used by the baseline
+workflow.
+
+The fingerprint (v2) hashes the rule id, the file path, the enclosing
+function's display name, and the *whitespace-normalized* offending
+snippet — not its line number.  Compared with the v1 scheme (rule,
+path, raw snippet), v2 survives two extra classes of benign churn that
+used to resurrect baselined findings:
+
+* re-indenting or re-wrapping the offending line (normalization
+  collapses all runs of whitespace), and
+* the same snippet text appearing in two different functions (the
+  enclosing-def component keeps their fingerprints distinct, so fixing
+  one occurrence no longer silently absorbs the other).
+
+:attr:`Finding.legacy_fingerprint` still computes the v1 hash so
+version-1 baseline files keep matching until they are rewritten (see
+:mod:`repro.analysis.baseline`).
 """
 
 from __future__ import annotations
@@ -14,6 +28,11 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict
+
+
+def _normalize_snippet(snippet: str) -> str:
+    """Collapse whitespace runs so reformatting keeps the fingerprint."""
+    return " ".join(snippet.split())
 
 
 @dataclass(frozen=True)
@@ -27,12 +46,25 @@ class Finding:
     fix_hint: str = ""
     #: The offending source line, stripped (fingerprint input + context).
     snippet: str = ""
+    #: Display name of the enclosing function/method (``Class.method``),
+    #: attached by the engine; "" at module level.  Not serialized —
+    #: the JSON shape predates it and stays byte-stable.
+    function: str = field(default="", compare=False)
     #: Extra rule-specific details (offending name, resolved text, ...).
     details: Dict[str, Any] = field(default_factory=dict, compare=False)
 
     @property
     def fingerprint(self) -> str:
-        """Line-number-insensitive identity for baseline suppression."""
+        """Line-number-insensitive identity for baseline suppression (v2)."""
+        digest = hashlib.sha256(
+            f"{self.rule_id}\x00{self.path}\x00{self.function}"
+            f"\x00{_normalize_snippet(self.snippet)}".encode()
+        )
+        return digest.hexdigest()[:16]
+
+    @property
+    def legacy_fingerprint(self) -> str:
+        """The v1 fingerprint, kept so old baseline files still match."""
         digest = hashlib.sha256(
             f"{self.rule_id}\x00{self.path}\x00{self.snippet}".encode()
         )

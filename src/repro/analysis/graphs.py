@@ -1,0 +1,549 @@
+"""Module, class, and call graphs over the analyzed tree.
+
+This is the name-resolution layer of the interprocedural core.  It turns
+a set of :class:`~repro.analysis.astcache.ParsedModule` records into:
+
+* a **module graph** — dotted module names (derived by walking up the
+  package tree while ``__init__.py`` exists) plus per-module import
+  alias tables, including relative imports;
+* a **symbol table** — every module-level function, class, method, and
+  (recursively) nested function, keyed by a stable qualified name of the
+  form ``repro.service.queue:SubmissionQueue.drain``;
+* a **call graph** — for each function, its call sites with the set of
+  project functions the callee name can resolve to.  Resolution covers
+  bare local names, imported names (aliased or not), ``self.method``
+  (including methods inherited from project base classes and subclass
+  overrides — virtual dispatch returns *all* candidates), and
+  ``obj.method`` where ``obj``'s class is inferred from parameter
+  annotations, constructor assignments, or ``self._field`` types.
+
+Unknown callees resolve to the empty candidate list; rules treat that
+conservatively (an opaque call is neither trusted nor flagged).  All
+records are immutable after :func:`build_project_graph` returns, so the
+graph can be shared freely across the engine's worker threads.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .astcache import ParsedModule
+
+#: threading constructors whose results are lock-like synchronizers.
+THREADING_PRIMITIVES = frozenset(
+    {"Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore"}
+)
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for ``path``, walking up through packages."""
+    path = os.path.abspath(path)
+    directory, filename = os.path.split(path)
+    stem = filename[:-3] if filename.endswith(".py") else filename
+    parts: List[str] = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        parts.append(package)
+    return ".".join(reversed(parts)) or stem
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qualname: str  #: e.g. ``repro.storage.pool:ConnectionPool.acquire``
+    name: str
+    node: ast.AST  #: the FunctionDef / AsyncFunctionDef
+    module: "ModuleInfo"
+    class_name: Optional[str] = None  #: owning class, if a method
+    call_sites: List["CallSite"] = field(default_factory=list)
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def display(self) -> str:
+        return (
+            f"{self.class_name}.{self.name}" if self.class_name else self.name
+        )
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function, with resolved candidates."""
+
+    call: ast.Call
+    lineno: int
+    #: Qualnames of every project function the callee may be.
+    candidates: Tuple[str, ...]
+    #: Best-effort source text of the callee (for messages).
+    callee_text: str
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods, bases, and inferred field types."""
+
+    qualname: str  #: e.g. ``repro.storage.pool:ConnectionPool``
+    name: str
+    node: ast.ClassDef
+    module: "ModuleInfo"
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Base-class expressions as source text (resolved lazily).
+    base_names: List[str] = field(default_factory=list)
+    #: ``self._field`` -> type string: a project class qualname, or a
+    #: dotted builtin-ish name like ``threading.Lock``.
+    field_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus its import alias table."""
+
+    name: str
+    parsed: ParsedModule
+    #: local alias -> dotted target ("compat" -> "repro.storage.compat",
+    #: "connect" -> "repro.storage.compat.connect").
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+    @property
+    def path(self) -> str:
+        return self.parsed.path
+
+
+def own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's own body, not descending into nested scopes."""
+    stack: List[ast.AST] = list(getattr(func, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _collect_imports(tree: ast.Module, module_name: str) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    package = module_name.rsplit(".", 1)[0] if "." in module_name else ""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports[local] = target
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Relative import: level 1 is the containing package.
+                anchor = module_name.split(".")
+                # For a module (not a package __init__), the anchor of
+                # level 1 is its parent package.
+                anchor = anchor[: len(anchor) - node.level]
+                base = ".".join(anchor + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{base}.{alias.name}" if base else alias.name
+    del package
+    return imports
+
+
+class ProjectGraph:
+    """The resolved view of every module handed to the analyzer."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}  #: dotted name -> module
+        self.by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}  #: qualname -> func
+        self.classes: Dict[str, ClassInfo] = {}  #: qualname -> class
+        #: class qualname -> qualnames of direct+transitive subclasses.
+        self.subclasses: Dict[str, Set[str]] = {}
+        self._local_types: Dict[int, Dict[str, str]] = {}
+
+    # -- construction --------------------------------------------------
+
+    def _register_module(self, parsed: ParsedModule) -> ModuleInfo:
+        name = module_name_for_path(parsed.path)
+        info = ModuleInfo(name=name, parsed=parsed)
+        info.imports = _collect_imports(parsed.tree, name)
+        self.modules[name] = info
+        self.by_path[parsed.path] = info
+
+        def register_function(
+            node: ast.AST,
+            prefix: str,
+            class_name: Optional[str],
+            direct_member: bool,
+        ) -> None:
+            assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            qual = f"{name}:{prefix}{node.name}"
+            func = FunctionInfo(
+                qualname=qual,
+                name=node.name,
+                node=node,
+                module=info,
+                class_name=class_name,
+            )
+            self.functions[qual] = func
+            info.functions[f"{prefix}{node.name}"] = func
+            if direct_member and class_name is not None and class_name in info.classes:
+                info.classes[class_name].methods[node.name] = func
+            # Nested defs get their own records (helpers built inside a
+            # method still participate in taint/blocking propagation) but
+            # are not class methods — only direct members dispatch.
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    register_function(
+                        child, f"{prefix}{node.name}.", class_name, False
+                    )
+
+        for stmt in parsed.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                register_function(stmt, "", None, False)
+            elif isinstance(stmt, ast.ClassDef):
+                cls = ClassInfo(
+                    qualname=f"{name}:{stmt.name}",
+                    name=stmt.name,
+                    node=stmt,
+                    module=info,
+                    base_names=[ast.unparse(b) for b in stmt.bases],
+                )
+                info.classes[stmt.name] = cls
+                self.classes[cls.qualname] = cls
+                for member in stmt.body:
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        register_function(member, f"{stmt.name}.", stmt.name, True)
+        return info
+
+    def _resolve_dotted(self, modinfo: ModuleInfo, dotted: str) -> Optional[str]:
+        """Resolve a local dotted name to a project symbol qualname.
+
+        ``dotted`` is e.g. ``compat.connect`` or ``ConnectionPool`` as
+        written in ``modinfo``'s source; the result is a qualname into
+        :attr:`functions`/:attr:`classes`, or ``None`` for symbols
+        outside the analyzed tree.
+        """
+        head, _, rest = dotted.partition(".")
+        target = modinfo.imports.get(head)
+        if target is None:
+            # A name defined in this module itself.
+            full = dotted
+            if full in modinfo.functions:
+                return modinfo.functions[full].qualname
+            if head in modinfo.classes:
+                if not rest:
+                    return modinfo.classes[head].qualname
+                method = modinfo.classes[head].methods.get(rest)
+                return method.qualname if method else None
+            return None
+        full = f"{target}.{rest}" if rest else target
+        # Longest module-name prefix of ``full`` wins; the remainder is
+        # the symbol path inside that module.
+        parts = full.split(".")
+        for cut in range(len(parts), 0, -1):
+            mod = self.modules.get(".".join(parts[:cut]))
+            if mod is None:
+                continue
+            symbol = ".".join(parts[cut:])
+            if not symbol:
+                return None
+            if symbol in mod.functions:
+                return mod.functions[symbol].qualname
+            cls_name, _, method = symbol.partition(".")
+            if cls_name in mod.classes:
+                if not method:
+                    return mod.classes[cls_name].qualname
+                found = mod.classes[cls_name].methods.get(method)
+                return found.qualname if found else None
+            return None
+        return None
+
+    def _infer_field_types(self, cls: ClassInfo) -> None:
+        init = cls.methods.get("__init__")
+        if init is None:
+            return
+        annotations = _param_annotations(init.node)
+        for node in own_nodes(init.node):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = list(node.targets), node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                typed = self._type_of_value(cls.module, value, annotations)
+                if typed is not None:
+                    cls.field_types[target.attr] = typed
+
+    def _type_of_value(
+        self,
+        modinfo: ModuleInfo,
+        value: Optional[ast.expr],
+        local_types: Dict[str, str],
+    ) -> Optional[str]:
+        """Type string for an assigned value, when inferable."""
+        if value is None:
+            return None
+        if isinstance(value, ast.Name):
+            return local_types.get(value.id)
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        # threading.Lock() / Condition() / ... (direct or via import).
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            receiver = modinfo.imports.get(func.value.id, func.value.id)
+            if receiver == "threading" and func.attr in THREADING_PRIMITIVES:
+                return f"threading.{func.attr}"
+        if isinstance(func, ast.Name):
+            target = modinfo.imports.get(func.id, "")
+            if (
+                target.startswith("threading.")
+                and target.split(".")[-1] in THREADING_PRIMITIVES
+            ):
+                return target
+        # Constructor of a project class.
+        dotted = _dotted_name(func)
+        if dotted is not None:
+            resolved = self._resolve_dotted(modinfo, dotted)
+            if resolved in self.classes:
+                return resolved
+        return None
+
+    def _link_hierarchy(self) -> None:
+        resolved_bases: Dict[str, List[str]] = {}
+        for cls in self.classes.values():
+            bases: List[str] = []
+            for base in cls.base_names:
+                target = self._resolve_dotted(cls.module, base)
+                if target in self.classes:
+                    bases.append(target)  # type: ignore[arg-type]
+            resolved_bases[cls.qualname] = bases
+        self._resolved_bases = resolved_bases
+        for qualname in self.classes:
+            self.subclasses.setdefault(qualname, set())
+        for qualname, bases in resolved_bases.items():
+            seen: Set[str] = set()
+            stack = list(bases)
+            while stack:
+                base = stack.pop()
+                if base in seen:
+                    continue
+                seen.add(base)
+                self.subclasses.setdefault(base, set()).add(qualname)
+                stack.extend(resolved_bases.get(base, []))
+
+    def mro(self, cls: ClassInfo) -> List[ClassInfo]:
+        """The class followed by its project base classes, depth-first."""
+        out: List[ClassInfo] = []
+        seen: Set[str] = set()
+        stack = [cls.qualname]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen or qual not in self.classes:
+                continue
+            seen.add(qual)
+            out.append(self.classes[qual])
+            stack.extend(self._resolved_bases.get(qual, []))
+        return out
+
+    # -- call resolution ----------------------------------------------
+
+    def local_types(self, func: FunctionInfo) -> Dict[str, str]:
+        """name -> type string for ``func``'s params and simple locals."""
+        cached = self._local_types.get(id(func.node))
+        if cached is not None:
+            return cached
+        types = _param_annotations(func.node)
+        resolved: Dict[str, str] = {}
+        for name, annotation in types.items():
+            target = self._resolve_dotted(func.module, annotation)
+            if target in self.classes:
+                resolved[name] = target  # type: ignore[assignment]
+            elif annotation.startswith("threading."):
+                resolved[name] = annotation
+        for node in own_nodes(func.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                typed = self._type_of_value(func.module, node.value, resolved)
+                if typed is not None:
+                    resolved[node.targets[0].id] = typed
+        self._local_types[id(func.node)] = resolved
+        return resolved
+
+    def field_type(self, func: FunctionInfo, attr: str) -> Optional[str]:
+        """Type of ``self.<attr>`` as seen from ``func``'s class."""
+        if func.class_name is None:
+            return None
+        cls = func.module.classes.get(func.class_name)
+        if cls is None:
+            return None
+        for klass in self.mro(cls):
+            if attr in klass.field_types:
+                return klass.field_types[attr]
+        return None
+
+    def _method_candidates(
+        self, cls: ClassInfo, method: str, virtual: bool
+    ) -> List[str]:
+        found: List[str] = []
+        for klass in self.mro(cls):
+            if method in klass.methods:
+                found.append(klass.methods[method].qualname)
+                break
+        if virtual:
+            for sub in sorted(self.subclasses.get(cls.qualname, ())):
+                override = self.classes[sub].methods.get(method)
+                if override is not None and override.qualname not in found:
+                    found.append(override.qualname)
+        return found
+
+    def resolve_call(
+        self, call: ast.Call, caller: FunctionInfo
+    ) -> Tuple[str, ...]:
+        """Project-function qualnames the callee may resolve to."""
+        func = call.func
+        modinfo = caller.module
+
+        # self.method(...) — own class, bases, and subclass overrides.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and caller.class_name is not None
+        ):
+            cls = modinfo.classes.get(caller.class_name)
+            if cls is not None:
+                return tuple(self._method_candidates(cls, func.attr, virtual=True))
+            return ()
+
+        # self._field.method(...) — via the field's inferred type.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+        ):
+            typed = self.field_type(caller, func.value.attr)
+            if typed in self.classes:
+                return tuple(
+                    self._method_candidates(
+                        self.classes[typed], func.attr, virtual=True
+                    )
+                )
+            return ()
+
+        # obj.method(...) — via the local/param type environment.
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            typed = self.local_types(caller).get(func.value.id)
+            if typed in self.classes:
+                return tuple(
+                    self._method_candidates(
+                        self.classes[typed], func.attr, virtual=True
+                    )
+                )
+
+        # Bare or dotted names: locals of the enclosing function's
+        # module, then the import table.
+        dotted = _dotted_name(func)
+        if dotted is None:
+            return ()
+        # A nested function visible from the caller: its own children
+        # first (``inner`` defined inside this very function), then
+        # siblings at each enclosing nesting level.
+        prefix = caller.qualname.split(":", 1)[1]
+        while prefix:
+            # At the class level the walk stops: a bare name inside a
+            # method never resolves to a sibling method (that needs
+            # ``self.``), only to nested defs or module scope.
+            if prefix in modinfo.classes:
+                break
+            nested = modinfo.functions.get(f"{prefix}.{dotted}")
+            if nested is not None:
+                return (nested.qualname,)
+            prefix = prefix.rsplit(".", 1)[0] if "." in prefix else ""
+        resolved = self._resolve_dotted(modinfo, dotted)
+        if resolved in self.functions:
+            return (resolved,)
+        if resolved in self.classes:
+            init = self.classes[resolved].methods.get("__init__")
+            return (init.qualname,) if init else ()
+        return ()
+
+    def _build_call_sites(self) -> None:
+        for func in self.functions.values():
+            sites: List[CallSite] = []
+            for node in own_nodes(func.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                candidates = self.resolve_call(node, func)
+                sites.append(
+                    CallSite(
+                        call=node,
+                        lineno=node.lineno,
+                        candidates=candidates,
+                        callee_text=_dotted_name(node.func)
+                        or ast.unparse(node.func),
+                    )
+                )
+            func.call_sites = sites
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` source text when ``node`` is a pure attribute chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _param_annotations(node: ast.AST) -> Dict[str, str]:
+    """param name -> annotation source text (``Optional[X]`` unwrapped)."""
+    out: Dict[str, str] = {}
+    args = getattr(node, "args", None)
+    if args is None:
+        return out
+    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        if arg.annotation is None:
+            continue
+        text = ast.unparse(arg.annotation)
+        for wrapper in ("Optional[", "typing.Optional["):
+            if text.startswith(wrapper) and text.endswith("]"):
+                text = text[len(wrapper) : -1]
+        out[arg.arg] = text.strip('"')
+    return out
+
+
+def build_project_graph(modules: Sequence[ParsedModule]) -> ProjectGraph:
+    """Build the full graph: symbols, hierarchy, field types, call sites."""
+    graph = ProjectGraph()
+    for parsed in modules:
+        graph._register_module(parsed)
+    graph._link_hierarchy()
+    for cls in graph.classes.values():
+        graph._infer_field_types(cls)
+    graph._build_call_sites()
+    return graph

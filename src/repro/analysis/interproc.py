@@ -1,0 +1,328 @@
+"""Interprocedural SQL taint: unsafe strings that cross call boundaries.
+
+PR-3's NBL001 judged one statement at a time: an explicit string-building
+expression *at* the execute site is flagged, while an opaque name is
+trusted (UNKNOWN).  That trust was the documented blind spot — a string
+built unsafely in a helper and passed through one or two calls before
+reaching ``execute`` was invisible.  This module closes it with two
+fixpoints over the call graph:
+
+``returns_unsafe``
+    Functions with at least one ``return`` whose value resolves UNSAFE.
+    A :data:`~repro.analysis.resolve.CallResolver` built from this set
+    makes ``sql = build_where(user)`` resolve UNSAFE at the caller, so
+    the existing execute-site check fires unchanged.
+
+``sink_params``
+    Parameters whose value reaches the SQL argument of an execute call
+    inside the function (directly, through local string building, or by
+    being forwarded into another function's sink parameter).  Call sites
+    passing an UNSAFE argument into a sink parameter are flagged at the
+    call — the execute may be two hops away.
+
+Functions in the registered SQL-construction layer
+(``rules.SQL_BUILDER_WHITELIST``) are excluded from both fixpoints: that
+module is *supposed* to assemble SQL dynamically, and its output is
+audited by its own tests.
+
+Passing ``call_resolver=None`` everywhere reproduces the PR-3 behavior
+bit-for-bit; the regression tests rely on that to prove the old resolver
+misses what this layer catches.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .findings import Finding
+from .graphs import FunctionInfo, ProjectGraph
+from .resolve import (
+    SAFE_MARK,
+    Env,
+    Resolution,
+    Safety,
+    build_env,
+    resolve_str,
+)
+from .rules import (
+    EXECUTE_METHODS,
+    SQL_BUILDER_WHITELIST,
+    _matches_any,
+    _sql_argument,
+)
+
+_MAX_ROUNDS = 10  #: fixpoint bound; depth > this means a cycle, stop.
+
+
+def _param_names(func: FunctionInfo) -> List[str]:
+    args = func.node.args  # type: ignore[attr-defined]
+    names = [a.arg for a in list(args.posonlyargs) + list(args.args)]
+    if func.is_method and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+def _is_execute_call(call: ast.Call) -> bool:
+    func = call.func
+    return isinstance(func, ast.Attribute) and func.attr in EXECUTE_METHODS
+
+
+@dataclass
+class SqlFlowIndex:
+    """The project-wide SQL taint facts, ready for the NBL001 pass."""
+
+    graph: ProjectGraph
+    #: qualname -> human cause ("build_where() returns string-built SQL").
+    returns_unsafe: Dict[str, str] = field(default_factory=dict)
+    #: Functions whose every return resolves LITERAL/SAFE_DYNAMIC —
+    #: calling them inside a concatenation is vouched safe, so a clean
+    #: helper does not trip the strict unknown-piece judgment.
+    returns_safe: Set[str] = field(default_factory=set)
+    #: qualname -> sink parameter names.
+    sink_params: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    _module_envs: Dict[str, Env] = field(default_factory=dict)
+    _candidates: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(cls, graph: ProjectGraph) -> "SqlFlowIndex":
+        index = cls(graph=graph)
+        for func in graph.functions.values():
+            for site in func.call_sites:
+                index._candidates[id(site.call)] = site.candidates
+        # Safe returns first: the unsafe pass judges concatenation
+        # strictly (an unresolved call piece is UNSAFE), so helpers must
+        # already be vouched for regardless of definition order.
+        index._compute_returns_safe()
+        index._compute_returns_unsafe()
+        index._compute_sink_params()
+        return index
+
+    def _analyzed(self, func: FunctionInfo) -> bool:
+        return not _matches_any(func.module.path, SQL_BUILDER_WHITELIST)
+
+    def _module_env(self, func: FunctionInfo) -> Env:
+        path = func.module.path
+        if path not in self._module_envs:
+            self._module_envs[path] = build_env(func.module.parsed.tree.body)
+        return self._module_envs[path]
+
+    def call_resolver(self):
+        """A resolver mapping project calls to their taint resolution.
+
+        Calls whose every candidate is a known-clean project function
+        stay ``None`` (default handling); a call with any
+        ``returns_unsafe`` candidate resolves UNSAFE with the helper
+        named as the cause.
+        """
+
+        def resolver(call: ast.Call) -> Optional[Resolution]:
+            candidates = self._candidates.get(id(call), ())
+            for candidate in candidates:
+                cause = self.returns_unsafe.get(candidate)
+                if cause is not None:
+                    return Resolution(Safety.UNSAFE, cause=cause)
+            if candidates and all(
+                candidate in self.returns_safe for candidate in candidates
+            ):
+                return Resolution(Safety.SAFE_DYNAMIC, SAFE_MARK)
+            return None
+
+        return resolver
+
+    def _function_env(self, func: FunctionInfo, seed: Optional[Env] = None) -> Env:
+        base = dict(self._module_env(func))
+        if seed:
+            base.update(seed)
+        return build_env(
+            func.node.body,  # type: ignore[attr-defined]
+            base,
+            call_resolver=self.call_resolver(),
+        )
+
+    def _compute_returns_safe(self) -> None:
+        """Grow the set of provably-safe SQL builders to a fixpoint.
+
+        Monotone: the resolver only ever *upgrades* a call piece from
+        UNKNOWN to SAFE_DYNAMIC, so once a function qualifies it stays
+        qualified as members are added.
+        """
+        for _round in range(_MAX_ROUNDS):
+            changed = False
+            for qualname, func in self.graph.functions.items():
+                if qualname in self.returns_safe or not self._analyzed(func):
+                    continue
+                env = self._function_env(func)
+                returns = [
+                    node
+                    for node in _own_walk(func.node)
+                    if isinstance(node, ast.Return) and node.value is not None
+                ]
+                if not returns:
+                    continue
+                if all(
+                    resolve_str(
+                        node.value, env, self.call_resolver()
+                    ).is_sql_safe
+                    for node in returns
+                ):
+                    self.returns_safe.add(qualname)
+                    changed = True
+            if not changed:
+                return
+
+    def _compute_returns_unsafe(self) -> None:
+        for _round in range(_MAX_ROUNDS):
+            changed = False
+            for qualname, func in self.graph.functions.items():
+                if qualname in self.returns_unsafe or not self._analyzed(func):
+                    continue
+                env = self._function_env(func)
+                for node in _own_walk(func.node):
+                    if not isinstance(node, ast.Return) or node.value is None:
+                        continue
+                    resolved = resolve_str(
+                        node.value, env, self.call_resolver()
+                    )
+                    if resolved.safety is Safety.UNSAFE:
+                        self.returns_unsafe[qualname] = (
+                            f"{func.display}() returns string-built SQL "
+                            f"(unsafe piece {resolved.cause!r})"
+                        )
+                        changed = True
+                        break
+            if not changed:
+                return
+
+    def _compute_sink_params(self) -> None:
+        for _round in range(_MAX_ROUNDS):
+            changed = False
+            for qualname, func in self.graph.functions.items():
+                if not self._analyzed(func):
+                    continue
+                known = set(self.sink_params.get(qualname, ()))
+                for param in _param_names(func):
+                    if param in known:
+                        continue
+                    if self._param_reaches_sink(func, param):
+                        known.add(param)
+                        changed = True
+                if known:
+                    self.sink_params[qualname] = tuple(sorted(known))
+            if not changed:
+                return
+
+    def _param_reaches_sink(self, func: FunctionInfo, param: str) -> bool:
+        seed = {param: Resolution(Safety.UNSAFE, cause=f"parameter {param!r}")}
+        tainted = self._function_env(func, seed)
+        plain = self._function_env(func)
+        for site in func.call_sites:
+            if _is_execute_call(site.call):
+                argument = _sql_argument(site.call)
+                if argument is None:
+                    continue
+                if (
+                    resolve_str(argument, tainted).safety is Safety.UNSAFE
+                    and resolve_str(argument, plain).safety
+                    is not Safety.UNSAFE
+                ):
+                    return True
+                continue
+            for _callee, _callee_param, argument in self._sink_arguments(site):
+                if (
+                    resolve_str(argument, tainted).safety is Safety.UNSAFE
+                    and resolve_str(argument, plain).safety
+                    is not Safety.UNSAFE
+                ):
+                    return True
+        return False
+
+    def _sink_arguments(self, site):
+        """(callee, param name, argument expr) for sink-param args."""
+        out = []
+        for candidate in site.candidates:
+            sinks = self.sink_params.get(candidate, ())
+            if not sinks:
+                continue
+            callee = self.graph.functions[candidate]
+            names = _param_names(callee)
+            for position, argument in enumerate(site.call.args):
+                if position < len(names) and names[position] in sinks:
+                    out.append((callee, names[position], argument))
+            for keyword in site.call.keywords:
+                if keyword.arg in sinks:
+                    out.append((callee, keyword.arg, keyword.value))
+        return out
+
+    # -- findings ------------------------------------------------------
+
+    def call_site_findings(self, path: str, snippet) -> List[Finding]:
+        """NBL001 findings for unsafe values entering sink parameters.
+
+        Execute sites themselves are covered by ``check_sql_safety``
+        running with :meth:`call_resolver`; this reports the *other*
+        half — a tainted argument handed to a project function whose
+        parameter provably reaches an execute call.
+        """
+        modinfo = self.graph.by_path.get(path)
+        if modinfo is None:
+            return []
+        findings: List[Finding] = []
+        for func in modinfo.functions.values():
+            if not self._analyzed(func):
+                continue
+            env = self._function_env(func)
+            for site in func.call_sites:
+                if _is_execute_call(site.call):
+                    continue
+                seen = set()
+                for callee, param, argument in self._sink_arguments(site):
+                    if param in seen:
+                        continue
+                    resolved = resolve_str(argument, env, self.call_resolver())
+                    if resolved.safety is not Safety.UNSAFE:
+                        continue
+                    seen.add(param)
+                    findings.append(
+                        Finding(
+                            rule_id="NBL001",
+                            path=path,
+                            line=site.lineno,
+                            message=(
+                                f"string-built SQL flows into "
+                                f"{callee.display}({param}=...), which "
+                                f"reaches execute(): unsafe piece "
+                                f"{resolved.cause!r}"
+                            ),
+                            fix_hint=(
+                                "bind values with '?' placeholders before "
+                                "the call; interpolate identifiers only "
+                                "through quote_identifier()"
+                            ),
+                            snippet=snippet(site.lineno),
+                            details={
+                                "callee": callee.qualname,
+                                "param": param,
+                                "cause": resolved.cause,
+                                "end_line": getattr(
+                                    site.call, "end_lineno", None
+                                )
+                                or site.lineno,
+                            },
+                        )
+                    )
+        return findings
+
+
+def _own_walk(func_node: ast.AST):
+    """Walk a function body without entering nested def/class scopes."""
+    stack: List[ast.AST] = list(getattr(func_node, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))

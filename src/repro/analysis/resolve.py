@@ -35,7 +35,7 @@ from __future__ import annotations
 import ast
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 #: Calls whose result may be spliced into SQL text (identifier quoting).
 SAFE_IDENTIFIER_FUNCS = frozenset({"quote_identifier", "quote_qualified"})
@@ -73,6 +73,13 @@ UNKNOWN = Resolution(Safety.UNKNOWN)
 #: Environment: local/module variable name -> its resolution.
 Env = Dict[str, Resolution]
 
+#: Optional hook consulted for opaque call expressions.  The
+#: interprocedural layer (:mod:`repro.analysis.interproc`) supplies one
+#: that resolves project-function calls through the call graph; when it
+#: returns ``None`` (or no hook is installed) the call stays UNKNOWN,
+#: which is exactly the PR-3 per-statement behavior.
+CallResolver = Callable[[ast.Call], Optional[Resolution]]
+
 
 def _unparse(node: ast.AST, limit: int = 80) -> str:
     try:
@@ -106,7 +113,11 @@ def _is_safe_identifier_call(node: ast.AST) -> bool:
     return name in SAFE_IDENTIFIER_FUNCS
 
 
-def resolve_str(node: ast.AST, env: Optional[Env] = None) -> Resolution:
+def resolve_str(
+    node: ast.AST,
+    env: Optional[Env] = None,
+    call_resolver: Optional[CallResolver] = None,
+) -> Resolution:
     """Resolve an expression to (safety, text) under ``env``."""
     env = env or {}
 
@@ -128,7 +139,7 @@ def resolve_str(node: ast.AST, env: Optional[Env] = None) -> Resolution:
             if _is_safe_identifier_call(inner):
                 parts.append(Resolution(Safety.SAFE_DYNAMIC, SAFE_MARK))
                 continue
-            resolved = resolve_str(inner, env)
+            resolved = resolve_str(inner, env, call_resolver)
             if resolved.is_sql_safe:
                 parts.append(resolved)
             else:
@@ -140,8 +151,8 @@ def resolve_str(node: ast.AST, env: Optional[Env] = None) -> Resolution:
         return _combine(parts)
 
     if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
-        left = resolve_str(node.left, env)
-        right = resolve_str(node.right, env)
+        left = resolve_str(node.left, env, call_resolver)
+        right = resolve_str(node.right, env, call_resolver)
         if Safety.UNKNOWN in (left.safety, right.safety):
             # ``literal + unknown`` is explicit string building — unsafe;
             # but only when the other side looks like SQL text at all.
@@ -154,14 +165,14 @@ def resolve_str(node: ast.AST, env: Optional[Env] = None) -> Resolution:
 
     if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
         # ``"..." % values`` — fine when everything is constant.
-        left = resolve_str(node.left, env)
-        if left.safety is Safety.LITERAL and _all_literal(node.right, env):
+        left = resolve_str(node.left, env, call_resolver)
+        if left.safety is Safety.LITERAL and _all_literal(node.right, env, call_resolver):
             return Resolution(Safety.LITERAL, None)
         return Resolution(Safety.UNSAFE, cause=_unparse(node))
 
     if isinstance(node, ast.IfExp):
-        body = resolve_str(node.body, env)
-        orelse = resolve_str(node.orelse, env)
+        body = resolve_str(node.body, env, call_resolver)
+        orelse = resolve_str(node.orelse, env, call_resolver)
         worst = max(body.safety, orelse.safety)
         if worst <= Safety.SAFE_DYNAMIC:
             # Branch texts differ; keep the body's for pattern matching
@@ -170,7 +181,7 @@ def resolve_str(node: ast.AST, env: Optional[Env] = None) -> Resolution:
         return Resolution(worst, cause=body.cause or orelse.cause)
 
     if isinstance(node, ast.Call):
-        return _resolve_call(node, env)
+        return _resolve_call(node, env, call_resolver)
 
     if isinstance(node, ast.Name):
         return env.get(node.id, UNKNOWN)
@@ -178,21 +189,30 @@ def resolve_str(node: ast.AST, env: Optional[Env] = None) -> Resolution:
     return UNKNOWN
 
 
-def _all_literal(node: ast.AST, env: Env) -> bool:
+def _all_literal(
+    node: ast.AST, env: Env, call_resolver: Optional[CallResolver] = None
+) -> bool:
     if isinstance(node, (ast.Tuple, ast.List)):
-        return all(_all_literal(elt, env) for elt in node.elts)
-    return resolve_str(node, env).safety is Safety.LITERAL
+        return all(_all_literal(elt, env, call_resolver) for elt in node.elts)
+    return resolve_str(node, env, call_resolver).safety is Safety.LITERAL
 
 
-def _resolve_call(node: ast.Call, env: Env) -> Resolution:
+def _resolve_call(
+    node: ast.Call, env: Env, call_resolver: Optional[CallResolver] = None
+) -> Resolution:
     if _is_safe_identifier_call(node):
         return Resolution(Safety.SAFE_DYNAMIC, SAFE_MARK)
+
+    if call_resolver is not None:
+        resolved = call_resolver(node)
+        if resolved is not None:
+            return resolved
 
     func = node.func
     if isinstance(func, ast.Attribute) and func.attr == "join" and node.args:
         # ``sep.join(elements)``: safe when the separator is constant and
         # every element (or comprehension element) is constant or safe.
-        sep = resolve_str(func.value, env)
+        sep = resolve_str(func.value, env, call_resolver)
         if not sep.is_sql_safe:
             return UNKNOWN
         arg = node.args[0]
@@ -207,7 +227,7 @@ def _resolve_call(node: ast.Call, env: Env) -> Resolution:
         if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
             element = arg.elt
         elif isinstance(arg, (ast.List, ast.Tuple)) and arg.elts:
-            resolved = [resolve_str(e, env) for e in arg.elts]
+            resolved = [resolve_str(e, env, call_resolver) for e in arg.elts]
             joined = _combine(resolved)
             if joined.is_sql_safe:
                 sep_text = sep.text or ""
@@ -217,17 +237,17 @@ def _resolve_call(node: ast.Call, env: Env) -> Resolution:
         if element is not None:
             if _is_safe_identifier_call(element):
                 return Resolution(Safety.SAFE_DYNAMIC, SAFE_MARK)
-            resolved = resolve_str(element, env)
+            resolved = resolve_str(element, env, call_resolver)
             if resolved.is_sql_safe:
                 return Resolution(Safety.SAFE_DYNAMIC, resolved.text)
             return Resolution(Safety.UNSAFE, cause=_unparse(element))
         return UNKNOWN
 
     if isinstance(func, ast.Attribute) and func.attr == "format":
-        base = resolve_str(func.value, env)
+        base = resolve_str(func.value, env, call_resolver)
         if base.safety is Safety.LITERAL and all(
-            _all_literal(a, env) for a in node.args
-        ) and all(_all_literal(k.value, env) for k in node.keywords):
+            _all_literal(a, env, call_resolver) for a in node.args
+        ) and all(_all_literal(k.value, env, call_resolver) for k in node.keywords):
             return Resolution(Safety.LITERAL, None)
         return Resolution(Safety.UNSAFE, cause=_unparse(node))
 
@@ -235,7 +255,9 @@ def _resolve_call(node: ast.Call, env: Env) -> Resolution:
 
 
 def build_env(
-    statements: Sequence[ast.stmt], module_env: Optional[Env] = None
+    statements: Sequence[ast.stmt],
+    module_env: Optional[Env] = None,
+    call_resolver: Optional[CallResolver] = None,
 ) -> Env:
     """Forward pass over ``statements`` resolving simple local constants.
 
@@ -251,11 +273,11 @@ def build_env(
             # Track clause lists: safe iff every element is safe.  The
             # resolution carries no text (the separator is unknown until
             # a ``join``), only the safety verdict.
-            parts = [resolve_str(elt, env) for elt in value.elts]
+            parts = [resolve_str(elt, env, call_resolver) for elt in value.elts]
             if all(p.is_sql_safe for p in parts):
                 return Resolution(Safety.SAFE_DYNAMIC if parts else Safety.LITERAL)
             return UNKNOWN
-        return resolve_str(value, env)
+        return resolve_str(value, env, call_resolver)
 
     def visit(stmts: Sequence[ast.stmt]) -> None:
         for stmt in stmts:
@@ -278,7 +300,8 @@ def build_env(
                 name = stmt.value.func.value.id
                 if name in env and env[name].is_sql_safe:
                     additions = [
-                        resolve_str(a, env) for a in stmt.value.args
+                        resolve_str(a, env, call_resolver)
+                        for a in stmt.value.args
                     ]
                     if not all(a.is_sql_safe for a in additions):
                         env[name] = UNKNOWN
@@ -287,7 +310,7 @@ def build_env(
             elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.op, ast.Add):
                 if isinstance(stmt.target, ast.Name):
                     current = env.get(stmt.target.id, UNKNOWN)
-                    addition = resolve_str(stmt.value, env)
+                    addition = resolve_str(stmt.value, env, call_resolver)
                     env[stmt.target.id] = _combine([current, addition])
             if isinstance(
                 stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)

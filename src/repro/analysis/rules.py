@@ -1,7 +1,11 @@
 """The nebula-lint rule set.
 
-Eight AST-based rules over the repo's own source, each encoding an
-invariant the runtime layers depend on:
+Twelve AST-based rules over the repo's own source, each encoding an
+invariant the runtime layers depend on.  NBL001–NBL008 are intra-module
+and live here; NBL009–NBL012 reason over the interprocedural core
+(:mod:`repro.analysis.graphs` / :mod:`repro.analysis.summaries`) and
+live in :mod:`repro.analysis.concurrency` — they are registered in
+:data:`RULE_DOCS` below so the engine and CLI see one catalog.
 
 =========  ==========================================================
 NBL001     SQL safety: no string-built SQL at ``execute`` sites —
@@ -42,6 +46,26 @@ NBL008     Metric naming: literal instrument names at registry call
            the exposition-reserved suffixes ``_bucket``/``_sum``/
            ``_count`` are forbidden — so ``/metrics`` renders without
            series collisions.
+NBL009     Lock discipline (interprocedural): a field the class ever
+           mutates under a lock must be guarded at every mutation
+           site outside ``__init__``; fields never guarded anywhere
+           are a documented lock-free fast path and exempt.  Classes
+           holding two locks must acquire them in one global order.
+NBL010     Connection thread-affinity (interprocedural): a sqlite
+           handle must not flow into closures or arguments shipped to
+           another thread (``executor.submit``, ``threading.Thread``,
+           executor ``.map``), directly or through a function whose
+           parameter provably reaches such a sink.
+NBL011     Blocking under lock (interprocedural): no ``execute``/
+           ``commit``, untimed ``wait``, ``.result()``,
+           ``time.sleep`` or blocking socket call while holding a
+           ``threading`` lock — including transitively through
+           helpers.  Designed single-writer flush sites are
+           allowlisted in ``repro.analysis.concurrency``.
+NBL012     Condition hygiene: ``Condition.wait`` only inside a
+           while-predicate loop and only while holding the
+           condition; ``notify``/``notify_all`` only with the owning
+           lock held (lexically or at every call site).
 =========  ==========================================================
 
 Findings can be suppressed inline with ``# nebula-lint: ignore`` or
@@ -57,7 +81,14 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..observability.stages import CANONICAL_STAGES
 from .findings import Finding
-from .resolve import SAFE_MARK, Env, Safety, build_env, resolve_str
+from .resolve import (
+    SAFE_MARK,
+    CallResolver,
+    Env,
+    Safety,
+    build_env,
+    resolve_str,
+)
 
 #: Methods treated as SQL execution entry points.
 EXECUTE_METHODS = frozenset({"execute", "executemany", "executescript"})
@@ -83,6 +114,11 @@ _CONFIG_CLASS = "NebulaConfig"
 def _is_test_path(path: str) -> bool:
     parts = path.replace("\\", "/").split("/")
     name = parts[-1]
+    # Fixture modules under tests/fixtures/ are *linted as production
+    # code*: they exist to exercise the rules, so the test-file
+    # exemptions (NBL006 hygiene, etc.) must not apply to them.
+    if "fixtures" in parts:
+        return False
     return (
         "tests" in parts
         or name.startswith("test_")
@@ -206,7 +242,18 @@ def _own_statements(func: ast.FunctionDef) -> List[ast.stmt]:
 # ----------------------------------------------------------------------
 
 
-def check_sql_safety(ctx: ModuleContext) -> Iterator[Finding]:
+def check_sql_safety(
+    ctx: ModuleContext, call_resolver: Optional[CallResolver] = None
+) -> Iterator[Finding]:
+    """NBL001 at execute sites.
+
+    With the default ``call_resolver=None`` this is the PR-3
+    per-statement check, bit for bit: an opaque call at the execute
+    site resolves UNKNOWN and is trusted.  The engine passes the
+    :class:`~repro.analysis.interproc.SqlFlowIndex` resolver, which
+    makes calls into unsafe-returning project helpers resolve UNSAFE —
+    the interprocedural upgrade rides on the same check.
+    """
     if _matches_any(ctx.path, SQL_BUILDER_WHITELIST):
         return
     funcs = list(_functions(ctx.tree))
@@ -223,14 +270,16 @@ def check_sql_safety(ctx: ModuleContext) -> Iterator[Finding]:
         if best is None:
             return ctx.module_env
         if id(best) not in env_cache:
-            env_cache[id(best)] = build_env(best.body, ctx.module_env)
+            env_cache[id(best)] = build_env(
+                best.body, ctx.module_env, call_resolver=call_resolver
+            )
         return env_cache[id(best)]
 
     for call, method in _execute_calls(ctx.tree.body):
         argument = _sql_argument(call)
         if argument is None:
             continue
-        resolved = resolve_str(argument, env_for(call.lineno))
+        resolved = resolve_str(argument, env_for(call.lineno), call_resolver)
         if resolved.safety is not Safety.UNSAFE:
             continue
         yield Finding(
@@ -885,6 +934,10 @@ RULE_DOCS: Dict[str, str] = {
     "NBL006": "storage connection/cursor/lease opened without cleanup",
     "NBL007": "direct sqlite3 import outside the storage backend package",
     "NBL008": "metric name violates the exposition naming grammar",
+    "NBL009": "lock-guarded field mutated without its lock / inconsistent lock order",
+    "NBL010": "sqlite handle escapes into another thread (submit/Thread/map)",
+    "NBL011": "blocking call (execute/commit/wait/result/sleep) while holding a lock",
+    "NBL012": "Condition.wait outside a while-predicate loop, or wait/notify without the lock",
 }
 
 ALL_RULE_IDS: Tuple[str, ...] = tuple(sorted(RULE_DOCS))

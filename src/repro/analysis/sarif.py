@@ -1,0 +1,95 @@
+"""SARIF 2.1.0 output for nebula-lint.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format code-scanning UIs ingest (GitHub's security
+tab, VS Code's SARIF viewer).  :func:`to_sarif` maps the finding list
+onto one ``run``:
+
+* the tool driver advertises every rule from
+  :data:`repro.analysis.rules.RULE_DOCS`, so rule metadata renders even
+  for rules with zero results;
+* each finding becomes a ``result`` with ``ruleId``, a resolved
+  ``ruleIndex`` into the driver's rule array, level ``error`` (every
+  nebula-lint finding gates CI), the message, one physical location,
+  and the baseline fingerprint under ``partialFingerprints`` so
+  scanning UIs track findings across commits the same way the baseline
+  file does.
+
+The output is deterministic: findings arrive sorted from the engine and
+no timestamps or absolute paths are embedded, so the same tree always
+produces the same bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .findings import Finding
+from .rules import ALL_RULE_IDS, RULE_DOCS
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rules_array() -> List[Dict[str, Any]]:
+    return [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": RULE_DOCS[rule_id]},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id in ALL_RULE_IDS
+    ]
+
+
+def _result(finding: Finding, rule_index: Dict[str, int]) -> Dict[str, Any]:
+    message = finding.message
+    if finding.fix_hint:
+        message += f" [fix: {finding.fix_hint}]"
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "ruleIndex": rule_index[finding.rule_id],
+        "level": "error",
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "snippet": {"text": finding.snippet},
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "nebulaLintFingerprint/v2": finding.fingerprint,
+        },
+    }
+    return result
+
+
+def to_sarif(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """The findings as one SARIF 2.1.0 log dictionary."""
+    rule_index = {rule_id: i for i, rule_id in enumerate(ALL_RULE_IDS)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "nebula-lint",
+                        "rules": _rules_array(),
+                    }
+                },
+                "results": [_result(f, rule_index) for f in findings],
+            }
+        ],
+    }

@@ -1,0 +1,448 @@
+"""Per-function concurrency summaries: locks held, fields written, waits.
+
+For every function in the project graph this module computes a
+:class:`MethodSummary` by a single guard-tracking walk over the
+function's own statements (nested defs and lambdas are separate scopes
+with their own summaries):
+
+* **held-lock tracking** — ``with self._lock:`` blocks and linear
+  ``lock.acquire()`` / ``lock.release()`` pairs, where the receiver's
+  type is known (from ``__init__`` field inference or parameter
+  annotations) to be a ``threading`` synchronizer;
+* **field writes** — assignments and augmented assignments to
+  ``self.<field>``, plus mutating method calls (``append``, ``pop``,
+  ``update``, …) on receivers rooted at a ``self`` field, each tagged
+  with the guard set held at the write;
+* **blocking operations** — ``execute``/``executemany``/
+  ``executescript``/``commit`` on any receiver, untimed
+  ``Condition``/``Event`` ``wait()``, ``.result(...)``, ``time.sleep``,
+  and blocking socket calls, each tagged with the held guards (an
+  untimed condition wait is exempt from its *own* condition — waiting
+  releases it — but still counts against any other held lock);
+* **condition-variable operations** — every typed ``wait``/``notify``
+  with its loop context and held guards (NBL012's raw material);
+* **lock-order pairs** — ``(A, B)`` whenever lock B is acquired while A
+  is held, for NBL009's consistent-acquisition-order check;
+* **guard sets at call sites** — ``id(call) -> held locks``, which the
+  rules join with the call graph for interprocedural reasoning (a
+  helper that blocks, called under a lock, is NBL011; a ``*_locked``
+  helper whose every caller holds the lock inherits the guard for
+  NBL009).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .graphs import FunctionInfo, ProjectGraph
+
+#: Synchronizer types whose ``with``/acquire makes code "hold a lock".
+LOCK_TYPES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+    }
+)
+
+CONDITION_TYPE = "threading.Condition"
+EVENT_TYPE = "threading.Event"
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+#: SQL execution entry points (mirrors rules.EXECUTE_METHODS + commit).
+_EXECUTE_LIKE = frozenset({"execute", "executemany", "executescript", "commit"})
+
+#: Socket methods that block on the peer.
+_SOCKET_BLOCKING = frozenset({"recv", "recvfrom", "sendall", "accept"})
+
+
+@dataclass(frozen=True)
+class FieldWrite:
+    field: str
+    lineno: int
+    end_line: int
+    guards: FrozenSet[str]
+    in_init: bool
+    via: str  #: "assign" | "augassign" | "mutate:<method>"
+
+
+@dataclass(frozen=True)
+class BlockingOp:
+    kind: str  #: execute/commit/wait/result/sleep/socket
+    lineno: int
+    end_line: int
+    detail: str  #: short source text of the operation
+    guards: FrozenSet[str]  #: locks held (own condition already removed)
+
+
+@dataclass(frozen=True)
+class CondWait:
+    key: str  #: source text of the condition receiver
+    lineno: int
+    end_line: int
+    in_while: bool
+    has_timeout: bool
+    guards: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class CondNotify:
+    key: str
+    lineno: int
+    end_line: int
+    method: str  #: notify / notify_all
+    guards: FrozenSet[str]
+
+
+@dataclass
+class MethodSummary:
+    func: FunctionInfo
+    field_writes: List[FieldWrite] = field(default_factory=list)
+    blocking_ops: List[BlockingOp] = field(default_factory=list)
+    cond_waits: List[CondWait] = field(default_factory=list)
+    cond_notifies: List[CondNotify] = field(default_factory=list)
+    #: (held key, acquired key, line) — acquisition-order observations.
+    lock_pairs: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: id(ast.Call) -> guard keys held when the call executes.
+    guards_at: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    @property
+    def uses_locks(self) -> bool:
+        return bool(self.lock_pairs or any(self.guards_at.values()))
+
+
+def _end(node: ast.AST) -> int:
+    return getattr(node, "end_lineno", None) or node.lineno
+
+
+def _short(node: ast.AST, limit: int = 60) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - exotic nodes
+        text = type(node).__name__
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+class _Summarizer:
+    def __init__(self, func: FunctionInfo, graph: ProjectGraph) -> None:
+        self.func = func
+        self.graph = graph
+        self.out = MethodSummary(func=func)
+        self.in_init = func.name == "__init__"
+
+    # -- typing helpers ------------------------------------------------
+
+    def _type_of(self, expr: ast.expr) -> Optional[str]:
+        """Synchronizer/class type of a receiver expression, if known."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return self.graph.field_type(self.func, expr.attr)
+        if isinstance(expr, ast.Name):
+            return self.graph.local_types(self.func).get(expr.id)
+        return None
+
+    def _lock_key(self, expr: ast.expr) -> Optional[str]:
+        """Guard key when ``expr`` is a known synchronizer, else None."""
+        typed = self._type_of(expr)
+        if typed in LOCK_TYPES:
+            return ast.unparse(expr)
+        return None
+
+    # -- expression processing -----------------------------------------
+
+    def _calls_in(self, expr: ast.expr) -> List[ast.Call]:
+        """Call nodes evaluated as part of ``expr`` (lambdas excluded)."""
+        out: List[ast.Call] = []
+        stack: List[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                continue
+            if isinstance(node, ast.Call):
+                out.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return out
+
+    def _process_expr(
+        self, expr: ast.expr, held: Tuple[str, ...], in_while: bool
+    ) -> None:
+        for call in self._calls_in(expr):
+            self._handle_call(call, held, in_while)
+
+    def _handle_call(
+        self, call: ast.Call, held: Tuple[str, ...], in_while: bool
+    ) -> None:
+        self.out.guards_at[id(call)] = frozenset(held)
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        attr = func.attr
+        receiver = func.value
+        receiver_type = self._type_of(receiver)
+
+        if attr in _EXECUTE_LIKE:
+            self._blocking(attr if attr == "commit" else "execute", call, held)
+            return
+
+        if attr in ("wait", "wait_for"):
+            has_timeout = bool(call.args) or any(
+                kw.arg == "timeout" for kw in call.keywords
+            )
+            if attr == "wait_for":
+                # wait_for(predicate, timeout=None): the timeout is the
+                # second positional argument, not the first.
+                has_timeout = len(call.args) >= 2 or any(
+                    kw.arg == "timeout" for kw in call.keywords
+                )
+            if receiver_type == CONDITION_TYPE:
+                key = ast.unparse(receiver)
+                self.out.cond_waits.append(
+                    CondWait(
+                        key=key,
+                        lineno=call.lineno,
+                        end_line=_end(call),
+                        in_while=in_while,
+                        has_timeout=has_timeout,
+                        guards=frozenset(held),
+                    )
+                )
+                if not has_timeout:
+                    # Waiting releases its own condition; every *other*
+                    # held lock stays held for the unbounded sleep.
+                    self._blocking(
+                        "wait", call, tuple(k for k in held if k != key)
+                    )
+            elif receiver_type == EVENT_TYPE and not has_timeout:
+                self._blocking("wait", call, held)
+            return
+
+        if attr in ("notify", "notify_all"):
+            if receiver_type == CONDITION_TYPE:
+                self.out.cond_notifies.append(
+                    CondNotify(
+                        key=ast.unparse(receiver),
+                        lineno=call.lineno,
+                        end_line=_end(call),
+                        method=attr,
+                        guards=frozenset(held),
+                    )
+                )
+            return
+
+        if attr == "result":
+            self._blocking("result", call, held)
+            return
+
+        if attr == "sleep":
+            dotted = receiver
+            if isinstance(dotted, ast.Name):
+                target = self.func.module.imports.get(dotted.id, dotted.id)
+                if target == "time":
+                    self._blocking("sleep", call, held)
+            return
+
+        if attr in _SOCKET_BLOCKING:
+            self._blocking("socket", call, held)
+            return
+
+        if attr in MUTATING_METHODS:
+            root = _self_field_root(receiver)
+            if root is not None:
+                self.out.field_writes.append(
+                    FieldWrite(
+                        field=root,
+                        lineno=call.lineno,
+                        end_line=_end(call),
+                        guards=frozenset(held),
+                        in_init=self.in_init,
+                        via=f"mutate:{attr}",
+                    )
+                )
+
+    def _blocking(
+        self, kind: str, call: ast.Call, held: Tuple[str, ...]
+    ) -> None:
+        self.out.blocking_ops.append(
+            BlockingOp(
+                kind=kind,
+                lineno=call.lineno,
+                end_line=_end(call),
+                detail=_short(call),
+                guards=frozenset(held),
+            )
+        )
+
+    # -- statement walk ------------------------------------------------
+
+    def run(self) -> MethodSummary:
+        self._walk(getattr(self.func.node, "body", []), (), False)
+        return self.out
+
+    def _record_write_targets(
+        self, stmt: ast.stmt, held: Tuple[str, ...]
+    ) -> None:
+        targets: List[ast.expr] = []
+        via = "assign"
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.AugAssign):
+            targets = [stmt.target]
+            via = "augassign"
+        for target in targets:
+            for leaf in _assign_leaves(target):
+                root = _self_field_root(leaf)
+                if root is not None:
+                    self.out.field_writes.append(
+                        FieldWrite(
+                            field=root,
+                            lineno=stmt.lineno,
+                            end_line=_end(stmt),
+                            guards=frozenset(held),
+                            in_init=self.in_init,
+                            via=via,
+                        )
+                    )
+
+    def _walk(
+        self,
+        stmts: List[ast.stmt],
+        held: Tuple[str, ...],
+        in_while: bool,
+    ) -> None:
+        current = held
+        for stmt in stmts:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired: List[str] = []
+                for item in stmt.items:
+                    self._process_expr(item.context_expr, current, in_while)
+                    key = self._lock_key(item.context_expr)
+                    if key is not None:
+                        for prior in tuple(current) + tuple(acquired):
+                            self.out.lock_pairs.append(
+                                (prior, key, stmt.lineno)
+                            )
+                        acquired.append(key)
+                self._walk(stmt.body, current + tuple(acquired), in_while)
+                continue
+
+            # Linear acquire()/release() on a known synchronizer.
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Attribute)
+                and stmt.value.func.attr in ("acquire", "release")
+            ):
+                key = self._lock_key(stmt.value.func.value)
+                self._process_expr(stmt.value, current, in_while)
+                if key is not None:
+                    if stmt.value.func.attr == "acquire":
+                        for prior in current:
+                            self.out.lock_pairs.append(
+                                (prior, key, stmt.lineno)
+                            )
+                        current = current + (key,)
+                    else:
+                        current = tuple(k for k in current if k != key)
+                continue
+
+            if isinstance(stmt, ast.While):
+                # The test is re-evaluated every iteration, so a wait in
+                # ``while not cond.wait(t):`` counts as loop-guarded.
+                self._process_expr(stmt.test, current, True)
+                self._walk(stmt.body, current, True)
+                self._walk(stmt.orelse, current, in_while)
+                continue
+
+            self._record_write_targets(stmt, current)
+
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._process_expr(child, current, in_while)
+
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._walk(stmt.body, current, in_while)
+                self._walk(stmt.orelse, current, in_while)
+            elif isinstance(stmt, ast.If):
+                self._walk(stmt.body, current, in_while)
+                self._walk(stmt.orelse, current, in_while)
+            elif isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+                self._walk(stmt.body, current, in_while)
+                for handler in stmt.handlers:
+                    self._walk(handler.body, current, in_while)
+                self._walk(stmt.orelse, current, in_while)
+                self._walk(stmt.finalbody, current, in_while)
+            elif isinstance(stmt, ast.Match):
+                for case in stmt.cases:
+                    self._walk(case.body, current, in_while)
+
+
+def _self_field_root(expr: ast.expr) -> Optional[str]:
+    """``_state`` for ``self._state.idle`` / ``self._state``; else None."""
+    chain: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self" and chain:
+        return chain[-1]
+    return None
+
+
+def _assign_leaves(target: ast.expr) -> List[ast.expr]:
+    """Flatten tuple/starred targets; unwrap subscripts to their base."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: List[ast.expr] = []
+        for elt in target.elts:
+            out.extend(_assign_leaves(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _assign_leaves(target.value)
+    if isinstance(target, ast.Subscript):
+        # ``self._cache[key] = v`` mutates the container field.
+        return _assign_leaves(target.value)
+    return [target]
+
+
+def summarize_function(func: FunctionInfo, graph: ProjectGraph) -> MethodSummary:
+    return _Summarizer(func, graph).run()
+
+
+def summarize_project(graph: ProjectGraph) -> Dict[str, MethodSummary]:
+    """qualname -> summary for every function in the graph."""
+    return {
+        qualname: summarize_function(func, graph)
+        for qualname, func in graph.functions.items()
+    }

@@ -632,6 +632,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
     argv: list = list(args.paths)
     if args.json:
         argv.append("--json")
+    if args.format:
+        argv.extend(["--format", args.format])
     if args.strict:
         argv.append("--strict")
     if args.baseline:
@@ -640,6 +642,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv.extend(["--write-baseline", args.write_baseline])
     if args.rules:
         argv.extend(["--rules", args.rules])
+    if args.jobs is not None:
+        argv.extend(["--jobs", str(args.jobs)])
+    if args.verbose:
+        argv.append("--verbose")
+    if args.max_seconds is not None:
+        argv.extend(["--max-seconds", str(args.max_seconds)])
     if args.list_rules:
         argv.append("--list-rules")
     return lint_main(argv)
@@ -781,10 +789,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*", help="files/dirs (default: repro source)")
     lint.add_argument("--json", action="store_true")
+    lint.add_argument("--format", choices=("human", "json", "sarif"))
     lint.add_argument("--strict", action="store_true")
     lint.add_argument("--baseline", metavar="FILE")
     lint.add_argument("--write-baseline", metavar="FILE")
     lint.add_argument("--rules", metavar="IDS")
+    lint.add_argument("--jobs", type=int, metavar="N")
+    lint.add_argument("--verbose", action="store_true")
+    lint.add_argument("--max-seconds", type=float, metavar="S")
     lint.add_argument("--list-rules", action="store_true")
     lint.set_defaults(func=cmd_lint)
 

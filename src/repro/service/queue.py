@@ -179,10 +179,15 @@ class SubmissionQueue:
         the queue is closed and empty.
         """
         with self._condition:
-            if not self._items:
-                if self._closed:
-                    return []
-                self._condition.wait(timeout)
+            # Re-check the predicate after every wakeup: notify is
+            # advisory, and a concurrent drain may have taken the item
+            # that triggered it.
+            deadline = time.monotonic() + timeout
+            while not self._items and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._condition.wait(remaining)
             batch: List[Submission] = []
             while self._items and len(batch) < max_items:
                 batch.append(self._items.popleft())

@@ -139,7 +139,10 @@ class _SqliteBackendBase:
         with self._lock:
             self._ensure_open()
             if self._primary is None:
-                self._primary = self.connect()
+                # Lazy one-time init: connect() runs PRAGMAs under the
+                # backend-local lock exactly once; afterwards this path
+                # is a pure dictionary read.
+                self._primary = self.connect()  # nebula-lint: ignore[NBL011]
             return self._primary
 
     @property

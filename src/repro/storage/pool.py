@@ -18,7 +18,9 @@ Guarantees:
   being handed out; a probe failure discards it and opens a fresh one,
   so a handle poisoned by a crashed writer never reaches a caller;
 * **thread-safe** — all state transitions happen under one condition
-  variable; leases may be acquired and released from different threads.
+  variable, while health probes and connection creation run *outside*
+  it (a slow sqlite round-trip never stalls other acquirers); leases
+  may be acquired and released from different threads.
 """
 
 from __future__ import annotations
@@ -120,9 +122,19 @@ class ConnectionPool:
                     )
                 if self._state.closed:
                     raise StorageError("connection pool is closed")
-            connection = self._checkout_locked()
+            # Claim the slot and a candidate atomically; the health probe
+            # and factory call happen outside the lock so a slow sqlite
+            # round-trip never stalls other acquirers or releasers.
+            candidate = self._state.idle.pop() if self._state.idle else None
             self._state.leased += 1
             self.stats.acquired += 1
+        try:
+            connection = self._vet(candidate)
+        except BaseException:
+            with self._condition:
+                self._state.leased -= 1
+                self._condition.notify()
+            raise
         return PooledConnection(self, connection)
 
     def close(self) -> None:
@@ -160,16 +172,26 @@ class ConnectionPool:
 
     # ------------------------------------------------------------------
 
-    def _checkout_locked(self) -> Connection:
-        """Pop a healthy idle connection or create a fresh one."""
-        while self._state.idle:
-            connection = self._state.idle.pop()
-            if not self.health_check or self._healthy(connection):
-                self.stats.reused += 1
-                return connection
-            self.stats.recycled += 1
-            self._close_quietly(connection)
-        self.stats.created += 1
+    def _vet(self, candidate: Optional[Connection]) -> Connection:
+        """Probe candidates (lock-free) until one is healthy, else create.
+
+        The caller already owns the leased slot, so at most ``size``
+        connections exist even while the probe runs unlocked; replacement
+        candidates are popped back under the condition.
+        """
+        while candidate is not None:
+            if not self.health_check or self._healthy(candidate):
+                with self._condition:
+                    self.stats.reused += 1
+                return candidate
+            self._close_quietly(candidate)
+            with self._condition:
+                self.stats.recycled += 1
+                candidate = (
+                    self._state.idle.pop() if self._state.idle else None
+                )
+        with self._condition:
+            self.stats.created += 1
         return self._factory()
 
     def _return(self, connection: Connection) -> None:

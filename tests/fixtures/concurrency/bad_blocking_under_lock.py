@@ -1,0 +1,52 @@
+"""NBL011 fixture: blocking work while holding a lock.
+
+``direct`` executes SQL inside the lock; ``transitive`` calls a helper
+that executes two frames down — the interprocedural case; ``sleepy``
+parks the thread with the lock held.  ``fine`` does the same work with
+the lock released first and must NOT be flagged.
+"""
+
+import threading
+import time
+
+
+class Cache:
+    def __init__(self, connection) -> None:
+        self._lock = threading.Lock()
+        self._conn = connection
+        self._rows = {}
+
+    def direct(self, key: str):
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT v FROM kv WHERE k = ?", (key,)
+            ).fetchone()  # BUG: sqlite round-trip under the lock
+            self._rows[key] = row
+            return row
+
+    def transitive(self, key: str):
+        with self._lock:
+            return self._refresh(key)  # BUG: _refresh blocks two frames down
+
+    def sleepy(self) -> None:
+        with self._lock:
+            time.sleep(0.5)  # BUG: parks every other caller
+
+    def fine(self, key: str):
+        row = self._refresh_unlocked(key)
+        with self._lock:
+            self._rows[key] = row
+        return row
+
+    def _refresh(self, key: str):
+        return self._probe(key)
+
+    def _probe(self, key: str):
+        return self._conn.execute(
+            "SELECT v FROM kv WHERE k = ?", (key,)
+        ).fetchone()
+
+    def _refresh_unlocked(self, key: str):
+        return self._conn.execute(
+            "SELECT v FROM kv WHERE k = ?", (key,)
+        ).fetchone()

@@ -1,0 +1,38 @@
+"""NBL012 fixture: condition-variable misuse.
+
+``take_once`` waits behind an ``if`` instead of a ``while`` (a stolen
+wakeup returns an empty hand); ``poke`` notifies without the lock;
+``naked_wait`` waits without holding the condition.  ``take`` is the
+correct shape and must NOT be flagged.
+"""
+
+import threading
+
+
+class Mailbox:
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._items = []
+
+    def put(self, item) -> None:
+        with self._condition:
+            self._items.append(item)
+            self._condition.notify()
+
+    def take_once(self):
+        with self._condition:
+            if not self._items:  # BUG: predicate checked once, not re-checked
+                self._condition.wait(1.0)
+            return self._items.pop(0) if self._items else None
+
+    def take(self):
+        with self._condition:
+            while not self._items:
+                self._condition.wait()
+            return self._items.pop(0)
+
+    def poke(self) -> None:
+        self._condition.notify()  # BUG: notify without holding the condition
+
+    def naked_wait(self) -> None:
+        self._condition.wait(0.1)  # BUG: wait() without holding the condition

@@ -1,0 +1,33 @@
+"""Interprocedural NBL001 fixture: taint crossing call boundaries.
+
+The per-statement PR-3 resolver sees only opaque names at every execute
+site here and reports nothing — the regression test asserts exactly
+that.  The interprocedural layer must catch both directions:
+
+* ``query_by_name`` executes the *return value* of an unsafe builder
+  (taint flows out of ``build_filter`` through ``assemble``);
+* ``caller`` passes an f-string into ``run_query``, whose parameter
+  reaches ``execute`` (taint flows into a sink parameter).
+"""
+
+
+def build_filter(name: str) -> str:
+    return f"WHERE name = '{name}'"  # unsafe: value interpolated
+
+
+def assemble(name: str) -> str:
+    clause = build_filter(name)
+    return "SELECT * FROM annotations " + clause
+
+
+def query_by_name(connection, name: str):
+    sql = assemble(name)
+    return connection.execute(sql).fetchall()  # BUG, two calls away
+
+
+def run_query(connection, sql: str):
+    return connection.execute(sql).fetchall()
+
+
+def caller(connection, table: str):
+    return run_query(connection, f"SELECT * FROM {table}")  # BUG at the call

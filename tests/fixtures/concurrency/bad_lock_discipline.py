@@ -1,0 +1,29 @@
+"""NBL009 fixture: a field guarded in one method, bare in another.
+
+``_pending`` is mutated under ``self._lock`` in ``add`` but written
+lock-free in ``reset`` — the classic torn-counter race.  ``_total`` is
+*never* guarded anywhere, which is the documented single-writer fast
+path and must NOT be flagged.
+"""
+
+import threading
+
+
+class Tally:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._total = 0
+
+    def add(self, amount: int) -> None:
+        with self._lock:
+            self._pending += amount
+
+    def reset(self) -> None:
+        self._pending = 0  # BUG: no lock, but add() guards this field
+
+    def bump_total(self) -> None:
+        self._total += 1  # fine: never lock-guarded anywhere (single writer)
+
+    def read_total(self) -> int:
+        return self._total

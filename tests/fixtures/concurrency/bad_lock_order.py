@@ -1,0 +1,23 @@
+"""NBL009 fixture (lock order): two locks taken in both orders."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self) -> None:
+        self._alpha = threading.Lock()
+        self._beta = threading.Lock()
+        self._a = 0
+        self._b = 0
+
+    def left_to_right(self, amount: int) -> None:
+        with self._alpha:
+            with self._beta:
+                self._a -= amount
+                self._b += amount
+
+    def right_to_left(self, amount: int) -> None:
+        with self._beta:
+            with self._alpha:  # BUG: inverse order of left_to_right
+                self._b -= amount
+                self._a += amount

@@ -1,0 +1,39 @@
+"""NBL010 fixture: sqlite handles crossing thread boundaries.
+
+Three escape shapes: a closure over the handle submitted to an
+executor, the handle itself passed as a Thread argument, and the handle
+handed to a helper whose parameter reaches ``submit`` one call away.
+"""
+
+import sqlite3
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+def closure_escape(path: str, pool: ThreadPoolExecutor):
+    conn = sqlite3.connect(path)
+
+    def work():
+        return conn.execute("SELECT 1").fetchone()
+
+    return pool.submit(work)  # BUG: closure drags conn into the pool
+
+
+def handle_escape(path: str) -> None:
+    conn = sqlite3.connect(path)
+    worker = threading.Thread(target=run_on, args=(conn,))  # BUG
+    worker.start()
+    worker.join()
+
+
+def indirect_escape(path: str, pool: ThreadPoolExecutor):
+    conn = sqlite3.connect(path)
+    return fan_out(pool, conn)  # BUG: fan_out ships its param to a thread
+
+
+def fan_out(pool: ThreadPoolExecutor, connection):
+    return pool.submit(run_on, connection)
+
+
+def run_on(connection):
+    return connection.execute("SELECT 1").fetchone()

@@ -1,0 +1,21 @@
+"""Interprocedural NBL001 good twin: parameterized all the way through."""
+
+
+def build_filter() -> str:
+    return "WHERE name = ?"
+
+
+def assemble() -> str:
+    return "SELECT * FROM annotations " + build_filter()
+
+
+def query_by_name(connection, name: str):
+    return connection.execute(assemble(), (name,)).fetchall()
+
+
+def run_query(connection, sql: str, params):
+    return connection.execute(sql, params).fetchall()
+
+
+def caller(connection, name: str):
+    return run_query(connection, "SELECT * FROM annotations WHERE name = ?", (name,))

@@ -1,0 +1,32 @@
+"""NBL010 good twin: per-thread handles, no escapes.
+
+The worker opens its own connection, bound methods go to ``submit``
+without dragging a handle along, and a closure that captures a handle
+but runs inline is not a thread crossing.
+"""
+
+import sqlite3
+from concurrent.futures import ThreadPoolExecutor
+
+
+def per_thread(path: str, pool: ThreadPoolExecutor):
+    def work():
+        conn = sqlite3.connect(path)  # opened inside the worker: fine
+        try:
+            return conn.execute("SELECT 1").fetchone()
+        finally:
+            conn.close()
+
+    return pool.submit(work)
+
+
+def inline_closure(path: str):
+    conn = sqlite3.connect(path)
+
+    def probe():
+        return conn.execute("SELECT 1").fetchone()
+
+    try:
+        return probe()  # invoked on this thread, never shipped
+    finally:
+        conn.close()

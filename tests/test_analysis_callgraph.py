@@ -1,0 +1,346 @@
+"""Tests for the interprocedural core: module/call graphs and summaries.
+
+Covers the resolution shapes the concurrency rules depend on — aliased
+imports, methods called via ``self``, module-level functions, virtual
+dispatch over subclasses, and the unknown-callee fallback — plus the
+per-function lock/blocking summaries.
+"""
+
+import textwrap
+
+from repro.analysis.astcache import load_module
+from repro.analysis.graphs import build_project_graph, module_name_for_path
+from repro.analysis.interproc import SqlFlowIndex
+from repro.analysis.summaries import summarize_function
+
+
+def _graph(tmp_path, files):
+    modules = []
+    for name, source in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        modules.append(load_module(str(path)))
+    return build_project_graph(modules)
+
+
+def _sites(graph, qualname):
+    return graph.functions[qualname].call_sites
+
+
+def _candidates(graph, qualname):
+    out = []
+    for site in _sites(graph, qualname):
+        out.extend(site.candidates)
+    return out
+
+
+class TestModuleNaming:
+    def test_package_walk(self, tmp_path):
+        pkg = tmp_path / "pkg" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text("x = 1\n")
+        assert module_name_for_path(str(pkg / "mod.py")) == "pkg.sub.mod"
+
+    def test_bare_file(self, tmp_path):
+        path = tmp_path / "standalone.py"
+        path.write_text("x = 1\n")
+        assert module_name_for_path(str(path)) == "standalone"
+
+
+class TestCallResolution:
+    def test_module_level_function(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "m.py": """
+                def helper():
+                    return 1
+
+                def caller():
+                    return helper()
+                """
+            },
+        )
+        assert _candidates(graph, "m:caller") == ["m:helper"]
+
+    def test_aliased_import(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "util.py": """
+                def build():
+                    return "x"
+                """,
+                "m.py": """
+                import util as u
+                from util import build as make
+
+                def one():
+                    return u.build()
+
+                def two():
+                    return make()
+                """,
+            },
+        )
+        assert _candidates(graph, "m:one") == ["util:build"]
+        assert _candidates(graph, "m:two") == ["util:build"]
+
+    def test_method_via_self(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "m.py": """
+                class Box:
+                    def get(self):
+                        return self._load()
+
+                    def _load(self):
+                        return 1
+                """
+            },
+        )
+        assert _candidates(graph, "m:Box.get") == ["m:Box._load"]
+
+    def test_virtual_dispatch_includes_overrides(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "m.py": """
+                class Base:
+                    def run(self):
+                        return self.step()
+
+                    def step(self):
+                        return 0
+
+                class Child(Base):
+                    def step(self):
+                        return 1
+                """
+            },
+        )
+        assert set(_candidates(graph, "m:Base.run")) == {
+            "m:Base.step",
+            "m:Child.step",
+        }
+
+    def test_inherited_method_resolves_to_base(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "m.py": """
+                class Base:
+                    def step(self):
+                        return 0
+
+                class Child(Base):
+                    def run(self):
+                        return self.step()
+                """
+            },
+        )
+        assert "m:Base.step" in _candidates(graph, "m:Child.run")
+
+    def test_unknown_callee_falls_back_to_empty(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "m.py": """
+                import os
+
+                def caller(thing):
+                    os.getcwd()
+                    thing.spin()
+                    return external()
+                """
+            },
+        )
+        for site in _sites(graph, "m:caller"):
+            assert site.candidates == ()
+
+    def test_field_typed_receiver(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "m.py": """
+                class Engine:
+                    def fire(self):
+                        return 1
+
+                class Car:
+                    def __init__(self):
+                        self._engine = Engine()
+
+                    def drive(self):
+                        return self._engine.fire()
+                """
+            },
+        )
+        assert _candidates(graph, "m:Car.drive") == ["m:Engine.fire"]
+
+    def test_annotated_param_receiver(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "m.py": """
+                class Engine:
+                    def fire(self):
+                        return 1
+
+                def drive(engine: Engine):
+                    return engine.fire()
+                """
+            },
+        )
+        assert _candidates(graph, "m:drive") == ["m:Engine.fire"]
+
+    def test_nested_function_not_a_method(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "m.py": """
+                class Box:
+                    def outer(self):
+                        def inner():
+                            return 1
+                        return inner()
+                """
+            },
+        )
+        # The nested def has its own record but is not a class method.
+        assert "m:Box.outer.inner" in graph.functions
+        assert "inner" not in graph.by_path[
+            list(graph.by_path)[0]
+        ].classes["Box"].methods
+        assert _candidates(graph, "m:Box.outer") == ["m:Box.outer.inner"]
+
+
+class TestSummaries:
+    def test_with_lock_guards_and_pairs(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "m.py": """
+                import threading
+
+                class T:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+                        self._n = 0
+
+                    def both(self):
+                        with self._a:
+                            with self._b:
+                                self._n += 1
+                """
+            },
+        )
+        summary = summarize_function(graph.functions["m:T.both"], graph)
+        (write,) = summary.field_writes
+        assert write.field == "_n"
+        assert write.guards == frozenset({"self._a", "self._b"})
+        assert ("self._a", "self._b") in {
+            (a, b) for a, b, _ in summary.lock_pairs
+        }
+
+    def test_untimed_wait_blocks_other_locks_only(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "m.py": """
+                import threading
+
+                class T:
+                    def __init__(self):
+                        self._cond = threading.Condition()
+                        self._other = threading.Lock()
+
+                    def wait_clean(self):
+                        with self._cond:
+                            while True:
+                                self._cond.wait()
+
+                    def wait_deadlocky(self):
+                        with self._other:
+                            with self._cond:
+                                while True:
+                                    self._cond.wait()
+                """
+            },
+        )
+        clean = summarize_function(graph.functions["m:T.wait_clean"], graph)
+        (op,) = clean.blocking_ops
+        assert op.guards == frozenset()  # own condition exempt
+        bad = summarize_function(
+            graph.functions["m:T.wait_deadlocky"], graph
+        )
+        (op,) = bad.blocking_ops
+        assert op.guards == frozenset({"self._other"})
+
+    def test_while_test_wait_counts_as_looped(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "m.py": """
+                import threading
+
+                class T:
+                    def __init__(self):
+                        self._cond = threading.Condition()
+
+                    def spin(self):
+                        with self._cond:
+                            while not self._cond.wait(0.1):
+                                pass
+                """
+            },
+        )
+        summary = summarize_function(graph.functions["m:T.spin"], graph)
+        (wait,) = summary.cond_waits
+        assert wait.in_while and wait.has_timeout
+
+
+class TestSqlFlowIndex:
+    def test_returns_unsafe_and_safe(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "m.py": """
+                def dirty(name):
+                    return f"WHERE n = '{name}'"
+
+                def clean():
+                    return "WHERE n = ?"
+
+                def wrapped():
+                    return "SELECT 1 " + clean()
+                """
+            },
+        )
+        index = SqlFlowIndex.build(graph)
+        assert "m:dirty" in index.returns_unsafe
+        assert "m:clean" in index.returns_safe
+        assert "m:wrapped" in index.returns_safe
+        assert "m:wrapped" not in index.returns_unsafe
+
+    def test_sink_param_fixpoint_crosses_hops(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "m.py": """
+                def run(conn, sql):
+                    return conn.execute(sql)
+
+                def forward(conn, query):
+                    return run(conn, query)
+                """
+            },
+        )
+        index = SqlFlowIndex.build(graph)
+        assert index.sink_params["m:run"] == ("sql",)
+        assert index.sink_params["m:forward"] == ("query",)

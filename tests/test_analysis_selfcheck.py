@@ -32,6 +32,17 @@ class TestLiveTree:
         out = io.StringIO()
         assert lint_main([PACKAGE_ROOT, "--strict"], out=out) == 0
 
+    def test_strict_clean_includes_concurrency_rules(self):
+        # NBL009–NBL012 specifically: the service plane was fixed (or
+        # carries justified inline ignores), so the strict gate holds
+        # with only the new rules enabled too.
+        findings = analyze_paths(
+            [PACKAGE_ROOT], rules=["NBL009", "NBL010", "NBL011", "NBL012"]
+        )
+        assert findings == [], "\n".join(
+            f"{f.rule_id} {f.path}:{f.line} {f.message}" for f in findings
+        )
+
 
 class TestPlantedViolations:
     def test_planted_fstring_execute_fails(self, tmp_path):
@@ -83,13 +94,14 @@ class TestPlantedViolations:
 
 
 class TestCliSurface:
-    def test_list_rules_covers_all_six(self):
+    def test_list_rules_covers_all_twelve(self):
         out = io.StringIO()
         assert lint_main(["--list-rules"], out=out) == 0
         text = out.getvalue()
         for rule_id in (
             "NBL001", "NBL002", "NBL003", "NBL004",
             "NBL005", "NBL006", "NBL007", "NBL008",
+            "NBL009", "NBL010", "NBL011", "NBL012",
         ):
             assert rule_id in text
 
