@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``)::
     python -m repro verify --db curated.db --task 7
     python -m repro serve --db curated.db --clients 4 --metrics-port 0
     python -m repro top --url http://127.0.0.1:9464 --once
+    python -m repro index status --db curated.db
     python -m repro demo
 
 ``generate`` persists a synthetic curated database (plus its NebulaMeta
@@ -402,6 +403,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .service import AnnotationService, ServiceConfig
 
     nebula = _open_engine(args.db, args.epsilon, persist_metrics=True)
+    print(
+        f"search index: {nebula.index_source} in "
+        f"{nebula.index_cold_start_seconds * 1e3:.1f}ms"
+    )
     gids = [
         row[0]
         for row in nebula.connection.execute("SELECT GID FROM Gene LIMIT 16")
@@ -625,6 +630,72 @@ def cmd_top(args: argparse.Namespace) -> int:
             return 0
 
 
+def cmd_index(args: argparse.Namespace) -> int:
+    """Manage the persisted search index: build / status / verify.
+
+    * ``build`` forces a rebuild-and-persist regardless of staleness.
+    * ``status`` reports how the engine opened the index (a valid
+      persisted image is "loaded" without scanning a single posting)
+      plus the stored layout: generation, columns, tokens, postings.
+    * ``verify`` rebuilds the reference in-memory index from the data
+      and exits 1 unless the persisted image matches it exactly.
+    """
+    import time
+
+    from .search import InvertedValueIndex, PersistentValueIndex
+
+    nebula = _open_engine(args.db, args.epsilon)
+    try:
+        index = nebula.engine.index
+        if not isinstance(index, PersistentValueIndex):
+            print(
+                "persistent index disabled (persist_index=False)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.action == "build":
+            started = time.perf_counter()
+            index.rebuild(nebula.searchable_columns())
+            elapsed = time.perf_counter() - started
+            description = index.describe()
+            print(
+                f"rebuilt in {elapsed * 1e3:.1f}ms: "
+                f"{description['tokens']} tokens, "
+                f"{description['postings']} postings, "
+                f"generation {description['generation']}"
+            )
+            return 0
+        if args.action == "status":
+            # Opening the engine already validated the stamps: "loaded"
+            # means the persisted image was adopted as-is, "rebuilt"
+            # means it was absent or stale and was just re-persisted.
+            description = index.describe()
+            print(f"source:         {nebula.index_source}")
+            print(f"cold start:     {nebula.index_cold_start_seconds * 1e3:.1f}ms")
+            print(f"schema version: {description['schema_version']}")
+            print(f"generation:     {description['generation']}")
+            print(f"columns:        {len(description['columns'])}")
+            print(f"tokens:         {description['tokens']}")
+            print(f"postings:       {description['postings']}")
+            return 0
+        reference = InvertedValueIndex.build(
+            nebula.connection, nebula.searchable_columns()
+        )
+        problems = index.parity_mismatches(reference)
+        if problems:
+            print(f"persisted index DIVERGES from the data ({len(problems)}):")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(
+            f"persisted index verified: {len(index)} tokens, "
+            f"{index.posting_count()} postings match the in-memory build"
+        )
+        return 0
+    finally:
+        _close_engine(nebula)
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Delegate to nebula-lint, reusing its flag set verbatim."""
     from .analysis.cli import main as lint_main
@@ -778,6 +849,19 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--once", action="store_true",
                      help="render a single frame and exit (same as --count 1)")
     top.set_defaults(func=cmd_top)
+
+    index = sub.add_parser(
+        "index",
+        help="manage the persisted search index (build / status / verify)",
+    )
+    index.add_argument(
+        "action", choices=("build", "status", "verify"),
+        help="build: force rebuild-and-persist; status: report the "
+        "stored image; verify: compare against a fresh in-memory build",
+    )
+    index.add_argument("--db", required=True)
+    index.add_argument("--epsilon", type=float, default=0.6)
+    index.set_defaults(func=cmd_index)
 
     demo = sub.add_parser("demo", help="run a tiny in-memory end-to-end demo")
     demo.add_argument("--seed", type=int, default=7)

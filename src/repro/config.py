@@ -101,6 +101,16 @@ class NebulaConfig:
     busy_timeout: float = 5.0
     #: LRU capacity of the keyword-analysis memo cache; 0 disables it.
     analysis_cache_size: int = 2048
+    #: Persist the inverted value index + hop profile as backend tables
+    #: (``_nebula_index_postings`` / ``_nebula_index_stats`` /
+    #: ``_nebula_hop_profile``): engine open adopts a valid persisted
+    #: image instead of rebuilding, and ingestion maintains it
+    #: incrementally inside the data transaction.  Off -> the historical
+    #: in-memory rebuild-per-open.
+    persist_index: bool = True
+    #: LRU capacity (in tokens) of the persistent index's posting-page
+    #: cache; 0 reads every page from the backend (uncached).
+    index_page_cache_size: int = 4096
     #: Enable the backward concept search special case (§5.2.3, lines 8-12).
     backward_concept_search: bool = True
     #: Enable the context-based weight adjustment (§5.2.2) — ablation knob.
@@ -169,6 +179,9 @@ class NebulaConfig:
         )
         _require(self.executor_workers >= 0, "executor_workers must be >= 0")
         _require(self.analysis_cache_size >= 0, "analysis_cache_size must be >= 0")
+        _require(
+            self.index_page_cache_size >= 0, "index_page_cache_size must be >= 0"
+        )
         _require(bool(self.storage_backend), "storage_backend must be non-empty")
         _require(self.pool_size >= 1, "pool_size must be >= 1")
         _require(

@@ -23,7 +23,12 @@ from .model import AnnotatedDatabaseModel, Edge, false_negative_ratio, false_pos
 from .signature_maps import ContextMap, MapEntry, WeightedMapping, build_context_map
 from .context_adjust import adjust_context_weights, MatchType
 from .query_generation import QueryGenerationResult, generate_queries
-from .acg import AnnotationsConnectivityGraph, HopProfile, StabilityTracker
+from .acg import (
+    AnnotationsConnectivityGraph,
+    HopProfile,
+    PersistentHopProfile,
+    StabilityTracker,
+)
 from .execution import IdentifiedTuples, identify_related_tuples
 from .focal import apply_focal_adjustment, focal_reward_factor, path_reward_factor
 from .spam import SpamGuard, SpamVerdict
@@ -50,6 +55,7 @@ __all__ = [
     "generate_queries",
     "AnnotationsConnectivityGraph",
     "HopProfile",
+    "PersistentHopProfile",
     "StabilityTracker",
     "IdentifiedTuples",
     "identify_related_tuples",

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..annotations.engine import AnnotationManager
+from ..storage.compat import Connection
 from ..types import TupleRef
 
 #: Hop distance reported when a tuple cannot be reached from the focal.
@@ -310,3 +311,41 @@ class HopProfile:
             return []
         top = k_max if k_max is not None else max(self.buckets)
         return [(k, self.buckets.get(k, 0), self.coverage(k)) for k in range(top + 1)]
+
+
+class PersistentHopProfile(HopProfile):
+    """A hop profile mirrored into the ``_nebula_hop_profile`` table.
+
+    The histogram loads from the table at construction and every
+    :meth:`record` upserts its bucket, so the radius-selection history
+    survives process restarts — a freshly opened service selects K from
+    everything the database has seen, not from an empty profile.
+
+    ``record`` runs inside the pipeline's ingestion SAVEPOINT, so a
+    rolled-back annotation reverts its bucket increments together with
+    the in-memory restore in ``Nebula._abort_insert``.  Unreachable
+    discoveries persist under ``hops = -1`` (:data:`UNREACHABLE`).
+    """
+
+    def __init__(self, connection: "Connection") -> None:
+        super().__init__()
+        self.connection = connection
+        connection.execute(
+            "CREATE TABLE IF NOT EXISTS _nebula_hop_profile ("
+            "hops INTEGER PRIMARY KEY, count INTEGER NOT NULL)"
+        )
+        for hops, count in connection.execute(
+            "SELECT hops, count FROM _nebula_hop_profile"
+        ):
+            if int(hops) == UNREACHABLE:
+                self.unreachable = int(count)
+            else:
+                self.buckets[int(hops)] = int(count)
+
+    def record(self, hops: int) -> None:
+        super().record(hops)
+        self.connection.execute(
+            "INSERT INTO _nebula_hop_profile (hops, count) VALUES (?, 1) "
+            "ON CONFLICT (hops) DO UPDATE SET count = count + 1",
+            (int(hops),),
+        )

@@ -58,10 +58,16 @@ from ..resilience import (
 )
 from ..resilience.degradation import logger as _resilience_logger
 from ..search.engine import KeywordSearchEngine, SearchResult, SearchScope
+from ..search.persist import PersistentValueIndex
 from ..storage.backends import StorageBackend, as_backend
 from ..storage.compat import Connection
 from ..types import CellRef, ScoredTuple, TupleRef
-from .acg import AnnotationsConnectivityGraph, HopProfile, StabilityTracker
+from .acg import (
+    AnnotationsConnectivityGraph,
+    HopProfile,
+    PersistentHopProfile,
+    StabilityTracker,
+)
 from .execution import IdentifiedTuples, identify_related_tuples
 from .query_generation import QueryGenerationResult, generate_queries
 from .shared_execution import SharedExecutor
@@ -188,6 +194,29 @@ class Nebula:
         self.analysis_cache = AnalysisCache(
             self.config.analysis_cache_size, metrics=self.metrics
         )
+        #: Cold-start accounting of the search index: how long the open
+        #: took and whether a persisted image was adopted ("loaded"),
+        #: rebuilt + persisted ("rebuilt"), or built in memory ("memory").
+        self.index_cold_start_seconds = 0.0
+        self.index_source = "memory"
+        persisted_index: Optional[PersistentValueIndex] = None
+        if self.config.persist_index:
+            index_started = time.perf_counter()
+            persisted_index, self.index_source = PersistentValueIndex.open(
+                connection,
+                self._searchable_columns(),
+                page_cache_size=self.config.index_page_cache_size,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+            self.index_cold_start_seconds = time.perf_counter() - index_started
+            self.metrics.counter(
+                "nebula_index_opens_total", {"source": self.index_source}
+            ).inc()
+            self.metrics.gauge("nebula_index_cold_start_seconds").set(
+                self.index_cold_start_seconds
+            )
+        engine_started = time.perf_counter()
         self.engine = KeywordSearchEngine(
             connection,
             searchable_columns=self._searchable_columns(),
@@ -196,13 +225,25 @@ class Nebula:
             retry=self.retry,
             metrics=self.metrics,
             analysis_cache=self.analysis_cache,
+            index=persisted_index,
         )
+        if persisted_index is None:
+            # The in-memory index was rebuilt inside the engine
+            # constructor; account it as this open's cold-start cost.
+            self.index_cold_start_seconds = time.perf_counter() - engine_started
+            self.metrics.gauge("nebula_index_cold_start_seconds").set(
+                self.index_cold_start_seconds
+            )
         self.acg = (
             AnnotationsConnectivityGraph.build_from_manager(self.manager)
             if build_acg
             else AnnotationsConnectivityGraph()
         )
-        self.profile = HopProfile()
+        self.profile: HopProfile = (
+            PersistentHopProfile(connection)
+            if self.config.persist_index
+            else HopProfile()
+        )
         self.stability = StabilityTracker(
             batch_size=self.config.batch_size, mu=self.config.stability_mu
         )
@@ -227,6 +268,33 @@ class Nebula:
         self._searchable_tuple_count = count_searchable_tuples(
             connection, [table for table, _ in self._searchable_columns()]
         )
+
+    def ensure_index_fresh(self) -> bool:
+        """Revalidate the persisted search index against the live data.
+
+        Returns True when the image was stale (rows loaded behind the
+        index's back, deletions, a changed searchable-column set) and a
+        rebuild was persisted and committed.  A no-op for in-memory
+        indexes.  The service's startup recovery calls this before
+        accepting traffic so a recovered process cannot serve search
+        results from a stale index.
+        """
+        index = self.engine.index
+        if not isinstance(index, PersistentValueIndex):
+            return False
+        rebuilt = index.refresh(self._searchable_columns())
+        if rebuilt:
+            self.index_source = "rebuilt"
+            self.metrics.counter("nebula_index_refreshes_total").inc()
+        return rebuilt
+
+    def searchable_columns(self) -> List[Tuple[str, str]]:
+        """The (table, column) pairs the search index covers.
+
+        ``repro index`` builds/verifies the persisted index over exactly
+        this set.
+        """
+        return self._searchable_columns()
 
     def _searchable_columns(self) -> List[Tuple[str, str]]:
         columns: List[Tuple[str, str]] = []

@@ -20,6 +20,10 @@ CANONICAL_STAGES: FrozenSet[str] = frozenset(
     {
         # Root span of one annotation's pass through the pipeline.
         "insert_annotation",
+        # Engine open: persisted-index stamp validation + lazy adoption.
+        "index.load",
+        # Engine open: full index rebuild persisted to the backend tables.
+        "index.build",
         # Stage 0: persist the annotation + manual attachments.
         "stage0.store",
         # The analysis umbrella span (stage 1 + stage 2).

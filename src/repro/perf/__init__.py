@@ -18,12 +18,14 @@ invalidation rules, and how to read the new metrics.
 
 from .batch import AnnotationRequest, RequestLike, coerce_request
 from .cache import MISS, AnalysisCache, CacheStats
+from .pagecache import LruPageCache
 from .parallel import ParallelSqlExecutor, database_path
 
 __all__ = [
     "AnalysisCache",
     "AnnotationRequest",
     "CacheStats",
+    "LruPageCache",
     "MISS",
     "ParallelSqlExecutor",
     "RequestLike",

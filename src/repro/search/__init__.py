@@ -21,6 +21,7 @@ annotation text submitted as one keyword query.
 
 from .metadata import SchemaGraph, ForeignKey, ColumnInfo
 from .index import InvertedValueIndex, Posting
+from .persist import PersistentValueIndex
 from .mapper import KeywordMapper, Mapping, MappingKind
 from .configurations import Configuration, enumerate_configurations
 from .sqlgen import GeneratedSQL, generate_sql
@@ -32,6 +33,7 @@ __all__ = [
     "ForeignKey",
     "ColumnInfo",
     "InvertedValueIndex",
+    "PersistentValueIndex",
     "Posting",
     "KeywordMapper",
     "Mapping",

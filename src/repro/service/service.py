@@ -167,6 +167,11 @@ class ServiceStats:
     flush_seconds: Mapping[str, float] = field(default_factory=dict)
     #: p50/p95/p99 of submit-to-ack latency (seconds, sliding window).
     e2e_seconds: Mapping[str, float] = field(default_factory=dict)
+    #: Engine-open cost of the search index ("loaded" persisted images
+    #: skip the rebuild; see ``Nebula.index_cold_start_seconds``).
+    index_cold_start_seconds: float = 0.0
+    #: Where the index came from: "loaded" / "rebuilt" / "memory".
+    index_source: str = "memory"
 
 
 class _ReadHandle:
@@ -333,6 +338,11 @@ class AnnotationService:
             checkpoint = getattr(self.backend, "checkpoint", None)
             if callable(checkpoint):
                 checkpoint()
+            # The crash (or data loaded while the service was down) may
+            # have left the persisted search index behind the data; the
+            # stamp check rebuilds it before any traffic is accepted.
+            index_rebuilt = self.nebula.ensure_index_fresh()
+            span.set_attribute("index_rebuilt", index_rebuilt)
             released = self.nebula.dead_letters.release_claims()
             reports = self.nebula.reprocess_dead_letters(
                 limit=self.config.replay_limit
@@ -380,6 +390,8 @@ class AnnotationService:
                 "flush": self.latency.percentiles("flush"),
                 "e2e": self.latency.percentiles("e2e"),
             },
+            "index_cold_start_seconds": self.nebula.index_cold_start_seconds,
+            "index_source": self.nebula.index_source,
         }
 
     def stats(self) -> ServiceStats:
@@ -398,6 +410,8 @@ class AnnotationService:
             queue_wait_seconds=self.latency.percentiles("queue"),
             flush_seconds=self.latency.percentiles("flush"),
             e2e_seconds=self.latency.percentiles("e2e"),
+            index_cold_start_seconds=self.nebula.index_cold_start_seconds,
+            index_source=self.nebula.index_source,
         )
 
     # ------------------------------------------------------------------
