@@ -6,8 +6,9 @@ helper returns and sink parameters across call boundaries), SAVEPOINT
 pairing, the paper's β-ordering and edge-weight semantics, the
 canonical span taxonomy, sqlite resource hygiene, and the concurrency
 rules over the service plane: lock discipline (NBL009), connection
-thread-affinity (NBL010), blocking-under-lock (NBL011), and
-condition-variable hygiene (NBL012).  See ``docs/static_analysis.md``
+thread-affinity (NBL010), blocking-under-lock (NBL011),
+condition-variable hygiene (NBL012), and versioned-table write
+discipline (NBL013).  See ``docs/static_analysis.md``
 for the rule catalog, the interprocedural core, and the baseline
 workflow.
 

@@ -60,6 +60,7 @@ from .rules import (
     check_savepoint_pairing,
     check_span_registry,
     check_sql_safety,
+    check_versioned_writes,
     collect_config_defaults,
 )
 
@@ -180,6 +181,8 @@ def _file_findings(
         raw.extend(check_blocking_under_lock(ctx, state.concurrency))
     if "NBL012" in enabled:
         raw.extend(check_condition_hygiene(ctx, state.concurrency))
+    if "NBL013" in enabled:
+        raw.extend(check_versioned_writes(ctx))
 
     out: List[Finding] = []
     for finding in raw:

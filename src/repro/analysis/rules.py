@@ -1,8 +1,8 @@
 """The nebula-lint rule set.
 
-Twelve AST-based rules over the repo's own source, each encoding an
-invariant the runtime layers depend on.  NBL001–NBL008 are intra-module
-and live here; NBL009–NBL012 reason over the interprocedural core
+Thirteen AST-based rules over the repo's own source, each encoding an
+invariant the runtime layers depend on.  NBL001–NBL008 and NBL013 are
+intra-module and live here; NBL009–NBL012 reason over the interprocedural core
 (:mod:`repro.analysis.graphs` / :mod:`repro.analysis.summaries`) and
 live in :mod:`repro.analysis.concurrency` — they are registered in
 :data:`RULE_DOCS` below so the engine and CLI see one catalog.
@@ -66,6 +66,11 @@ NBL012     Condition hygiene: ``Condition.wait`` only inside a
            while-predicate loop and only while holding the
            condition; ``notify``/``notify_all`` only with the owning
            lock held (lexically or at every call site).
+NBL013     Versioned-table write discipline: no raw ``UPDATE`` /
+           ``DELETE`` (or ``REPLACE``) against the versioned head
+           tables (``_nebula_annotations`` / ``_nebula_attachments``)
+           outside ``repro/versioning/`` — the commit log is the only
+           writer that appends the paired history row.
 =========  ==========================================================
 
 Findings can be suppressed inline with ``# nebula-lint: ignore`` or
@@ -80,6 +85,7 @@ import re
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..observability.stages import CANONICAL_STAGES
+from ..versioning.schema import VERSIONED_TABLES
 from .findings import Finding
 from .resolve import (
     SAFE_MARK,
@@ -922,6 +928,95 @@ def check_metric_naming(ctx: ModuleContext) -> Iterator[Finding]:
 
 
 # ----------------------------------------------------------------------
+# NBL013 — versioned-table write discipline
+# ----------------------------------------------------------------------
+
+#: The one package allowed to mutate the versioned head tables in
+#: place: its :class:`~repro.versioning.log.CommitLog` appends the
+#: matching history row inside the same transaction, which is exactly
+#: the invariant a raw UPDATE/DELETE elsewhere would silently break.
+VERSIONING_WRITER_PACKAGE = "repro/versioning/"
+
+#: In-place writes against a versioned table.  ``REPLACE INTO`` /
+#: ``INSERT OR REPLACE`` are implicit DELETEs and count; plain INSERT
+#: does not (the store inserts head rows and logs them separately).
+#: The table names are anchored with ``\b`` so the singular
+#: ``_nebula_annotation_history`` append tables never match.
+_VERSIONED_WRITE_RE = re.compile(
+    r"\b(?:UPDATE|DELETE\s+FROM|REPLACE\s+INTO|INSERT\s+OR\s+REPLACE\s+INTO)\s+"
+    r'["\'`]?(?P<table>' + "|".join(VERSIONED_TABLES) + r")\b",
+    re.IGNORECASE,
+)
+
+
+def _in_versioning_package(path: str) -> bool:
+    return VERSIONING_WRITER_PACKAGE in path.replace("\\", "/")
+
+
+def check_versioned_writes(ctx: ModuleContext) -> Iterator[Finding]:
+    """NBL013: raw UPDATE/DELETE against a versioned table.
+
+    ``_nebula_annotations`` / ``_nebula_attachments`` are the
+    materialized head of the commit log; every in-place mutation must go
+    through :mod:`repro.versioning` so the history append lands in the
+    same transaction.  SQL that only *reads* those tables, and plain
+    INSERTs (which the store pairs with a history append), stay legal
+    everywhere.  Test modules are exempt — corrupting the head on
+    purpose is how the recovery paths get exercised — but fixture
+    modules under ``tests/fixtures/`` are linted as production code.
+    """
+    if _in_versioning_package(ctx.path) or _is_test_path(ctx.path):
+        return
+    funcs = list(_functions(ctx.tree))
+    env_cache: Dict[int, Env] = {}
+
+    def env_for(lineno: int) -> Env:
+        best: Optional[ast.FunctionDef] = None
+        for func in funcs:
+            end = getattr(func, "end_lineno", None) or func.lineno
+            if func.lineno <= lineno <= end:
+                if best is None or func.lineno >= best.lineno:
+                    best = func
+        if best is None:
+            return ctx.module_env
+        if id(best) not in env_cache:
+            env_cache[id(best)] = build_env(best.body, ctx.module_env)
+        return env_cache[id(best)]
+
+    for call, method in _execute_calls(ctx.tree.body):
+        argument = _sql_argument(call)
+        if argument is None:
+            continue
+        resolved = resolve_str(argument, env_for(call.lineno))
+        if resolved.text is None:
+            continue
+        match = _VERSIONED_WRITE_RE.search(resolved.text)
+        if match is None:
+            continue
+        yield Finding(
+            rule_id="NBL013",
+            path=ctx.path,
+            line=call.lineno,
+            message=(
+                f"raw in-place write against versioned table "
+                f"{match.group('table')!r} reaches {method}() outside "
+                f"repro.versioning"
+            ),
+            fix_hint=(
+                "route the mutation through repro.versioning.CommitLog "
+                "(promote_attachment / delete_attachment / record_* ) so "
+                "the history row is appended in the same transaction"
+            ),
+            snippet=ctx.snippet(call.lineno),
+            details={
+                "method": method,
+                "table": match.group("table"),
+                "end_line": getattr(call, "end_lineno", None) or call.lineno,
+            },
+        )
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -938,6 +1033,7 @@ RULE_DOCS: Dict[str, str] = {
     "NBL010": "sqlite handle escapes into another thread (submit/Thread/map)",
     "NBL011": "blocking call (execute/commit/wait/result/sleep) while holding a lock",
     "NBL012": "Condition.wait outside a while-predicate loop, or wait/notify without the lock",
+    "NBL013": "raw UPDATE/DELETE against a versioned table outside repro.versioning",
 }
 
 ALL_RULE_IDS: Tuple[str, ...] = tuple(sorted(RULE_DOCS))

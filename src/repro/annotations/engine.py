@@ -44,12 +44,19 @@ class AnnotationManager:
 
         Manual attachments are *true* edges with confidence 1.0.  With
         ``verify_targets`` each row-level target is checked to exist.
+
+        The row and its focal edges land under one ``ingest`` commit in
+        the append-only log (joining the pipeline's commit when one is
+        already open).
         """
-        annotation = self.store.insert_annotation(content, author=author)
-        for target in attach_to:
-            if verify_targets and target.rowid is not None:
-                self._require_tuple(target.tuple_ref)
-            self.store.attach(annotation.annotation_id, target, kind=AttachmentKind.TRUE)
+        with self.store.versioning.scope("ingest", author=author):
+            annotation = self.store.insert_annotation(content, author=author)
+            for target in attach_to:
+                if verify_targets and target.rowid is not None:
+                    self._require_tuple(target.tuple_ref)
+                self.store.attach(
+                    annotation.annotation_id, target, kind=AttachmentKind.TRUE
+                )
         return annotation
 
     def bulk_add_annotations(
@@ -70,13 +77,16 @@ class AnnotationManager:
                 self.store.validate_table(target.table)
                 if verify_targets and target.rowid is not None:
                     self._require_tuple(target.tuple_ref)
-        annotations = self.store.bulk_insert_annotations(
-            [(content, author) for content, _attach_to, author in items]
-        )
-        edges: List[Tuple[int, CellRef]] = []
-        for annotation, (_content, attach_to, _author) in zip(annotations, items):
-            edges.extend((annotation.annotation_id, target) for target in attach_to)
-        self.store.bulk_attach_true(edges)
+        with self.store.versioning.scope("batch"):
+            annotations = self.store.bulk_insert_annotations(
+                [(content, author) for content, _attach_to, author in items]
+            )
+            edges: List[Tuple[int, CellRef]] = []
+            for annotation, (_content, attach_to, _author) in zip(annotations, items):
+                edges.extend(
+                    (annotation.annotation_id, target) for target in attach_to
+                )
+            self.store.bulk_attach_true(edges)
         return annotations
 
     def attach_true(self, annotation_id: int, target: CellRef) -> Attachment:
@@ -117,14 +127,25 @@ class AnnotationManager:
     # Reading
     # ------------------------------------------------------------------
 
-    def annotation(self, annotation_id: int) -> Annotation:
-        return self.store.get_annotation(annotation_id)
+    def annotation(
+        self, annotation_id: int, as_of: Optional[int] = None
+    ) -> Annotation:
+        return self.store.get_annotation(annotation_id, as_of=as_of)
 
     def annotations_of_tuple(
-        self, ref: TupleRef, include_predicted: bool = False
+        self,
+        ref: TupleRef,
+        include_predicted: bool = False,
+        as_of: Optional[int] = None,
     ) -> List[Annotation]:
-        """All annotations attached to a tuple (row, cell, column, table)."""
-        attachments = self.store.attachments_on(ref.table, rowid=ref.rowid)
+        """All annotations attached to a tuple (row, cell, column, table).
+
+        ``as_of`` pins the read to a commit id: the answer is computed
+        from the append-only history instead of the materialized head.
+        """
+        attachments = self.store.attachments_on(
+            ref.table, rowid=ref.rowid, as_of=as_of
+        )
         wanted = []
         seen: Set[int] = set()
         for attachment in attachments:
@@ -133,17 +154,19 @@ class AnnotationManager:
             if attachment.annotation_id in seen:
                 continue
             seen.add(attachment.annotation_id)
-            wanted.append(self.store.get_annotation(attachment.annotation_id))
+            wanted.append(self.store.get_annotation(attachment.annotation_id, as_of=as_of))
         return wanted
 
-    def focal_of(self, annotation_id: int) -> Tuple[TupleRef, ...]:
+    def focal_of(
+        self, annotation_id: int, as_of: Optional[int] = None
+    ) -> Tuple[TupleRef, ...]:
         """The annotation's focal: tuples it is *manually* attached to.
 
         Paper Definition 3.5 — only true row/cell attachments count.
         """
         refs: List[TupleRef] = []
         seen: Set[TupleRef] = set()
-        for attachment in self.store.attachments_of(annotation_id):
+        for attachment in self.store.attachments_of(annotation_id, as_of=as_of):
             if attachment.kind is not AttachmentKind.TRUE:
                 continue
             ref = attachment.tuple_ref
@@ -152,24 +175,26 @@ class AnnotationManager:
                 refs.append(ref)
         return tuple(refs)
 
-    def annotated_tuples(self) -> List[TupleRef]:
+    def annotated_tuples(self, as_of: Optional[int] = None) -> List[TupleRef]:
         """Distinct tuples having at least one true attachment."""
         seen: Set[TupleRef] = set()
         ordered: List[TupleRef] = []
-        for _, ref in self.store.true_attachment_pairs():
+        for _, ref in self.store.true_attachment_pairs(as_of=as_of):
             if ref not in seen:
                 seen.add(ref)
                 ordered.append(ref)
         return ordered
 
-    def co_annotation_index(self) -> Dict[TupleRef, Set[int]]:
+    def co_annotation_index(
+        self, as_of: Optional[int] = None
+    ) -> Dict[TupleRef, Set[int]]:
         """Map each annotated tuple to the set of its annotation ids.
 
         This is the input from which the ACG derives its edges and weights:
         two tuples are connected iff their annotation sets intersect.
         """
         index: Dict[TupleRef, Set[int]] = {}
-        for annotation_id, ref in self.store.true_attachment_pairs():
+        for annotation_id, ref in self.store.true_attachment_pairs(as_of=as_of):
             index.setdefault(ref, set()).add(annotation_id)
         return index
 

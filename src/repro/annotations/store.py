@@ -23,6 +23,14 @@ The store keeps two side tables alongside the user's data tables:
 
 Arbitrary *sets* of targets are expressed as multiple attachment rows of
 the same annotation, matching the paper's many-to-many edge model.
+
+Both tables are *versioned* (PR 10): they hold the materialized head of
+the append-only commit log in :mod:`repro.versioning`.  Every mutation
+appends the matching history row through :class:`~repro.versioning.CommitLog`
+inside the same transaction, the only UPDATE/DELETE statements against
+them live in that package (lint rule NBL013), and every read method
+accepts ``as_of=<commit_id>`` to reconstruct a historical state from
+the log instead of the head.
 """
 
 from __future__ import annotations
@@ -41,30 +49,8 @@ from ..resilience.retry import RetryPolicy
 from ..storage.compat import Connection, Cursor
 from ..utils.sql import quote_identifier
 from ..types import CellRef, TupleRef
-
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS _nebula_annotations (
-    annotation_id INTEGER PRIMARY KEY,
-    content       TEXT NOT NULL,
-    author        TEXT,
-    created_seq   INTEGER NOT NULL
-);
-CREATE TABLE IF NOT EXISTS _nebula_attachments (
-    attachment_id   INTEGER PRIMARY KEY,
-    annotation_id   INTEGER NOT NULL REFERENCES _nebula_annotations(annotation_id),
-    target_table    TEXT NOT NULL,
-    target_rowid    INTEGER,
-    target_rowid_hi INTEGER,
-    target_column   TEXT,
-    confidence      REAL NOT NULL,
-    kind            TEXT NOT NULL CHECK (kind IN ('true', 'predicted')),
-    UNIQUE (annotation_id, target_table, target_rowid, target_rowid_hi, target_column)
-);
-CREATE INDEX IF NOT EXISTS _nebula_attachments_by_target
-    ON _nebula_attachments (target_table, target_rowid);
-CREATE INDEX IF NOT EXISTS _nebula_attachments_by_annotation
-    ON _nebula_attachments (annotation_id);
-"""
+from ..versioning import CommitLog, ensure_schema
+from ..versioning import timetravel
 
 
 #: Column list of every attachment SELECT (keep in sync with the DDL).
@@ -142,7 +128,12 @@ class AnnotationStore:
         #: Retry policy for transient lock/busy errors on writes; None
         #: keeps the historical fail-fast behavior.
         self.retry = retry
-        self.connection.executescript(_SCHEMA)
+        # Schema ownership lives in the migration chain: a fresh database
+        # gets the full versioned layout, a seed-era one is baseline-
+        # stamped and upgraded in place.
+        ensure_schema(connection)
+        #: The append-only commit log every mutation below reports to.
+        self.versioning = CommitLog(connection, retry=retry)
         # Schema lookups are on the hot path of bulk attachment; results are
         # cached and invalidated via ``invalidate_schema_cache`` on DDL.
         self._table_cache: dict = {}
@@ -223,8 +214,10 @@ class AnnotationStore:
             "INSERT INTO _nebula_annotations (content, author, created_seq) VALUES (?, ?, ?)",
             (content, author, created_seq),
         )
+        annotation_id = int(cursor.lastrowid)
+        self.versioning.record_annotation_insert(annotation_id)
         return Annotation(
-            annotation_id=int(cursor.lastrowid),
+            annotation_id=annotation_id,
             content=content,
             author=author,
             created_seq=created_seq,
@@ -255,6 +248,7 @@ class AnnotationStore:
                 for position, (content, author) in enumerate(items)
             ],
         )
+        self.versioning.record_annotation_range(first_seq, first_seq + len(items) - 1)
         rows = self.connection.execute(
             "SELECT annotation_id, content, author, created_seq "
             "FROM _nebula_annotations WHERE created_seq BETWEEN ? AND ? "
@@ -283,15 +277,24 @@ class AnnotationStore:
             rows.append((annotation_id, table, target.rowid, column))
         if not rows:
             return 0
+        watermark = self.versioning.attachment_watermark()
         self._write_many(
             "INSERT INTO _nebula_attachments "
             "(annotation_id, target_table, target_rowid, target_column, confidence, kind) "
             "VALUES (?, ?, ?, ?, 1.0, 'true')",
             rows,
         )
+        self.versioning.record_attachments_above(watermark)
         return len(rows)
 
-    def get_annotation(self, annotation_id: int) -> Annotation:
+    def get_annotation(
+        self, annotation_id: int, as_of: Optional[int] = None
+    ) -> Annotation:
+        if as_of is not None:
+            pinned = timetravel.get_annotation_row(self.connection, annotation_id, as_of)
+            if pinned is None:
+                raise UnknownAnnotationError(annotation_id)
+            return Annotation(*pinned)
         row = self.connection.execute(
             "SELECT annotation_id, content, author, created_seq "
             "FROM _nebula_annotations WHERE annotation_id = ?",
@@ -301,7 +304,11 @@ class AnnotationStore:
             raise UnknownAnnotationError(annotation_id)
         return Annotation(*row)
 
-    def iter_annotations(self) -> Iterable[Annotation]:
+    def iter_annotations(self, as_of: Optional[int] = None) -> Iterable[Annotation]:
+        if as_of is not None:
+            for pinned in timetravel.iter_annotation_rows(self.connection, as_of):
+                yield Annotation(*pinned)
+            return
         cursor = self.connection.execute(
             "SELECT annotation_id, content, author, created_seq "
             "FROM _nebula_annotations ORDER BY created_seq"
@@ -309,7 +316,9 @@ class AnnotationStore:
         for row in cursor:
             yield Annotation(*row)
 
-    def count_annotations(self) -> int:
+    def count_annotations(self, as_of: Optional[int] = None) -> int:
+        if as_of is not None:
+            return timetravel.count_annotations(self.connection, as_of)
         return int(
             self.connection.execute("SELECT COUNT(*) FROM _nebula_annotations").fetchone()[0]
         )
@@ -346,6 +355,7 @@ class AnnotationStore:
             "VALUES (?, ?, ?, ?, ?, ?)",
             (annotation_id, table, target.rowid, column, confidence, kind.value),
         )
+        self.versioning.record_attachment_insert(int(cursor.lastrowid))
         return Attachment(
             attachment_id=int(cursor.lastrowid),
             annotation_id=annotation_id,
@@ -390,6 +400,7 @@ class AnnotationStore:
             "target_column, confidence, kind) VALUES (?, ?, ?, ?, ?, 1.0, 'true')",
             (annotation_id, canonical, rowid_low, rowid_high, validated),
         )
+        self.versioning.record_attachment_insert(int(cursor.lastrowid))
         return Attachment(
             attachment_id=int(cursor.lastrowid),
             annotation_id=annotation_id,
@@ -407,11 +418,7 @@ class AnnotationStore:
         """A re-attachment can only upgrade predicted -> true."""
         if existing.kind is AttachmentKind.TRUE or kind is AttachmentKind.PREDICTED:
             return existing
-        self._write(
-            "UPDATE _nebula_attachments SET confidence = 1.0, kind = 'true' "
-            "WHERE attachment_id = ?",
-            (existing.attachment_id,),
-        )
+        self.versioning.promote_attachment(existing.attachment_id)
         return Attachment(
             attachment_id=existing.attachment_id,
             annotation_id=existing.annotation_id,
@@ -439,24 +446,29 @@ class AnnotationStore:
         return _row_to_attachment(row) if row is not None else None
 
     def detach(self, attachment_id: int) -> bool:
-        """Remove one attachment edge; returns whether anything was removed."""
-        cursor = self._write(
-            "DELETE FROM _nebula_attachments WHERE attachment_id = ?", (attachment_id,)
-        )
-        return cursor.rowcount > 0
+        """Remove one attachment edge; returns whether anything was removed.
+
+        The commit log keeps a ``delete`` tombstone, so the edge stays
+        visible to ``as_of`` reads at commits where it existed.
+        """
+        return self.versioning.delete_attachment(attachment_id)
 
     def promote(self, attachment_id: int) -> None:
         """Turn a predicted attachment into a true one (verified edge)."""
-        cursor = self._write(
-            "UPDATE _nebula_attachments SET confidence = 1.0, kind = 'true' "
-            "WHERE attachment_id = ?",
-            (attachment_id,),
-        )
-        if cursor.rowcount == 0:
+        if not self.versioning.promote_attachment(attachment_id):
             raise StorageError(f"unknown attachment id: {attachment_id}")
 
-    def attachments_of(self, annotation_id: int) -> List[Attachment]:
+    def attachments_of(
+        self, annotation_id: int, as_of: Optional[int] = None
+    ) -> List[Attachment]:
         """All attachment edges of one annotation."""
+        if as_of is not None:
+            return [
+                _row_to_attachment(r)
+                for r in timetravel.attachments_of_rows(
+                    self.connection, annotation_id, as_of
+                )
+            ]
         rows = self.connection.execute(
             "SELECT " + _ATTACHMENT_COLUMNS + " FROM _nebula_attachments "
             "WHERE annotation_id = ? ORDER BY attachment_id",
@@ -465,7 +477,11 @@ class AnnotationStore:
         return [_row_to_attachment(r) for r in rows]
 
     def attachments_on(
-        self, table: str, rowid: Optional[int] = None, column: Optional[str] = None
+        self,
+        table: str,
+        rowid: Optional[int] = None,
+        column: Optional[str] = None,
+        as_of: Optional[int] = None,
     ) -> List[Attachment]:
         """Attachment edges touching a table / row / cell target.
 
@@ -473,6 +489,20 @@ class AnnotationStore:
         because those apply to every row (passive-engine semantics).
         """
         canonical = self.validate_table(table)
+        canonical_column = (
+            self.validate_column(canonical, column) if column is not None else None
+        )
+        if as_of is not None:
+            return [
+                _row_to_attachment(r)
+                for r in timetravel.attachments_on_rows(
+                    self.connection,
+                    canonical,
+                    as_of,
+                    rowid=rowid,
+                    column=canonical_column,
+                )
+            ]
         clauses = ["target_table = ?"]
         params: List[object] = [canonical]
         if rowid is not None:
@@ -481,8 +511,7 @@ class AnnotationStore:
                 "AND ? <= COALESCE(target_rowid_hi, target_rowid)))"
             )
             params.extend([rowid, rowid])
-        if column is not None:
-            canonical_column = self.validate_column(canonical, column)
+        if canonical_column is not None:
             clauses.append("(target_column = ? OR target_column IS NULL)")
             params.append(canonical_column)
         rows = self.connection.execute(
@@ -492,17 +521,23 @@ class AnnotationStore:
         ).fetchall()
         return [_row_to_attachment(r) for r in rows]
 
-    def true_attachment_pairs(self) -> List[Tuple[int, TupleRef]]:
+    def true_attachment_pairs(
+        self, as_of: Optional[int] = None
+    ) -> List[Tuple[int, TupleRef]]:
         """All (annotation_id, TupleRef) pairs of true row/cell attachments.
 
         Range attachments (the compact representation) are expanded
-        against the rows currently present in the target table.
+        against the rows currently present in the target table (user
+        data tables are not versioned — only the annotation layer is).
         """
-        rows = self.connection.execute(
-            "SELECT annotation_id, target_table, target_rowid, target_rowid_hi "
-            "FROM _nebula_attachments "
-            "WHERE kind = 'true' AND target_rowid IS NOT NULL ORDER BY attachment_id"
-        ).fetchall()
+        if as_of is not None:
+            rows = timetravel.true_pair_rows(self.connection, as_of)
+        else:
+            rows = self.connection.execute(
+                "SELECT annotation_id, target_table, target_rowid, target_rowid_hi "
+                "FROM _nebula_attachments "
+                "WHERE kind = 'true' AND target_rowid IS NOT NULL ORDER BY attachment_id"
+            ).fetchall()
         pairs: List[Tuple[int, TupleRef]] = []
         for annotation_id, table, rowid, rowid_hi in rows:
             if rowid_hi is None:
@@ -519,7 +554,15 @@ class AnnotationStore:
             )
         return pairs
 
-    def count_attachments(self, kind: Optional[AttachmentKind] = None) -> int:
+    def count_attachments(
+        self,
+        kind: Optional[AttachmentKind] = None,
+        as_of: Optional[int] = None,
+    ) -> int:
+        if as_of is not None:
+            return timetravel.count_attachments(
+                self.connection, as_of, kind=None if kind is None else kind.value
+            )
         if kind is None:
             query, params = "SELECT COUNT(*) FROM _nebula_attachments", ()
         else:

@@ -13,6 +13,8 @@ Usage (after ``pip install -e .``)::
     python -m repro serve --db curated.db --clients 4 --metrics-port 0
     python -m repro top --url http://127.0.0.1:9464 --once
     python -m repro index status --db curated.db
+    python -m repro history 3 --db curated.db
+    python -m repro migrate status --db curated.db
     python -m repro demo
 
 ``generate`` persists a synthetic curated database (plus its NebulaMeta
@@ -228,6 +230,8 @@ def cmd_annotate(args: argparse.Namespace) -> int:
     nebula = _open_engine(args.db, args.epsilon, trace=args.trace)
     try:
         attach = list(args.attach or [])
+        if args.as_of is not None:
+            return _annotate_as_of(nebula, args, attach)
         report = nebula.insert_annotation(
             args.text, attach_to=attach, author=args.author
         )
@@ -251,6 +255,40 @@ def cmd_annotate(args: argparse.Namespace) -> int:
         return 0
     finally:
         _close_engine(nebula)
+
+
+def _annotate_as_of(
+    nebula: Nebula, args: argparse.Namespace, attach: List[TupleRef]
+) -> int:
+    """``annotate --as-of N``: historical dry run, persists nothing.
+
+    Replays the Stage-1/Stage-2 analysis against the annotation graph as
+    it stood at commit N — "what would Nebula have predicted back then?"
+    — and prints the candidates instead of inserting anything.
+    """
+    from .errors import UnknownCommitError
+
+    try:
+        commit = nebula.commit_log.get_commit(args.as_of)
+    except UnknownCommitError:
+        head = nebula.head_commit()
+        print(
+            f"annotate: unknown commit {args.as_of} "
+            f"(head is {head if head is not None else 'empty'})",
+            file=sys.stderr,
+        )
+        return 2
+    report = nebula.analyze(args.text, focal=attach, as_of=args.as_of)
+    print(
+        f"historical analysis at commit {commit.commit_id} "
+        f"({commit.kind} @ {commit.created_at}) — nothing persisted"
+    )
+    print(f"queries: {[q.keywords for q in report.generation.queries]}")
+    if not report.candidates:
+        print("  no candidate tuples at that commit")
+    for candidate in report.candidates:
+        print(f"  {candidate.ref} confidence={candidate.confidence:.2f}")
+    return 0
 
 
 def _parse_batch_line(line: str) -> AnnotationRequest:
@@ -696,6 +734,138 @@ def cmd_index(args: argparse.Namespace) -> int:
         _close_engine(nebula)
 
 
+def cmd_history(args: argparse.Namespace) -> int:
+    """Print the append-only version history of one annotation.
+
+    Every row ever logged for the annotation and its attachment edges,
+    joined with the ``_nebula_commits`` provenance (kind, author,
+    request id, wall-clock) — the audit trail of ISSUE 10.  With no
+    ``annotation_id`` the command lists the newest commits instead.
+    """
+    from .versioning import timetravel
+
+    nebula = _open_engine(args.db, args.epsilon)
+    try:
+        log = nebula.commit_log
+        if args.annotation_id is None:
+            commits = log.commits(limit=args.limit)
+            if not commits:
+                print("no commits recorded")
+                return 0
+            print(f"{len(commits)} newest commits (head={log.head()}):")
+            for commit in commits:
+                extras = " ".join(
+                    f"{name}={value}"
+                    for name, value in (
+                        ("author", commit.author),
+                        ("request", commit.request_id),
+                        ("note", commit.note),
+                    )
+                    if value is not None
+                )
+                print(
+                    f"  commit {commit.commit_id}  {commit.kind:<8} "
+                    f"{commit.created_at}" + (f"  {extras}" if extras else "")
+                )
+            return 0
+        rows = timetravel.annotation_history_rows(
+            nebula.connection, args.annotation_id
+        )
+        if not rows:
+            print(
+                f"history: annotation {args.annotation_id} has no logged "
+                "versions",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"annotation {args.annotation_id}: {len(rows)} version(s)")
+        for row in rows:
+            (_, commit_id, op, content, author, _, kind, c_author,
+             request_id, note, created_at) = row
+            who = author or c_author or "-"
+            line = (
+                f"  commit {commit_id}  {kind:<8} {op:<6} by {who} "
+                f"@ {created_at}: {content!r}"
+            )
+            if request_id:
+                line += f"  request={request_id}"
+            if note:
+                line += f"  note={note}"
+            print(line)
+        edges = timetravel.attachment_history_rows(
+            nebula.connection, args.annotation_id
+        )
+        print(f"attachment edges: {len(edges)} logged version(s)")
+        for row in edges:
+            (_, commit_id, op, attachment_id, table, rowid, _, column,
+             confidence, edge_kind, kind, c_author, request_id,
+             created_at) = row
+            target = f"{table}:{rowid}" + (f".{column}" if column else "")
+            line = (
+                f"  commit {commit_id}  {kind:<8} {op:<7} "
+                f"attachment {attachment_id} -> {target} "
+                f"[{edge_kind}, confidence={confidence:.2f}] @ {created_at}"
+            )
+            if request_id:
+                line += f"  request={request_id}"
+            print(line)
+        return 0
+    finally:
+        _close_engine(nebula)
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    """Schema-revision management: ``status`` / ``up`` / ``down``.
+
+    Runs the :mod:`repro.versioning.migrations` chain against the raw
+    backend connection — deliberately *not* through ``_open_engine``,
+    whose store construction auto-applies pending migrations and would
+    mask the very state this command reports (and make ``down``
+    pointless, re-upgrading the file on open).
+    """
+    from .versioning import MigrationRunner
+
+    backend = get_backend("sqlite-file", path=args.db)
+    try:
+        runner = MigrationRunner(backend.primary)
+        if args.action == "status":
+            status = runner.status()
+            print(f"current revision: {status['current'] or '<none>'}")
+            for record in status["applied"]:  # type: ignore[union-attr]
+                print(
+                    f"  applied {record['revision']}  {record['name']} "
+                    f"@ {record['applied_at']}"
+                )
+            for entry in status["pending"]:  # type: ignore[union-attr]
+                print(f"  pending {entry['revision']}  {entry['name']}")
+            return 0 if not status["pending"] else 1
+        if args.action == "up":
+            applied = runner.upgrade(target=args.target)
+            backend.primary.commit()
+            if not applied:
+                print(f"already at {runner.current_revision()}: nothing to apply")
+            else:
+                print(
+                    f"applied {', '.join(applied)} "
+                    f"(now at {runner.current_revision()})"
+                )
+            return 0
+        reverted = runner.downgrade(
+            target=args.target if args.target is not None else "0001"
+        )
+        backend.primary.commit()
+        if not reverted:
+            print(f"already at {runner.current_revision()}: nothing to revert")
+        else:
+            print(
+                f"reverted {', '.join(reverted)} "
+                f"(now at {runner.current_revision()})"
+            )
+        return 0
+    finally:
+        backend.close()
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Delegate to nebula-lint, reusing its flag set verbatim."""
     from .analysis.cli import main as lint_main
@@ -761,6 +931,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="trace the pipeline pass; appends to <db>.trace.jsonl and "
         "accumulates metrics in <db>.metrics.json",
+    )
+    annotate.add_argument(
+        "--as-of", type=int, default=None, metavar="COMMIT",
+        help="dry run: analyze against the annotation graph as it stood "
+        "at this commit and print the candidates; persists nothing",
     )
     annotate.set_defaults(func=cmd_annotate)
 
@@ -862,6 +1037,41 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("--db", required=True)
     index.add_argument("--epsilon", type=float, default=0.6)
     index.set_defaults(func=cmd_index)
+
+    history = sub.add_parser(
+        "history",
+        help="print an annotation's append-only version history "
+        "(or the newest commits)",
+    )
+    history.add_argument(
+        "annotation_id", type=int, nargs="?", default=None,
+        help="annotation to show history for (omit to list commits)",
+    )
+    history.add_argument("--db", required=True)
+    history.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="commits to list when no annotation id is given (default 20)",
+    )
+    history.add_argument("--epsilon", type=float, default=0.6)
+    history.set_defaults(func=cmd_history)
+
+    migrate = sub.add_parser(
+        "migrate",
+        help="manage schema revisions (status / up / down)",
+    )
+    migrate.add_argument(
+        "action", choices=("status", "up", "down"),
+        help="status: report applied+pending revisions (exit 1 if any "
+        "pending); up: apply pending migrations; down: revert to the "
+        "legacy base schema (or --target)",
+    )
+    migrate.add_argument("--db", required=True)
+    migrate.add_argument(
+        "--target", metavar="REVISION", default=None,
+        help="stop at this revision (up: apply through it; "
+        "down: keep it and everything below)",
+    )
+    migrate.set_defaults(func=cmd_migrate)
 
     demo = sub.add_parser("demo", help="run a tiny in-memory end-to-end demo")
     demo.add_argument("--seed", type=int, default=7)

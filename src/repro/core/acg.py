@@ -44,11 +44,20 @@ class AnnotationsConnectivityGraph:
     # ------------------------------------------------------------------
 
     @classmethod
-    def build_from_manager(cls, manager: AnnotationManager) -> "AnnotationsConnectivityGraph":
+    def build_from_manager(
+        cls,
+        manager: AnnotationManager,
+        as_of: Optional[int] = None,
+    ) -> "AnnotationsConnectivityGraph":
         """Build at once from all true attachments in the store (§8.1:
-        "The ACG is built at once and not in an incremental fashion")."""
+        "The ACG is built at once and not in an incremental fashion").
+
+        With ``as_of`` the graph is reconstructed from the commit log —
+        the exact co-annotation topology that existed at that commit,
+        which lets candidate scoring replay a historical graph.
+        """
         graph = cls()
-        for annotation_id, ref in manager.store.true_attachment_pairs():
+        for annotation_id, ref in manager.store.true_attachment_pairs(as_of=as_of):
             graph.add_attachment(annotation_id, ref)
         return graph
 

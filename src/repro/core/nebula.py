@@ -46,6 +46,7 @@ from ..perf import (
     RequestLike,
     coerce_request,
 )
+from ..perf.cache import MISS
 from ..resilience import (
     EXECUTOR_FALLBACK,
     MINI_DROP_LEAK,
@@ -62,6 +63,7 @@ from ..search.persist import PersistentValueIndex
 from ..storage.backends import StorageBackend, as_backend
 from ..storage.compat import Connection
 from ..types import CellRef, ScoredTuple, TupleRef
+from ..versioning import CommitLog
 from .acg import (
     AnnotationsConnectivityGraph,
     HopProfile,
@@ -117,6 +119,11 @@ class DiscoveryReport:
     #: report (``req-<pid>-<seq>``), stamped by the annotation service;
     #: None for direct (non-service) pipeline calls.
     request_id: Optional[str] = None
+    #: The ``_nebula_commits`` row this ingestion's writes landed under
+    #: (``ingest``/``batch``/``replay``); the time-travel pin at which
+    #: ``as_of`` reads reproduce this report's post-state exactly.  None
+    #: only for :meth:`Nebula.analyze` dry runs, which persist nothing.
+    commit_id: Optional[int] = None
 
     @property
     def candidates(self) -> List[ScoredTuple]:
@@ -311,6 +318,23 @@ class Nebula:
     # Stages 1-2 (no persistence)
     # ------------------------------------------------------------------
 
+    def acg_as_of(self, as_of: int) -> AnnotationsConnectivityGraph:
+        """The ACG as it stood right after commit ``as_of`` (memoized).
+
+        Rebuilt from the time-travel read of the true attachments and
+        cached in the analysis cache keyed by the commit id — pinned
+        history is immutable, so an entry can never go stale.
+        """
+        cached = self.analysis_cache.get("acg.as_of", as_of, as_of)
+        if cached is not MISS:
+            assert isinstance(cached, AnnotationsConnectivityGraph)
+            return cached
+        graph = AnnotationsConnectivityGraph.build_from_manager(
+            self.manager, as_of=as_of
+        )
+        self.analysis_cache.put("acg.as_of", as_of, as_of, graph)
+        return graph
+
     def analyze(
         self,
         text: str,
@@ -318,12 +342,20 @@ class Nebula:
         use_spreading: Optional[bool] = None,
         radius: Optional[int] = None,
         shared: Optional[bool] = None,
+        as_of: Optional[int] = None,
     ) -> DiscoveryReport:
         """Generate queries and identify candidate tuples for ``text``.
 
         ``use_spreading`` defaults to the ACG stability flag (the paper's
         trigger); ``radius`` defaults to the profile-guided selection;
         ``shared`` defaults to the config's shared-execution switch.
+
+        ``as_of`` replays the analysis against the annotation graph as it
+        stood at that commit: focal adjustment and the spreading scope
+        use the historical ACG instead of the live one (the user data
+        tables themselves are not versioned).  This is the
+        ``repro annotate --as-of`` path — "what would Nebula have
+        predicted back then?".
 
         With tracing enabled the pass is one ``analyze`` span holding the
         ``stage1.*`` generation spans and the ``stage2.execute`` span; a
@@ -332,7 +364,7 @@ class Nebula:
         """
         with self.tracer.span("analyze") as span:
             report = self._analyze(
-                text, tuple(focal), use_spreading, radius, shared, span
+                text, tuple(focal), use_spreading, radius, shared, span, as_of
             )
         self._m_analyze_seconds.observe(report.elapsed)
         self._attach_trace(report)
@@ -346,10 +378,12 @@ class Nebula:
         radius: Optional[int],
         shared: Optional[bool],
         span: SpanLike,
+        as_of: Optional[int] = None,
     ) -> DiscoveryReport:
         started = time.perf_counter()
         generation = generate_queries(text, self.meta, self.config, tracer=self.tracer)
         degradations: List[str] = list(generation.degradations)
+        acg = self.acg if as_of is None else self.acg_as_of(as_of)
 
         spreading = (
             use_spreading if use_spreading is not None else self.stability.stable
@@ -375,7 +409,7 @@ class Nebula:
                         )
                     )
                     scope, mini = spreading_scope(
-                        self.connection, self.acg, focal, chosen_radius,
+                        self.connection, acg, focal, chosen_radius,
                         retry=self.retry,
                     )
                 except Exception as error:
@@ -396,7 +430,7 @@ class Nebula:
                     generation.queries,
                     self.engine,
                     scope=scope,
-                    acg=self.acg if self.config.focal_adjustment else None,
+                    acg=acg if self.config.focal_adjustment else None,
                     focal=focal,
                     executor=executor,
                     focal_mode=self.config.focal_mode,
@@ -481,9 +515,18 @@ class Nebula:
         use_spreading: Optional[bool] = None,
         radius: Optional[int] = None,
         capture_dead_letter: Optional[bool] = None,
+        request_id: Optional[str] = None,
+        replay_of: Optional[int] = None,
     ) -> DiscoveryReport:
         """Insert a new annotation and proactively discover its missing
         attachments; predictions are triaged into verification tasks.
+
+        Every write of the pass — annotation row, focal edges, predicted
+        and auto-accepted attachments — lands under one ``ingest`` commit
+        in the append-only log (``replay`` when ``replay_of`` names the
+        dead letter being replayed), carrying ``author`` and
+        ``request_id`` provenance; its id is stamped onto the report as
+        :attr:`DiscoveryReport.commit_id`.
 
         The whole pipeline runs inside a SQLite SAVEPOINT: a Stage 1-3
         failure that cannot be degraded around rolls the Stage 0 writes
@@ -501,7 +544,7 @@ class Nebula:
         with self.tracer.span("insert_annotation") as span:
             report = self._insert_annotation(
                 text, tuple(attach_to), author, use_spreading, radius,
-                capture_dead_letter, span,
+                capture_dead_letter, span, request_id, replay_of,
             )
         self._m_insert_seconds.observe(report.elapsed)
         self._m_acg_edges.set(self.acg.edge_count)
@@ -517,6 +560,8 @@ class Nebula:
         radius: Optional[int],
         capture_dead_letter: Optional[bool],
         span: SpanLike,
+        request_id: Optional[str] = None,
+        replay_of: Optional[int] = None,
     ) -> DiscoveryReport:
         started = time.perf_counter()
         capture = (
@@ -529,6 +574,14 @@ class Nebula:
         savepoint = Savepoint(
             self.connection, "nebula_insert", dialect=self.dialect
         ).begin()
+        # The commit opens *inside* the SAVEPOINT: a rollback removes the
+        # commit row and its history rows together.
+        commit_id = self.commit_log.begin(
+            "ingest" if replay_of is None else "replay",
+            author=author,
+            request_id=request_id,
+            note=None if replay_of is None else f"dead-letter:{replay_of}",
+        )
         try:
             # Stage 0 — persist the annotation + focal, update the ACG.
             with self.tracer.span("stage0.store") as store_span:
@@ -567,6 +620,8 @@ class Nebula:
                 report.spam_verdict = verdict
                 span.set_attribute("spam", verdict.reason)
                 savepoint.release()
+                self.commit_log.finish()
+                report.commit_id = commit_id
                 self.stability.record_annotation(
                     attachments=len(focal), new_edges=new_edges
                 )
@@ -603,6 +658,8 @@ class Nebula:
                 raise failure from error
             raise
         savepoint.release()
+        self.commit_log.finish()
+        report.commit_id = commit_id
         accepted = sum(1 for t in report.tasks if t.decision.is_accepted)
         # ACG delta across the whole pipeline: focal edges + edges from
         # auto-accepted attachments (added during triage).
@@ -634,6 +691,7 @@ class Nebula:
         tracker is only updated on success, so it needs no restore.
         """
         savepoint.rollback()
+        self.commit_log.abandon()
         if annotation is not None:
             self.acg.remove_annotation(annotation.annotation_id)
             self.queue.forget(annotation.annotation_id)
@@ -651,6 +709,7 @@ class Nebula:
         use_spreading: Optional[bool] = None,
         radius: Optional[int] = None,
         capture_dead_letter: Optional[bool] = None,
+        request_id: Optional[str] = None,
     ) -> List[DiscoveryReport]:
         """Ingest a batch of annotations with cross-annotation sharing.
 
@@ -688,7 +747,8 @@ class Nebula:
             return []
         with self.tracer.span("insert_annotations") as span:
             reports = self._insert_annotations(
-                requests, use_spreading, radius, capture_dead_letter, span
+                requests, use_spreading, radius, capture_dead_letter, span,
+                request_id,
             )
         self._m_acg_edges.set(self.acg.edge_count)
         for report in reports:
@@ -702,6 +762,7 @@ class Nebula:
         radius: Optional[int],
         capture_dead_letter: Optional[bool],
         span: SpanLike,
+        request_id: Optional[str] = None,
     ) -> List[DiscoveryReport]:
         started = time.perf_counter()
         capture = (
@@ -717,6 +778,13 @@ class Nebula:
         savepoint = Savepoint(
             self.connection, "nebula_batch", dialect=self.dialect
         ).begin()
+        # One commit covers the whole batch — it is one SAVEPOINT and
+        # rolls back as a unit, so it is one log entry too.
+        commit_id = self.commit_log.begin(
+            "batch",
+            request_id=request_id,
+            note=f"batch of {len(requests)}",
+        )
         inserted: List[Annotation] = []
         reports: List[DiscoveryReport] = []
         #: Per member: (attachments, new_edges, quarantined) — stability
@@ -822,6 +890,9 @@ class Nebula:
                 raise failure from error
             raise
         savepoint.release()
+        self.commit_log.finish()
+        for report in reports:
+            report.commit_id = commit_id
         for attachments, new_edges, quarantined in outcomes:
             self.stability.record_annotation(
                 attachments=attachments, new_edges=new_edges
@@ -939,6 +1010,7 @@ class Nebula:
     ) -> None:
         """Undo a failed batch completely (mirror of :meth:`_abort_insert`)."""
         savepoint.rollback()
+        self.commit_log.abandon()
         for annotation in inserted:
             self.acg.remove_annotation(annotation.annotation_id)
             self.queue.forget(annotation.annotation_id)
@@ -988,16 +1060,35 @@ class Nebula:
                     attach_to=letter.focal,
                     author=letter.author,
                     capture_dead_letter=False,
+                    replay_of=letter.letter_id,
                 )
             except PipelineStageError as error:
                 self.dead_letters.record_attempt(
                     letter.letter_id, repr(error.original)
                 )
                 continue
-            self.dead_letters.mark_resolved(letter.letter_id)
+            # Stamp the replay commit onto the resolved letter: the
+            # letter row names the exact log entry its re-ingestion
+            # produced, and the commit's note names the letter back.
+            self.dead_letters.mark_resolved(
+                letter.letter_id, commit_id=report.commit_id
+            )
             self.metrics.counter("nebula_dead_letter_replayed_total").inc()
             reports.append(report)
         return reports
+
+    # ------------------------------------------------------------------
+    # Versioning
+    # ------------------------------------------------------------------
+
+    @property
+    def commit_log(self) -> "CommitLog":
+        """The append-only commit log every write of this engine joins."""
+        return self.manager.store.versioning
+
+    def head_commit(self) -> Optional[int]:
+        """The newest commit id — the pin for snapshot-consistent reads."""
+        return self.commit_log.head()
 
     # ------------------------------------------------------------------
     # Stage-3 passthroughs

@@ -163,19 +163,30 @@ class VerificationQueue:
     # ------------------------------------------------------------------
 
     def verify(self, task_id: int) -> VerificationTask:
-        """Expert accepts a pending task: it becomes a True Attachment."""
+        """Expert accepts a pending task: it becomes a True Attachment.
+
+        The resolution lands as one ``verify`` commit in the append-only
+        log (after the task is known to exist, so a bad id leaves no
+        empty commit behind).
+        """
         task = self._load_pending(task_id)
-        resolved = self._set_status(task, Decision.VERIFIED)
-        self._accept(resolved)
+        with self.manager.store.versioning.scope("verify", note=f"task:{task_id}"):
+            resolved = self._set_status(task, Decision.VERIFIED)
+            self._accept(resolved)
         return resolved
 
     def reject(self, task_id: int) -> VerificationTask:
-        """Expert rejects a pending task: the prediction is discarded."""
+        """Expert rejects a pending task: the prediction is discarded.
+
+        Recorded as one ``reject`` commit; the dropped edge's tombstone
+        in the attachment history shows *what* was discarded.
+        """
         task = self._load_pending(task_id)
-        resolved = self._set_status(task, Decision.REJECTED)
-        for attachment in self.manager.pending_predicted(task.annotation_id):
-            if attachment.tuple_ref == task.ref:
-                self.manager.discard_attachment(attachment.attachment_id)
+        with self.manager.store.versioning.scope("reject", note=f"task:{task_id}"):
+            resolved = self._set_status(task, Decision.REJECTED)
+            for attachment in self.manager.pending_predicted(task.annotation_id):
+                if attachment.tuple_ref == task.ref:
+                    self.manager.discard_attachment(attachment.attachment_id)
         return resolved
 
     def forget(self, annotation_id: int) -> None:

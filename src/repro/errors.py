@@ -76,6 +76,22 @@ class UnknownTupleError(StorageError):
         self.rowid = rowid
 
 
+class VersioningError(NebulaError):
+    """Raised by the append-only commit log for invalid operations."""
+
+
+class UnknownCommitError(VersioningError):
+    """Raised when a commit id is absent from ``_nebula_commits``."""
+
+    def __init__(self, commit_id: int) -> None:
+        super().__init__(f"unknown commit id: {commit_id}")
+        self.commit_id = commit_id
+
+
+class MigrationError(VersioningError):
+    """Raised when a schema migration cannot be applied or reverted."""
+
+
 class MetadataError(NebulaError):
     """Raised by the NebulaMeta repository for inconsistent metadata."""
 

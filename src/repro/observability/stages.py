@@ -54,6 +54,9 @@ CANONICAL_STAGES: FrozenSet[str] = frozenset(
         # Service layer: one /metrics render served by the telemetry
         # HTTP endpoint.
         "service.export",
+        # Service layer: the durability point of one flush — the commit
+        # that makes a batch's ``_nebula_commits`` row(s) visible.
+        "service.commit",
     }
 )
 

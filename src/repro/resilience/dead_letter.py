@@ -39,13 +39,14 @@ CREATE TABLE IF NOT EXISTS _nebula_dead_letters (
     status      TEXT NOT NULL DEFAULT 'pending'
         CHECK (status IN ('pending', 'resolved')),
     claimed     INTEGER NOT NULL DEFAULT 0,
-    request_id  TEXT
+    request_id  TEXT,
+    commit_id   INTEGER
 );
 """
 
 _COLUMNS = (
     "letter_id, content, author, focal_json, stage, error, attempts, status, "
-    "request_id"
+    "request_id, commit_id"
 )
 
 
@@ -64,6 +65,12 @@ class DeadLetter:
     #: Correlation id of the service submission that failed into this
     #: letter (None for failures outside the service layer).
     request_id: Optional[str] = None
+    #: The ``replay`` commit a successful reprocess landed under (None
+    #: while pending).  Together with the commit's ``dead-letter:<id>``
+    #: note this makes replays auditable in both directions — and
+    #: idempotent against the log: a letter carrying a commit id has
+    #: verifiably been ingested exactly once.
+    commit_id: Optional[int] = None
 
     @property
     def is_pending(self) -> bool:
@@ -104,6 +111,11 @@ class DeadLetterQueue:
         if "request_id" not in columns:
             self._execute(
                 "ALTER TABLE _nebula_dead_letters ADD COLUMN request_id TEXT"
+            )
+            migrated = True
+        if "commit_id" not in columns:
+            self._execute(
+                "ALTER TABLE _nebula_dead_letters ADD COLUMN commit_id INTEGER"
             )
             migrated = True
         if migrated:
@@ -254,12 +266,18 @@ class DeadLetterQueue:
         ).fetchall()
         return [_row_to_letter(r) for r in rows]
 
-    def mark_resolved(self, letter_id: int) -> None:
-        """A successful replay: the letter leaves the pending set."""
+    def mark_resolved(
+        self, letter_id: int, commit_id: Optional[int] = None
+    ) -> None:
+        """A successful replay: the letter leaves the pending set.
+
+        ``commit_id`` records which ``replay`` commit the re-ingestion
+        landed under, tying the resolved letter to its log entry.
+        """
         cursor = self._execute(
-            "UPDATE _nebula_dead_letters SET status = 'resolved' "
+            "UPDATE _nebula_dead_letters SET status = 'resolved', commit_id = ? "
             "WHERE letter_id = ? AND status = 'pending'",
-            (letter_id,),
+            (commit_id, letter_id),
         )
         if cursor.rowcount == 0:
             raise DeadLetterError(letter_id, "unknown or already resolved dead letter")
@@ -303,4 +321,5 @@ def _row_to_letter(row: Sequence[object]) -> DeadLetter:
         attempts=int(row[6]),
         status=str(row[7]),
         request_id=None if row[8] is None else str(row[8]),
+        commit_id=None if row[9] is None else int(row[9]),
     )

@@ -269,6 +269,10 @@ class PersistentValueIndex(InvertedValueIndex):
             self._stamp_from_data(table, column)
         self._set_stat("meta", "schema_version", "", SCHEMA_VERSION)
         self._set_stat("meta", "generation", "", self._generation)
+        # Provenance: which commit of the append-only annotation log this
+        # image was persisted at (0 when the log table is absent — the
+        # index can run standalone on an unmigrated database).
+        self._set_stat("meta", "commit", "", self._commit_head())
 
     def rebuild(self, columns: Iterable[Tuple[str, str]]) -> None:
         """Force a rebuild-and-persist (plus commit) regardless of stamps.
@@ -323,6 +327,16 @@ class PersistentValueIndex(InvertedValueIndex):
             "ON CONFLICT (kind, tbl, col) DO UPDATE SET value = excluded.value",
             (kind, tbl, col, int(value)),
         )
+
+    def _commit_head(self) -> int:
+        """Newest annotation-log commit id; 0 when the log is absent."""
+        try:
+            row = self.connection.execute(
+                "SELECT COALESCE(MAX(commit_id), 0) FROM _nebula_commits"
+            ).fetchone()
+        except Exception:
+            return 0
+        return int(row[0])
 
     def _stamp_from_data(self, table: str, column: str) -> None:
         """Recompute + persist one column's staleness stamps from data."""
@@ -457,9 +471,14 @@ class PersistentValueIndex(InvertedValueIndex):
 
     def describe(self) -> Dict[str, object]:
         """Status document for ``repro index status`` and tests."""
+        persisted_at = self.connection.execute(
+            "SELECT value FROM _nebula_index_stats "
+            "WHERE kind = 'meta' AND tbl = 'commit'"
+        ).fetchone()
         return {
             "schema_version": SCHEMA_VERSION,
             "generation": self.generation,
+            "persisted_at_commit": 0 if persisted_at is None else int(persisted_at[0]),
             "columns": sorted(self._columns),
             "tokens": len(self),
             "postings": self.posting_count(),

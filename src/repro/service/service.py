@@ -71,9 +71,22 @@ from ..resilience.degradation import logger as _logger
 from ..resilience.retry import is_transient_operational_error
 from ..storage.compat import Connection, Error
 from ..types import TupleRef
+from ..versioning import timetravel
 from .queue import Submission, SubmissionQueue, mint_batch_id
 
 T = TypeVar("T")
+
+# Pinned (``as_of``) variants of the read-endpoint queries.  The full
+# statements are composed in :mod:`repro.versioning.timetravel`, where
+# every piece is a local literal (NBL001-safe by construction).
+
+_FIND_AS_OF = timetravel.FIND_ANNOTATIONS_AS_OF
+
+_ANNOTATIONS_FOR_AS_OF = timetravel.ANNOTATIONS_FOR_TUPLE_AS_OF
+
+#: Pending tasks restricted to annotations visible at the pinned commit
+#: (the task table itself is operational state, not versioned).
+_PENDING_AS_OF = timetravel.PENDING_TASKS_AS_OF
 
 #: Sentinel distinguishing "use the configured default deadline" from an
 #: explicit ``deadline=None`` ("no deadline at all").
@@ -338,6 +351,20 @@ class AnnotationService:
             checkpoint = getattr(self.backend, "checkpoint", None)
             if callable(checkpoint):
                 checkpoint()
+            # Log-parity check: the materialized head tables must equal
+            # the pure-history reconstruction through the current-version
+            # views.  They commit atomically, so a mismatch means torn
+            # state (e.g. a partially restored backup) — replay the head
+            # from the append-only log, which is the source of truth.
+            head_ok = self.nebula.commit_log.verify_head()
+            span.set_attribute("head_parity", head_ok)
+            if not head_ok:
+                _logger.warning(
+                    "materialized head diverged from the commit log; "
+                    "restoring it from history"
+                )
+                self.nebula.commit_log.restore_head()
+                self.metrics.counter("nebula_head_restores_total").inc()
             # The crash (or data loaded while the service was down) may
             # have left the persisted search index behind the data; the
             # stamp check rebuilds it before any traffic is accepted.
@@ -590,6 +617,7 @@ class AnnotationService:
                         [submission.request for submission in live],
                         use_spreading=True if shedding else None,
                         capture_dead_letter=False,
+                        request_id=batch_id,
                     )
                     if self._faults is not None:
                         # Mid-batch crash chaos point: after the flush,
@@ -670,6 +698,7 @@ class AnnotationService:
                             request.text,
                             attach_to=request.focal,
                             author=request.author,
+                            request_id=submission.request_id,
                         )
                         self._commit()
                 except PipelineStageError as error:
@@ -767,7 +796,10 @@ class AnnotationService:
             self.nebula.connection.execute("BEGIN")
 
     def _commit(self) -> None:
-        self.nebula.retry.run(self.nebula.connection.commit, "service.commit")
+        """The flush's durability point, traced as ``service.commit``."""
+        with self.tracer.span("service.commit") as span:
+            self.nebula.retry.run(self.nebula.connection.commit, "service.commit")
+            span.set_attribute("head", self.nebula.commit_log.head())
 
     def _rollback_quietly(self) -> None:
         try:
@@ -813,58 +845,101 @@ class AnnotationService:
             )
         )
 
+    def head_commit(self) -> Optional[int]:
+        """The newest commit id in the append-only log.
+
+        A client pins this once, then passes it as ``as_of`` to the read
+        endpoints: because history rows are immutable, every pinned read
+        sees the same snapshot no matter how many batches the writer
+        commits in between.  None on a database with no commits yet.
+        """
+        return self._read(
+            lambda connection: (
+                lambda value: None if value is None else int(value)
+            )(
+                connection.execute(
+                    "SELECT MAX(commit_id) FROM _nebula_commits"
+                ).fetchone()[0]
+            )
+        )
+
     def find_annotations(
-        self, needle: str, limit: int = 20
+        self, needle: str, limit: int = 20, as_of: Optional[int] = None
     ) -> List[Tuple[int, str, Optional[str]]]:
-        """Substring search over annotation content, newest first."""
+        """Substring search over annotation content, newest first.
+
+        ``as_of`` pins the search to a commit id (see
+        :meth:`head_commit`); the default reads the materialized head.
+        """
+        if as_of is None:
+            sql = (
+                "SELECT annotation_id, content, author "
+                "FROM _nebula_annotations "
+                "WHERE content LIKE '%' || ? || '%' "
+                "ORDER BY annotation_id DESC LIMIT ?"
+            )
+            params: Tuple = (needle, int(limit))
+        else:
+            sql = _FIND_AS_OF
+            params = (int(as_of), needle, int(limit))
         return self._read(
             lambda connection: [
                 (int(row[0]), str(row[1]), row[2])
-                for row in connection.execute(
-                    "SELECT annotation_id, content, author "
-                    "FROM _nebula_annotations "
-                    "WHERE content LIKE '%' || ? || '%' "
-                    "ORDER BY annotation_id DESC LIMIT ?",
-                    (needle, int(limit)),
-                )
+                for row in connection.execute(sql, params)
             ]
         )
 
     def annotations_for(
-        self, table: str, rowid: int
+        self, table: str, rowid: int, as_of: Optional[int] = None
     ) -> List[Tuple[int, str, float, str]]:
         """Annotations attached to one tuple: (id, content, confidence,
-        kind), strongest first."""
+        kind), strongest first.  ``as_of`` pins the read to a commit."""
+        if as_of is None:
+            sql = (
+                "SELECT a.annotation_id, a.content, t.confidence, t.kind "
+                "FROM _nebula_annotations a "
+                "JOIN _nebula_attachments t "
+                "ON t.annotation_id = a.annotation_id "
+                "WHERE t.target_table = ? AND t.target_rowid = ? "
+                "ORDER BY t.confidence DESC, a.annotation_id"
+            )
+            params: Tuple = (table, int(rowid))
+        else:
+            sql = _ANNOTATIONS_FOR_AS_OF
+            params = (int(as_of), int(as_of), table, int(rowid))
         return self._read(
             lambda connection: [
                 (int(row[0]), str(row[1]), float(row[2]), str(row[3]))
-                for row in connection.execute(
-                    "SELECT a.annotation_id, a.content, t.confidence, t.kind "
-                    "FROM _nebula_annotations a "
-                    "JOIN _nebula_attachments t "
-                    "ON t.annotation_id = a.annotation_id "
-                    "WHERE t.target_table = ? AND t.target_rowid = ? "
-                    "ORDER BY t.confidence DESC, a.annotation_id",
-                    (table, int(rowid)),
-                )
+                for row in connection.execute(sql, params)
             ]
         )
 
     def pending_verifications(
-        self, limit: Optional[int] = None
+        self, limit: Optional[int] = None, as_of: Optional[int] = None
     ) -> List[Tuple[int, int, str, int, float]]:
         """Pending verification tasks: (task, annotation, table, rowid,
-        confidence), most confident first."""
-        sql = (
-            "SELECT task_id, annotation_id, target_table, target_rowid, "
-            "confidence FROM _nebula_verification_tasks "
-            "WHERE status = 'pending' ORDER BY confidence DESC, task_id"
-        )
+        confidence), most confident first.
+
+        With ``as_of`` the listing is restricted to tasks whose
+        annotation was visible at the pinned commit (the task table is
+        operational state, not itself versioned).
+        """
         bound = -1 if limit is None else int(limit)
+        if as_of is None:
+            sql = (
+                "SELECT task_id, annotation_id, target_table, target_rowid, "
+                "confidence FROM _nebula_verification_tasks "
+                "WHERE status = 'pending' "
+                "ORDER BY confidence DESC, task_id LIMIT ?"
+            )
+            params: Tuple = (bound,)
+        else:
+            sql = _PENDING_AS_OF
+            params = (int(as_of), bound)
         return self._read(
             lambda connection: [
                 (int(r[0]), int(r[1]), str(r[2]), int(r[3]), float(r[4]))
-                for r in connection.execute(sql + " LIMIT ?", (bound,))
+                for r in connection.execute(sql, params)
             ]
         )
 

@@ -1,0 +1,43 @@
+"""Append-only versioned storage: commit log, time travel, migrations.
+
+The package owns three concerns the rest of the tree delegates to:
+
+* :mod:`repro.versioning.log` — :class:`CommitLog`: one
+  ``_nebula_commits`` row per logical write with author/request/time
+  provenance, history appends for every mutation, and the *only*
+  UPDATE/DELETE statements against the versioned tables (enforced by
+  lint rule NBL013).
+* :mod:`repro.versioning.timetravel` — ``as_of=<commit_id>`` reads
+  reconstructing any historical state from the append-only history.
+* :mod:`repro.versioning.migrations` — the ordered, reversible schema
+  chain recorded in ``_nebula_schema_revisions``; the single path for
+  all schema changes on every backend.
+
+See ``docs/versioning.md`` for the commit model and authoring guide.
+"""
+
+from . import timetravel
+from .log import Commit, CommitLog
+from .migrations import (
+    BASELINE_REVISION,
+    MIGRATIONS,
+    Migration,
+    MigrationRunner,
+    Revision,
+    ensure_schema,
+)
+from .schema import COMMIT_KINDS, VERSIONED_TABLES
+
+__all__ = [
+    "BASELINE_REVISION",
+    "COMMIT_KINDS",
+    "Commit",
+    "CommitLog",
+    "MIGRATIONS",
+    "Migration",
+    "MigrationRunner",
+    "Revision",
+    "VERSIONED_TABLES",
+    "ensure_schema",
+    "timetravel",
+]

@@ -1,0 +1,288 @@
+"""Time-travel reads over the commit log.
+
+Every function takes ``as_of`` — a commit id — and reconstructs the
+annotation / attachment state that existed *after* that commit was
+applied, purely from the history tables: the latest ``history_id`` per
+entity among versions with ``commit_id <= as_of``, tombstones excluded.
+Because history rows are append-only, the result of any pinned read is
+immutable no matter how many commits a concurrent writer adds — which
+is exactly the snapshot-consistency guarantee the service readers rely
+on.
+
+The SQL here deliberately mirrors the head-state queries in
+:mod:`repro.annotations.store`; :class:`~repro.annotations.store.AnnotationStore`
+delegates to this module whenever a read carries ``as_of``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..storage.compat import Connection
+
+_ANNOTATION_COLUMNS = "annotation_id, content, author, created_seq"
+
+_ATTACHMENT_COLUMNS = (
+    "attachment_id, annotation_id, target_table, target_rowid, "
+    "target_rowid_hi, target_column, confidence, kind"
+)
+
+#: Table expression of the annotations visible at commit ``?``.
+ANNOTATIONS_AS_OF = (
+    "(SELECT h.annotation_id AS annotation_id, h.content AS content, "
+    "h.author AS author, h.created_seq AS created_seq "
+    "FROM _nebula_annotation_history AS h "
+    "JOIN (SELECT annotation_id, MAX(history_id) AS history_id "
+    "FROM _nebula_annotation_history WHERE commit_id <= ? "
+    "GROUP BY annotation_id) AS latest "
+    "ON h.history_id = latest.history_id "
+    "WHERE h.op <> 'delete')"
+)
+
+#: Table expression of the attachments visible at commit ``?``.
+ATTACHMENTS_AS_OF = (
+    "(SELECT h.attachment_id AS attachment_id, h.annotation_id AS annotation_id, "
+    "h.target_table AS target_table, h.target_rowid AS target_rowid, "
+    "h.target_rowid_hi AS target_rowid_hi, h.target_column AS target_column, "
+    "h.confidence AS confidence, h.kind AS kind "
+    "FROM _nebula_attachment_history AS h "
+    "JOIN (SELECT attachment_id, MAX(history_id) AS history_id "
+    "FROM _nebula_attachment_history WHERE commit_id <= ? "
+    "GROUP BY attachment_id) AS latest "
+    "ON h.history_id = latest.history_id "
+    "WHERE h.op <> 'delete')"
+)
+
+# Full statements (literal constants: NBL001-safe by construction).
+
+_GET_ANNOTATION = (
+    "SELECT " + _ANNOTATION_COLUMNS + " FROM " + ANNOTATIONS_AS_OF + " "
+    "WHERE annotation_id = ?"
+)
+
+_ITER_ANNOTATIONS = (
+    "SELECT " + _ANNOTATION_COLUMNS + " FROM " + ANNOTATIONS_AS_OF + " "
+    "ORDER BY created_seq"
+)
+
+_COUNT_ANNOTATIONS = "SELECT COUNT(*) FROM " + ANNOTATIONS_AS_OF
+
+_ATTACHMENTS_OF = (
+    "SELECT " + _ATTACHMENT_COLUMNS + " FROM " + ATTACHMENTS_AS_OF + " "
+    "WHERE annotation_id = ? ORDER BY attachment_id"
+)
+
+_ATTACHMENTS_ON_PREFIX = (
+    "SELECT " + _ATTACHMENT_COLUMNS + " FROM " + ATTACHMENTS_AS_OF + " "
+    "WHERE target_table = ?"
+)
+
+_ROW_FILTER = (
+    " AND (target_rowid IS NULL OR (target_rowid <= ? "
+    "AND ? <= COALESCE(target_rowid_hi, target_rowid)))"
+)
+
+_COLUMN_FILTER = " AND (target_column = ? OR target_column IS NULL)"
+
+_ORDER_BY_ATTACHMENT = " ORDER BY attachment_id"
+
+_TRUE_PAIRS = (
+    "SELECT annotation_id, target_table, target_rowid, target_rowid_hi "
+    "FROM " + ATTACHMENTS_AS_OF + " "
+    "WHERE kind = 'true' AND target_rowid IS NOT NULL ORDER BY attachment_id"
+)
+
+_COUNT_ATTACHMENTS = "SELECT COUNT(*) FROM " + ATTACHMENTS_AS_OF
+
+_COUNT_ATTACHMENTS_BY_KIND = (
+    "SELECT COUNT(*) FROM " + ATTACHMENTS_AS_OF + " WHERE kind = ?"
+)
+
+# Service-layer read statements.  Composed here — where every piece is
+# a local literal, so NBL001 can prove them safe by construction — and
+# imported whole by :mod:`repro.service.service` for its ``as_of`` read
+# endpoints.
+
+#: ``find_annotations(needle, limit, as_of)``: params (as_of, needle, limit).
+FIND_ANNOTATIONS_AS_OF = (
+    "SELECT annotation_id, content, author "
+    "FROM " + ANNOTATIONS_AS_OF + " "
+    "WHERE content LIKE '%' || ? || '%' "
+    "ORDER BY annotation_id DESC LIMIT ?"
+)
+
+#: ``annotations_for(table, rowid, as_of)``: params (as_of, as_of, table, rowid).
+ANNOTATIONS_FOR_TUPLE_AS_OF = (
+    "SELECT a.annotation_id, a.content, t.confidence, t.kind "
+    "FROM " + ANNOTATIONS_AS_OF + " AS a "
+    "JOIN " + ATTACHMENTS_AS_OF + " AS t "
+    "ON t.annotation_id = a.annotation_id "
+    "WHERE t.target_table = ? AND t.target_rowid = ? "
+    "ORDER BY t.confidence DESC, a.annotation_id"
+)
+
+#: ``pending_verifications(limit, as_of)``: params (as_of, limit).  The
+#: one statement here touching operational state: the task table is not
+#: versioned, so the honest ``as_of`` approximation restricts pending
+#: tasks to annotations *visible* at the pin.
+PENDING_TASKS_AS_OF = (
+    "SELECT task_id, annotation_id, target_table, target_rowid, confidence "
+    "FROM _nebula_verification_tasks WHERE status = 'pending' "
+    "AND annotation_id IN "
+    "(SELECT annotation_id FROM " + ANNOTATIONS_AS_OF + ") "
+    "ORDER BY confidence DESC, task_id LIMIT ?"
+)
+
+_ANNOTATION_HISTORY = (
+    "SELECT h.history_id, h.commit_id, h.op, h.content, h.author, h.created_seq, "
+    "c.kind, c.author, c.request_id, c.note, c.created_at "
+    "FROM _nebula_annotation_history AS h "
+    "JOIN _nebula_commits AS c ON c.commit_id = h.commit_id "
+    "WHERE h.annotation_id = ? ORDER BY h.history_id"
+)
+
+_ATTACHMENT_HISTORY_OF_ANNOTATION = (
+    "SELECT h.history_id, h.commit_id, h.op, h.attachment_id, h.target_table, "
+    "h.target_rowid, h.target_rowid_hi, h.target_column, h.confidence, h.kind, "
+    "c.kind, c.author, c.request_id, c.created_at "
+    "FROM _nebula_attachment_history AS h "
+    "JOIN _nebula_commits AS c ON c.commit_id = h.commit_id "
+    "WHERE h.annotation_id = ? ORDER BY h.history_id"
+)
+
+
+def get_annotation_row(
+    connection: Connection, annotation_id: int, as_of: int
+) -> Optional[Sequence]:
+    """The annotation row visible at ``as_of``, or None."""
+    return connection.execute(_GET_ANNOTATION, (as_of, annotation_id)).fetchone()
+
+
+def iter_annotation_rows(connection: Connection, as_of: int) -> List[Sequence]:
+    """All annotation rows visible at ``as_of``, in insertion order."""
+    return connection.execute(_ITER_ANNOTATIONS, (as_of,)).fetchall()
+
+
+def count_annotations(connection: Connection, as_of: int) -> int:
+    return int(connection.execute(_COUNT_ANNOTATIONS, (as_of,)).fetchone()[0])
+
+
+def attachments_of_rows(
+    connection: Connection, annotation_id: int, as_of: int
+) -> List[Sequence]:
+    """Attachment rows of one annotation visible at ``as_of``."""
+    return connection.execute(_ATTACHMENTS_OF, (as_of, annotation_id)).fetchall()
+
+
+def attachments_on_rows(
+    connection: Connection,
+    table: str,
+    as_of: int,
+    rowid: Optional[int] = None,
+    column: Optional[str] = None,
+) -> List[Sequence]:
+    """Attachment rows touching a target, visible at ``as_of``.
+
+    Matches the head query's semantics: row-level queries also return
+    column- and table-level attachments (they apply to every row).
+    """
+    sql = _ATTACHMENTS_ON_PREFIX
+    params: List[object] = [as_of, table]
+    if rowid is not None:
+        sql += _ROW_FILTER
+        params.extend([rowid, rowid])
+    if column is not None:
+        sql += _COLUMN_FILTER
+        params.append(column)
+    sql += _ORDER_BY_ATTACHMENT
+    return connection.execute(sql, params).fetchall()
+
+
+def true_pair_rows(connection: Connection, as_of: int) -> List[Sequence]:
+    """``(annotation_id, table, rowid, rowid_hi)`` of true row edges."""
+    return connection.execute(_TRUE_PAIRS, (as_of,)).fetchall()
+
+
+def count_attachments(
+    connection: Connection, as_of: int, kind: Optional[str] = None
+) -> int:
+    if kind is None:
+        row = connection.execute(_COUNT_ATTACHMENTS, (as_of,)).fetchone()
+    else:
+        row = connection.execute(_COUNT_ATTACHMENTS_BY_KIND, (as_of, kind)).fetchone()
+    return int(row[0])
+
+
+def annotation_history_rows(
+    connection: Connection, annotation_id: int
+) -> List[Sequence]:
+    """Every logged version of one annotation, with commit provenance."""
+    return connection.execute(_ANNOTATION_HISTORY, (annotation_id,)).fetchall()
+
+
+def attachment_history_rows(
+    connection: Connection, annotation_id: int
+) -> List[Sequence]:
+    """Every logged attachment version of one annotation's edges."""
+    return connection.execute(
+        _ATTACHMENT_HISTORY_OF_ANNOTATION, (annotation_id,)
+    ).fetchall()
+
+
+def state_fingerprint(
+    connection: Connection, as_of: Optional[int] = None
+) -> Tuple[Tuple[Sequence, ...], Tuple[Sequence, ...]]:
+    """Canonical (annotations, attachments) content at ``as_of``.
+
+    With ``as_of=None`` the fingerprint is computed from the
+    current-version *views* (pure history reconstruction) — comparing
+    it against the materialized head tables is the parity oracle used
+    by recovery, the migration round-trip, and the property tests.
+    Rows are keyed by content, not surrogate ids, so a legacy database
+    rebuilt through a migration fingerprints identically to a fresh
+    versioned init.
+    """
+    if as_of is None:
+        annotations = connection.execute(
+            "SELECT " + _ANNOTATION_COLUMNS + " FROM _nebula_annotations_current "
+            "ORDER BY created_seq"
+        ).fetchall()
+        attachments = connection.execute(
+            "SELECT annotation_id, target_table, target_rowid, target_rowid_hi, "
+            "target_column, confidence, kind FROM _nebula_attachments_current "
+            "ORDER BY annotation_id, target_table, target_rowid, "
+            "target_rowid_hi, target_column, kind"
+        ).fetchall()
+    else:
+        annotations = connection.execute(_ITER_ANNOTATIONS, (as_of,)).fetchall()
+        attachments = connection.execute(
+            "SELECT annotation_id, target_table, target_rowid, target_rowid_hi, "
+            "target_column, confidence, kind FROM " + ATTACHMENTS_AS_OF + " "
+            "ORDER BY annotation_id, target_table, target_rowid, "
+            "target_rowid_hi, target_column, kind",
+            (as_of,),
+        ).fetchall()
+    return (
+        tuple(tuple(row) for row in annotations),
+        tuple(tuple(row) for row in attachments),
+    )
+
+
+def head_fingerprint(
+    connection: Connection,
+) -> Tuple[Tuple[Sequence, ...], Tuple[Sequence, ...]]:
+    """The materialized head's canonical content (same key as above)."""
+    annotations = connection.execute(
+        "SELECT " + _ANNOTATION_COLUMNS + " FROM _nebula_annotations "
+        "ORDER BY created_seq"
+    ).fetchall()
+    attachments = connection.execute(
+        "SELECT annotation_id, target_table, target_rowid, target_rowid_hi, "
+        "target_column, confidence, kind FROM _nebula_attachments "
+        "ORDER BY annotation_id, target_table, target_rowid, "
+        "target_rowid_hi, target_column, kind"
+    ).fetchall()
+    return (
+        tuple(tuple(row) for row in annotations),
+        tuple(tuple(row) for row in attachments),
+    )

@@ -1,0 +1,39 @@
+"""NBL013 fixture: raw in-place writes against versioned head tables.
+
+Every function here mutates ``_nebula_annotations`` or
+``_nebula_attachments`` without going through the commit log — the
+exact drift the rule exists to catch.  Linted as production code (the
+``tests/fixtures/`` carve-out in ``_is_test_path``).
+"""
+
+_PROMOTE = (
+    "UPDATE _nebula_attachments SET confidence = 1.0 "
+    "WHERE attachment_id = ?"
+)
+
+
+def promote_in_place(conn, attachment_id):
+    # nebula-lint: NBL013 expected — update bypasses the history append
+    conn.execute(_PROMOTE, (attachment_id,))
+
+
+def discard_in_place(conn, attachment_id):
+    conn.execute(
+        "DELETE FROM _nebula_attachments WHERE attachment_id = ?",
+        (attachment_id,),
+    )
+
+
+def rewrite_annotation(conn, annotation_id, content):
+    conn.execute(
+        "UPDATE _nebula_annotations SET content = ? WHERE annotation_id = ?",
+        (content, annotation_id),
+    )
+
+
+def clobber_annotation(conn, row):
+    conn.execute(
+        "INSERT OR REPLACE INTO _nebula_annotations "
+        "(annotation_id, content, author, created_seq) VALUES (?, ?, ?, ?)",
+        row,
+    )

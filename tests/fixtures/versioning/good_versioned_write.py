@@ -1,0 +1,51 @@
+"""NBL013 clean twin: reads, plain inserts, and non-versioned writes.
+
+Nothing here mutates a versioned head table in place, so the rule must
+stay silent — including on the history *append* tables whose names
+share the versioned prefix, and on operational tables like the
+verification queue.
+"""
+
+_READ = (
+    "SELECT annotation_id, content FROM _nebula_annotations "
+    "WHERE annotation_id = ?"
+)
+
+
+def read_annotation(conn, annotation_id):
+    return conn.execute(_READ, (annotation_id,)).fetchone()
+
+
+def insert_head_row(conn, row):
+    # Plain INSERT is legal: the store pairs it with a history append.
+    conn.execute(
+        "INSERT INTO _nebula_annotations "
+        "(annotation_id, content, author, created_seq) VALUES (?, ?, ?, ?)",
+        row,
+    )
+
+
+def append_history(conn, row):
+    # The singular history table names must not match the head tables.
+    conn.execute(
+        "INSERT INTO _nebula_annotation_history "
+        "(commit_id, annotation_id, op, content, author, created_seq) "
+        "VALUES (?, ?, ?, ?, ?, ?)",
+        row,
+    )
+
+
+def resolve_task(conn, task_id):
+    # Operational state (not versioned) stays freely mutable.
+    conn.execute(
+        "UPDATE _nebula_verification_tasks SET status = 'verified' "
+        "WHERE task_id = ?",
+        (task_id,),
+    )
+
+
+def drop_dead_letter(conn, letter_id):
+    conn.execute(
+        "DELETE FROM _nebula_dead_letters WHERE letter_id = ?",
+        (letter_id,),
+    )

@@ -710,6 +710,130 @@ class TestMetricNaming:
 
 
 # ----------------------------------------------------------------------
+# NBL013 — versioned-table write discipline
+# ----------------------------------------------------------------------
+
+
+class TestVersionedWrites:
+    def test_update_head_table_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, aid):\n"
+            '    conn.execute("UPDATE _nebula_annotations SET content = ? '
+            'WHERE annotation_id = ?", ("x", aid))\n',
+            rules=["NBL013"],
+        )
+        assert rule_ids(findings) == ["NBL013"]
+        assert findings[0].details["table"] == "_nebula_annotations"
+
+    def test_delete_head_table_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, aid):\n"
+            '    conn.execute("DELETE FROM _nebula_attachments '
+            'WHERE attachment_id = ?", (aid,))\n',
+            rules=["NBL013"],
+        )
+        assert rule_ids(findings) == ["NBL013"]
+        assert findings[0].details["table"] == "_nebula_attachments"
+
+    def test_replace_into_flagged(self, tmp_path):
+        # REPLACE is an implicit DELETE: it drops the old row without a
+        # tombstone in the history log.
+        findings = lint(
+            tmp_path,
+            "def f(conn, row):\n"
+            '    conn.execute("INSERT OR REPLACE INTO _nebula_annotations '
+            'VALUES (?, ?, ?, ?)", row)\n',
+            rules=["NBL013"],
+        )
+        assert rule_ids(findings) == ["NBL013"]
+
+    def test_composed_constant_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            '_SQL = "DELETE FROM " + "_nebula_annotations" + '
+            '" WHERE annotation_id = ?"\n'
+            "def f(conn, aid):\n"
+            "    conn.execute(_SQL, (aid,))\n",
+            rules=["NBL013"],
+        )
+        assert rule_ids(findings) == ["NBL013"]
+
+    def test_versioning_package_exempt(self, tmp_path):
+        target = tmp_path / "repro" / "versioning"
+        target.mkdir(parents=True)
+        path = target / "writer.py"
+        path.write_text(
+            "def f(conn, aid):\n"
+            '    conn.execute("DELETE FROM _nebula_attachments '
+            'WHERE attachment_id = ?", (aid,))\n'
+        )
+        assert analyze_paths([str(path)], rules=["NBL013"]) == []
+
+    def test_tests_exempt(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def corrupt_head(conn):\n"
+            '    conn.execute("DELETE FROM _nebula_annotations")\n',
+            name="test_recovery.py",
+            rules=["NBL013"],
+        )
+        assert findings == []
+
+    def test_reads_and_plain_inserts_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn, row):\n"
+            '    conn.execute("SELECT content FROM _nebula_annotations")\n'
+            '    conn.execute("INSERT INTO _nebula_annotations VALUES '
+            '(?, ?, ?, ?)", row)\n',
+            rules=["NBL013"],
+        )
+        assert findings == []
+
+    def test_history_and_operational_tables_clean(self, tmp_path):
+        # The singular *_history names share the head-table prefix but
+        # must not match; operational tables stay freely mutable.
+        findings = lint(
+            tmp_path,
+            "def f(conn, cid, tid):\n"
+            '    conn.execute("DELETE FROM _nebula_annotation_history '
+            'WHERE commit_id = ?", (cid,))\n'
+            '    conn.execute("UPDATE _nebula_verification_tasks SET '
+            "status = 'verified' WHERE task_id = ?\", (tid,))\n",
+            rules=["NBL013"],
+        )
+        assert findings == []
+
+    def test_inline_ignore_suppresses(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def f(conn):\n"
+            '    conn.execute("DELETE FROM _nebula_annotations")'
+            "  # nebula-lint: ignore[NBL013]\n",
+            rules=["NBL013"],
+        )
+        assert findings == []
+
+    def test_fixture_modules(self):
+        import os
+
+        fixtures = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "fixtures", "versioning"
+        )
+        bad = analyze_paths(
+            [os.path.join(fixtures, "bad_versioned_write.py")], rules=["NBL013"]
+        )
+        assert len(bad) == 4
+        assert {f.rule_id for f in bad} == {"NBL013"}
+        good = analyze_paths(
+            [os.path.join(fixtures, "good_versioned_write.py")], rules=["NBL013"]
+        )
+        assert good == []
+
+
+# ----------------------------------------------------------------------
 # Engine behaviors
 # ----------------------------------------------------------------------
 

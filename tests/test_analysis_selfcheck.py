@@ -43,6 +43,15 @@ class TestLiveTree:
             f"{f.rule_id} {f.path}:{f.line} {f.message}" for f in findings
         )
 
+    def test_strict_clean_includes_versioned_write_rule(self):
+        # NBL013: every in-place write against the versioned head
+        # tables lives inside repro/versioning/ — the commit log is the
+        # single writer.
+        findings = analyze_paths([PACKAGE_ROOT], rules=["NBL013"])
+        assert findings == [], "\n".join(
+            f"{f.rule_id} {f.path}:{f.line} {f.message}" for f in findings
+        )
+
 
 class TestPlantedViolations:
     def test_planted_fstring_execute_fails(self, tmp_path):
@@ -94,7 +103,7 @@ class TestPlantedViolations:
 
 
 class TestCliSurface:
-    def test_list_rules_covers_all_twelve(self):
+    def test_list_rules_covers_all_thirteen(self):
         out = io.StringIO()
         assert lint_main(["--list-rules"], out=out) == 0
         text = out.getvalue()
@@ -102,6 +111,7 @@ class TestCliSurface:
             "NBL001", "NBL002", "NBL003", "NBL004",
             "NBL005", "NBL006", "NBL007", "NBL008",
             "NBL009", "NBL010", "NBL011", "NBL012",
+            "NBL013",
         ):
             assert rule_id in text
 

@@ -208,3 +208,91 @@ class TestCli:
               "--publications", "100"])
         with pytest.raises(SystemExit):
             main(["annotate", "--db", db_path, "--text", "x", "--attach", "Gene"])
+
+
+class TestVersioningCli:
+    """``repro history`` / ``repro migrate`` / ``annotate --as-of``."""
+
+    @pytest.fixture
+    def seeded_db(self, tmp_path):
+        db_path = str(tmp_path / "versioned.db")
+        main(["generate", "--db", db_path, "--genes", "60", "--proteins", "36",
+              "--publications", "200"])
+        main(["annotate", "--db", db_path,
+              "--text", "We examined genes JW0001 in depth.",
+              "--attach", "Gene:1", "--author", "cli"])
+        return db_path
+
+    def test_parser_accepts_new_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["history", "--db", "x.db", "7"])
+        assert args.command == "history" and args.annotation_id == 7
+        args = parser.parse_args(["migrate", "down", "--db", "x.db"])
+        assert args.action == "down"
+        args = parser.parse_args(
+            ["annotate", "--db", "x.db", "--text", "t", "--as-of", "3"])
+        assert args.as_of == 3
+
+    def test_history_lists_commits_and_versions(self, seeded_db, capsys):
+        capsys.readouterr()
+        assert main(["history", "--db", seeded_db]) == 0
+        out = capsys.readouterr().out
+        assert "newest commits (head=" in out
+        assert "ingest" in out
+        assert "author=cli" in out
+
+        assert main(["history", "--db", seeded_db, "1"]) == 0
+        out = capsys.readouterr().out
+        assert "annotation 1:" in out
+        assert "insert" in out
+
+    def test_history_unknown_annotation(self, seeded_db, capsys):
+        capsys.readouterr()
+        assert main(["history", "--db", seeded_db, "999"]) == 1
+        assert "no logged versions" in capsys.readouterr().err
+
+    def test_migrate_roundtrip(self, seeded_db, capsys):
+        capsys.readouterr()
+        assert main(["migrate", "status", "--db", seeded_db]) == 0
+        out = capsys.readouterr().out
+        assert "current revision: 0003" in out
+
+        assert main(["migrate", "down", "--db", seeded_db]) == 0
+        assert "reverted 0003, 0002" in capsys.readouterr().out
+
+        # status now reports pending work via the exit code.
+        assert main(["migrate", "status", "--db", seeded_db]) == 1
+        out = capsys.readouterr().out
+        assert "pending 0002" in out and "pending 0003" in out
+
+        assert main(["migrate", "up", "--db", seeded_db]) == 0
+        assert "now at 0003" in capsys.readouterr().out
+
+        # The annotation survived the roundtrip, history rebuilt from head.
+        assert main(["history", "--db", seeded_db, "1"]) == 0
+        out = capsys.readouterr().out
+        assert "backfill" in out or "insert" in out
+
+    @staticmethod
+    def _head(db_path, capsys):
+        assert main(["history", "--db", db_path]) == 0
+        out = capsys.readouterr().out
+        return int(out.split("head=")[1].split(")")[0])
+
+    def test_annotate_as_of_dry_run(self, seeded_db, capsys):
+        capsys.readouterr()
+        head = self._head(seeded_db, capsys)
+        assert main(["annotate", "--db", seeded_db,
+                     "--text", "Genes JW0002 and JW0001 interact.",
+                     "--as-of", str(head)]) == 0
+        out = capsys.readouterr().out
+        assert f"historical analysis at commit {head}" in out
+        assert "nothing persisted" in out
+        # The dry run added no commit.
+        assert self._head(seeded_db, capsys) == head
+
+    def test_annotate_as_of_unknown_commit(self, seeded_db, capsys):
+        capsys.readouterr()
+        assert main(["annotate", "--db", seeded_db,
+                     "--text", "x", "--as-of", "999999"]) == 2
+        assert "unknown commit 999999" in capsys.readouterr().err
